@@ -1,0 +1,154 @@
+//! Correlated double sampling with a blank working electrode (§II-C).
+//!
+//! "The output of the sensor is measured twice: once in a known condition
+//! and once in an unknown condition. The value measured from the known
+//! condition is then subtracted … The latter can be realized using an extra
+//! WE without any enzyme on it." The subtraction removes offset and the
+//! drift/flicker components *shared* between the matched electrodes, at the
+//! cost of √2 more white noise — and it fails for species that oxidize
+//! directly on the blank electrode (dopamine, etoposide).
+
+use bios_units::Amps;
+
+/// A correlated double sampler pairing an active and a blank channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CorrelatedDoubleSampler {
+    /// Fraction of low-frequency disturbance common to both electrodes
+    /// (1.0 = perfectly matched pair).
+    matching: MatchingQuality,
+}
+
+/// How well the active and blank electrodes are matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MatchingQuality {
+    /// Same die, adjacent electrodes: ~99% common-mode rejection.
+    Monolithic,
+    /// Same substrate, different position: ~90%.
+    SameSubstrate,
+    /// Separate devices: ~50%.
+    Discrete,
+}
+
+impl MatchingQuality {
+    /// The fraction of drift/offset removed by subtraction.
+    pub fn rejection(self) -> f64 {
+        match self {
+            MatchingQuality::Monolithic => 0.99,
+            MatchingQuality::SameSubstrate => 0.90,
+            MatchingQuality::Discrete => 0.50,
+        }
+    }
+}
+
+impl CorrelatedDoubleSampler {
+    /// Creates a sampler with the given electrode matching.
+    pub fn new(matching: MatchingQuality) -> Self {
+        Self { matching }
+    }
+
+    /// The electrode matching quality.
+    pub fn matching(&self) -> MatchingQuality {
+        self.matching
+    }
+
+    /// Models one corrected sample: the wanted `signal` survives, a shared
+    /// low-frequency `disturbance` is attenuated to its residual fraction
+    /// (the blank electrode sees `rejection`× of it), and per-channel
+    /// uncorrelated noise terms combine by plain subtraction.
+    pub fn correct(
+        &self,
+        signal: Amps,
+        shared_disturbance: Amps,
+        active_noise: Amps,
+        blank_noise: Amps,
+    ) -> Amps {
+        signal + shared_disturbance * self.residual_drift_fraction() + active_noise - blank_noise
+    }
+
+    /// Plain subtraction of synchronized samples — the hardware operation.
+    pub fn subtract(&self, active: Amps, blank: Amps) -> Amps {
+        active - blank
+    }
+
+    /// White-noise penalty of the subtraction (uncorrelated noise adds in
+    /// power): √2.
+    pub fn white_noise_penalty(&self) -> f64 {
+        core::f64::consts::SQRT_2
+    }
+
+    /// The drift suppression factor applied to shared low-frequency
+    /// disturbance: `1 − rejection`.
+    pub fn residual_drift_fraction(&self) -> f64 {
+        1.0 - self.matching.rejection()
+    }
+}
+
+impl Default for CorrelatedDoubleSampler {
+    fn default() -> Self {
+        Self::new(MatchingQuality::Monolithic)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtraction_removes_shared_signal() {
+        let cds = CorrelatedDoubleSampler::default();
+        let signal = Amps::from_nanoamps(100.0);
+        let drift = Amps::from_nanoamps(37.0);
+        let active = signal + drift;
+        let blank = drift;
+        let corrected = cds.subtract(active, blank);
+        assert!((corrected.value() - signal.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn interferent_on_blank_cancels_but_sensor_specific_does_not() {
+        // Ascorbate oxidizes on both electrodes: subtracting removes it.
+        let cds = CorrelatedDoubleSampler::default();
+        let glucose_current = Amps::from_nanoamps(200.0);
+        let ascorbate = Amps::from_nanoamps(50.0);
+        let active = glucose_current + ascorbate;
+        let blank = ascorbate;
+        assert!((cds.subtract(active, blank).value() - glucose_current.value()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn matching_quality_ordering() {
+        assert!(
+            MatchingQuality::Monolithic.rejection() > MatchingQuality::SameSubstrate.rejection()
+        );
+        assert!(MatchingQuality::SameSubstrate.rejection() > MatchingQuality::Discrete.rejection());
+        let mono = CorrelatedDoubleSampler::new(MatchingQuality::Monolithic);
+        assert!((mono.residual_drift_fraction() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_penalty_is_sqrt2() {
+        let cds = CorrelatedDoubleSampler::default();
+        assert!((cds.white_noise_penalty() - core::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_attenuates_shared_drift() {
+        let cds = CorrelatedDoubleSampler::new(MatchingQuality::Monolithic);
+        let out = cds.correct(
+            Amps::from_nanoamps(100.0),
+            Amps::from_nanoamps(50.0),
+            Amps::ZERO,
+            Amps::ZERO,
+        );
+        // 1% residual of the 50 nA drift survives.
+        assert!((out.as_nanoamps() - 100.5).abs() < 1e-9);
+        let sloppy = CorrelatedDoubleSampler::new(MatchingQuality::Discrete);
+        let out2 = sloppy.correct(
+            Amps::from_nanoamps(100.0),
+            Amps::from_nanoamps(50.0),
+            Amps::ZERO,
+            Amps::ZERO,
+        );
+        assert!((out2.as_nanoamps() - 125.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the analog front-end models.
+
+/// Errors produced while configuring or running AFE blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AfeError {
+    /// A circuit parameter was out of its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The requested signal exceeded a block's compliance or full-scale
+    /// range.
+    RangeExceeded {
+        /// Which block clipped.
+        block: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A mux channel index was out of bounds.
+    BadChannel {
+        /// Requested channel.
+        requested: usize,
+        /// Number of channels available.
+        available: usize,
+    },
+}
+
+impl AfeError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for AfeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            Self::RangeExceeded { block, detail } => {
+                write!(f, "{block} range exceeded: {detail}")
+            }
+            Self::BadChannel {
+                requested,
+                available,
+            } => write!(f, "mux channel {requested} out of range (have {available})"),
+        }
+    }
+}
+
+impl std::error::Error for AfeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            AfeError::invalid("bits", "too many").to_string(),
+            "invalid parameter bits: too many"
+        );
+        let b = AfeError::BadChannel {
+            requested: 7,
+            available: 5,
+        };
+        assert!(b.to_string().contains('7'));
+        assert!(b.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<AfeError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the analog front-end.
+
+use bios_afe::{
+    Adc, AnalogMux, CurrentRange, NoiseConfig, NoiseSource, RandlesCell, Tia, VoltageGenerator,
+};
+use bios_units::{Amps, Farads, Hertz, Ohms, QRange, Seconds, Volts, VoltsPerSecond};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ADC quantize→to_volts round-trips within one LSB for any in-range
+    /// voltage and resolution.
+    #[test]
+    fn adc_round_trip_within_lsb(bits in 6u8..16, frac in -0.999f64..0.999) {
+        let adc = Adc::new(bits, Volts::new(1.65), Hertz::new(100.0)).expect("valid");
+        let v = Volts::new(1.65 * frac);
+        let back = adc.to_volts(adc.quantize(v));
+        prop_assert!((back.value() - v.value()).abs() <= adc.lsb().value());
+    }
+
+    /// ADC codes are monotone in the input voltage.
+    #[test]
+    fn adc_codes_monotone(v1 in -1.6f64..1.6, dv in 0.001f64..0.2) {
+        let adc = Adc::new(12, Volts::new(1.65), Hertz::new(100.0)).expect("valid");
+        let c1 = adc.quantize(Volts::new(v1));
+        let c2 = adc.quantize(Volts::new(v1 + dv));
+        prop_assert!(c2 >= c1);
+    }
+
+    /// TIA static conversion is linear until it saturates, for any gain.
+    #[test]
+    fn tia_linear_until_rails(rf_exp in 4.0f64..7.0, i_na in -2000.0f64..2000.0) {
+        let tia = Tia::new(Ohms::new(10f64.powf(rf_exp)), Hertz::new(1e3), Volts::new(1.65))
+            .expect("valid");
+        let i = Amps::from_nanoamps(i_na);
+        let v = tia.convert_static(i);
+        prop_assert!(v.value().abs() <= 1.65 + 1e-12);
+        if !tia.saturates(i) {
+            prop_assert!((v.value() + i.value() * 10f64.powf(rf_exp)).abs() < 1e-12);
+        }
+    }
+
+    /// DAC quantization error is bounded by half an LSB everywhere in range.
+    #[test]
+    fn vgen_quantization_bounded(bits in 6u8..16, frac in 0.0f64..1.0) {
+        let range = QRange::new(Volts::new(-1.0), Volts::new(1.0)).expect("range");
+        let g = VoltageGenerator::new(bits, range, VoltsPerSecond::new(1.0)).expect("valid");
+        let v = Volts::new(-1.0 + 2.0 * frac);
+        let q = g.quantize(v);
+        prop_assert!((q.value() - v.value()).abs() <= g.lsb().value() / 2.0 + 1e-12);
+        prop_assert!(range.contains(q));
+    }
+
+    /// Randles cell current is bounded by E/Rs and approaches E/(Rs+Rct).
+    #[test]
+    fn randles_current_bounded(
+        e_mv in 1.0f64..1000.0,
+        rs in 10.0f64..1e4,
+        rct_factor in 2.0f64..1e4,
+    ) {
+        let rct = rs * rct_factor;
+        let mut cell = RandlesCell::new(
+            Ohms::new(rs),
+            Ohms::new(rct),
+            Farads::from_nanofarads(50.0),
+        ).expect("valid");
+        let e = Volts::from_millivolts(e_mv);
+        let tau = cell.time_constant().value();
+        let dt = Seconds::new(tau / 10.0);
+        let mut last = Amps::ZERO;
+        for _ in 0..200 {
+            last = cell.step(e, dt);
+            prop_assert!(last.value() <= e.value() / rs * (1.0 + 1e-9));
+            prop_assert!(last.value() >= e.value() / (rs + rct) * (1.0 - 1e-9));
+        }
+        // 20 τ later: within 1% of the DC value.
+        let dc = e.value() / (rs + rct);
+        prop_assert!((last.value() - dc).abs() / dc < 0.01);
+    }
+
+    /// Mux round-robin visits channels uniformly.
+    #[test]
+    fn mux_round_robin_uniform(channels in 1usize..12, slots in 1usize..60) {
+        let m = AnalogMux::typical_cmos(channels).expect("valid");
+        let dwell = Seconds::new(10.0);
+        let slot = dwell.value() + m.switch_time().value();
+        let mut counts = vec![0usize; channels];
+        for k in 0..slots {
+            let t = Seconds::new(k as f64 * slot + 0.5);
+            counts[m.channel_at(t, dwell)] += 1;
+        }
+        let max = *counts.iter().max().expect("nonempty");
+        let min = *counts.iter().min().expect("nonempty");
+        prop_assert!(max - min <= 1, "unfair schedule: {counts:?}");
+    }
+
+    /// Noise is reproducible per seed and zero for the silent config.
+    #[test]
+    fn noise_seed_determinism(seed in 0u64..1000, n in 1usize..100) {
+        let cfg = NoiseConfig::typical_cmos();
+        let mut a = NoiseSource::new(cfg, seed);
+        let mut b = NoiseSource::new(cfg, seed);
+        let dt = Seconds::from_millis(10.0);
+        for _ in 0..n {
+            prop_assert_eq!(a.sample(dt).value(), b.sample(dt).value());
+        }
+    }
+
+    /// Current-range bit requirements grow monotonically with dynamic range.
+    #[test]
+    fn range_bits_monotone(fs_ua in 1.0f64..1000.0, res_frac in 1e-4f64..0.1) {
+        let fs = Amps::from_microamps(fs_ua);
+        let res = Amps::new(fs.value() * res_frac);
+        let r = CurrentRange::new(fs, res);
+        let finer = CurrentRange::new(fs, Amps::new(res.value() / 4.0));
+        prop_assert!(finer.required_bits() >= r.required_bits() + 2);
+        prop_assert!(r.fits(Amps::new(fs.value() * 0.99)));
+        prop_assert!(!r.fits(Amps::new(fs.value() * 1.01)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Criterion benchmarks: one per paper table/figure, timing the simulation
+//! kernel behind each reproduction (plus the two numerical hot loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bios_biochem::{Analyte, CypIsoform, Oxidase};
+use bios_electrochem::{
+    simulate_cv_with, Cell, DiffusionSim, Electrode, Grid, PotentialProgram, RedoxCouple,
+    SimOptions,
+};
+use bios_units::{DiffusionCoefficient, Molar, MolesPerCm3, Seconds, Volts, VoltsPerSecond};
+
+fn bench_table1(c: &mut Criterion) {
+    let couple = bios_bench::table1::h2o2_couple_for(Oxidase::Glucose);
+    c.bench_function("table1_single_potential_point", |b| {
+        b.iter(|| {
+            bios_bench::table1::current_at_potential(
+                black_box(&couple),
+                black_box(Volts::from_millivolts(650.0)),
+            )
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("table2_single_pair_cv", |b| {
+        b.iter(|| {
+            bios_bench::table2::measure_pair(
+                black_box(CypIsoform::Cyp2B4),
+                black_box(Analyte::Benzphetamine),
+                black_box(42),
+            )
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let row = bios_biochem::tables::performance_of(Analyte::Glucose).expect("registered");
+    c.bench_function("table3_oxidase_calibration", |b| {
+        b.iter(|| bios_bench::table3::calibrate_oxidase_row(Oxidase::Glucose, black_box(row), 1, 7))
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_frontend_settling", |b| {
+        b.iter(bios_bench::fig1::frontend_settling_time)
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg =
+        bios_afe::ChainConfig::for_range(bios_afe::CurrentRange::oxidase()).expect("paper range");
+    c.bench_function("fig2_chain_acquisition", |b| {
+        b.iter(|| bios_bench::fig2::measure_chain("plain", black_box(cfg), 11))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("fig3_glucose_transient", |b| {
+        b.iter(|| bios_bench::fig3::run(3))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let platform = bios_bench::fig4::build_platform();
+    let sample = bios_bench::fig4::reference_sample();
+    c.bench_function("fig4_full_session", |b| {
+        b.iter(|| {
+            platform
+                .run_session(black_box(&sample), black_box(5))
+                .expect("session")
+        })
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    c.bench_function("a5_design_space_96_points", |b| {
+        b.iter(bios_bench::ablations::design_space)
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    // A6: one SWV scan.
+    let cell = Cell::builder(Electrode::paper_gold_we())
+        .build()
+        .expect("cell");
+    let couple = RedoxCouple::ferrocyanide();
+    let params = bios_electrochem::SwvParams::typical(Volts::new(0.53), Volts::new(-0.07));
+    c.bench_function("a6_swv_scan", |b| {
+        b.iter(|| {
+            bios_electrochem::simulate_swv(
+                black_box(&cell),
+                black_box(&couple),
+                Molar::from_millimolar(1.0),
+                Molar::ZERO,
+                black_box(&params),
+            )
+            .expect("simulation")
+        })
+    });
+    // Selectivity matrix (6 sessions).
+    let platform = bios_bench::fig4::build_platform();
+    c.bench_function("selectivity_matrix_6x6", |b| {
+        b.iter(|| platform.selectivity_matrix(black_box(3)).expect("matrix"))
+    });
+}
+
+fn bench_solver_kernels(c: &mut Criterion) {
+    // The diffusion stepper: 1000 implicit steps on an experiment-sized grid.
+    let d = DiffusionCoefficient::new(1e-5);
+    let dt = Seconds::new(0.01);
+    let grid = Grid::for_experiment(d, Seconds::new(10.0), dt).expect("grid");
+    c.bench_function("diffusion_1000_steps", |b| {
+        b.iter(|| {
+            let mut sim = DiffusionSim::new(
+                grid.clone(),
+                d,
+                d,
+                MolesPerCm3::new(1e-6),
+                MolesPerCm3::ZERO,
+                dt,
+            )
+            .expect("sim");
+            for _ in 0..1000 {
+                black_box(sim.step_with_rate_constants(black_box(1e2), black_box(1e-2)));
+            }
+        })
+    });
+
+    // A full reversible CV (the Randles–Ševčík validation workload).
+    let cell = Cell::builder(Electrode::paper_gold_we())
+        .build()
+        .expect("cell");
+    let couple = RedoxCouple::ferrocyanide();
+    let program = PotentialProgram::cyclic_single(
+        Volts::new(0.53),
+        Volts::new(-0.07),
+        VoltsPerSecond::from_millivolts_per_second(50.0),
+    );
+    let options = SimOptions {
+        dt: None,
+        include_charging: true,
+    };
+    c.bench_function("cv_reversible_full_cycle", |b| {
+        b.iter(|| {
+            simulate_cv_with(
+                black_box(&cell),
+                black_box(&couple),
+                Molar::from_millimolar(1.0),
+                Molar::ZERO,
+                black_box(&program),
+                options,
+            )
+            .expect("simulation")
+        })
+    });
+}
+
+criterion_group!(
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3, bench_fig1, bench_fig2, bench_fig3,
+        bench_fig4, bench_ablations, bench_extensions, bench_solver_kernels
+);
+criterion_main!(paper);

@@ -1,0 +1,33 @@
+//! Runs every reproduction experiment in sequence (the full EXPERIMENTS.md
+//! regeneration).
+fn main() {
+    bios_bench::banner("Table I — oxidase chronoamperometric working potentials (vs Ag/AgCl)");
+    print!("{}", bios_bench::table1::render(&bios_bench::table1::run()));
+    bios_bench::banner("Table II — cytochrome P450 reduction potentials (vs Ag/AgCl)");
+    print!("{}", bios_bench::table2::render(&bios_bench::table2::run()));
+    bios_bench::banner("Table III — metabolite biosensor performance");
+    print!(
+        "{}",
+        bios_bench::table3::render(&bios_bench::table3::run(3, 2011))
+    );
+    bios_bench::banner("Fig. 1 — potentiostat and transimpedance amplifier");
+    print!("{}", bios_bench::fig1::render());
+    bios_bench::banner("Fig. 2 — acquisition chain noise budget");
+    print!("{}", bios_bench::fig2::render(&bios_bench::fig2::run(8)));
+    bios_bench::banner("Fig. 3 — glucose biosensor time response");
+    let m = bios_bench::fig3::run(2011);
+    print!("{}", bios_bench::fig3::render(&m));
+    bios_bench::banner("Fig. 4 — five-WE multi-panel platform session");
+    let (platform, report) = bios_bench::fig4::run(2011);
+    print!("{}", bios_bench::fig4::render(&platform, &report));
+    bios_bench::banner("Ablations A1–A4, A6, A7");
+    print!("{}", bios_bench::ablations::render_all());
+    bios_bench::banner("Selectivity matrix (§II-B)");
+    let m = platform.selectivity_matrix(2025).expect("matrix");
+    print!("{}", m.render());
+    println!(
+        "false positives: {}   worst cross-response: {:.1}%",
+        m.false_positives(),
+        m.worst_cross_response() * 100.0
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 1 experiment (potentiostat + TIA behaviour).
+fn main() {
+    bios_bench::banner("Fig. 1 — potentiostat and transimpedance amplifier");
+    print!("{}", bios_bench::fig1::render());
+}

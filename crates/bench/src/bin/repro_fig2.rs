@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 2 experiment (full acquisition chain).
+fn main() {
+    bios_bench::banner("Fig. 2 — acquisition chain signal integrity and noise budget");
+    let results = bios_bench::fig2::run(8);
+    print!("{}", bios_bench::fig2::render(&results));
+}

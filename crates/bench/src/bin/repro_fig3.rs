@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 3 (glucose biosensor time response).
+fn main() {
+    bios_bench::banner("Fig. 3 — glucose biosensor time response");
+    let m = bios_bench::fig3::run(2011);
+    print!("{}", bios_bench::fig3::render(&m));
+}

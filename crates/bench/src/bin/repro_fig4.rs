@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 4 platform instance (5-WE biointerface).
+fn main() {
+    bios_bench::banner("Fig. 4 — five-working-electrode multi-panel platform session");
+    let (platform, report) = bios_bench::fig4::run(2011);
+    print!("{}", bios_bench::fig4::render(&platform, &report));
+}

@@ -1,0 +1,15 @@
+//! Ablation A2: electrode scaling (background current, response time).
+fn main() {
+    bios_bench::banner("A2 — microelectrode advantages");
+    let rows = bios_bench::ablations::microelectrode_sweep();
+    println!(
+        "{:>11} {:>16} {:>13}",
+        "area (mm²)", "background (nA)", "settling (s)"
+    );
+    for r in rows {
+        println!(
+            "{:>11.4} {:>16.3} {:>13.3}",
+            r.area_mm2, r.background_na, r.settling_s
+        );
+    }
+}

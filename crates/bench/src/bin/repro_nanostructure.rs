@@ -1,0 +1,14 @@
+//! Ablation A3: nanostructuring vs sensitivity.
+fn main() {
+    bios_bench::banner("A3 — nanostructuring vs glucose sensitivity");
+    let rows = bios_bench::ablations::nanostructure_sweep();
+    println!("{:>6} {:>18} {:>6}", "stack", "S (µA/(mM·cm²))", "gain");
+    for r in rows {
+        println!(
+            "{:>6} {:>18.2} {:>6.1}",
+            r.nanostructure.to_string(),
+            r.sensitivity,
+            r.gain
+        );
+    }
+}

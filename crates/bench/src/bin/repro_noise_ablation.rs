@@ -1,0 +1,7 @@
+//! Ablation A4: chopper/CDS conditioning vs LOD.
+fn main() {
+    bios_bench::banner("A4 — conditioning vs predicted glucose LOD (paper: 575 µM)");
+    for r in bios_bench::ablations::noise_ablation() {
+        println!("{:<14} {:>8.0} µM", r.label, r.lod_um);
+    }
+}

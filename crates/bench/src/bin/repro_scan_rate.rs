@@ -1,0 +1,18 @@
+//! Ablation A1: scan-rate accuracy (the paper's 20 mV/s guidance).
+fn main() {
+    bios_bench::banner("A1 — scan rate vs CYP peak position");
+    let rows = bios_bench::ablations::scan_rate_sweep();
+    println!(
+        "{:>10} {:>10} {:>9} {:>12}",
+        "v (mV/s)", "peak (mV)", "drift", "identified?"
+    );
+    for r in rows {
+        println!(
+            "{:>10.0} {:>10.0} {:>9.0} {:>12}",
+            r.rate_mv_s,
+            r.peak_mv,
+            r.drift_mv,
+            if r.still_identified { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! §II-B selectivity: the platform's stimulus × readout response matrix.
+fn main() {
+    bios_bench::banner("Selectivity matrix — one single-analyte session per target");
+    let platform = bios_bench::fig4::build_platform();
+    let m = platform.selectivity_matrix(2025).expect("matrix");
+    print!("{}", m.render());
+    println!(
+        "\nfalse positives: {}   worst cross-response: {:.1}% of own signal",
+        m.false_positives(),
+        m.worst_cross_response() * 100.0
+    );
+}

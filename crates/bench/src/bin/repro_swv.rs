@@ -1,0 +1,11 @@
+//! Extension A6: square-wave voltammetry vs CV detectability.
+fn main() {
+    bios_bench::banner("A6 — SWV vs CV signal-to-charging-background");
+    println!("{:>10} {:>10} {:>10}", "conc (µM)", "CV S/B", "SWV S/B");
+    for r in bios_bench::ablations::swv_advantage() {
+        println!(
+            "{:>10.0} {:>10.1} {:>10.1}",
+            r.conc_um, r.cv_signal_to_background, r.swv_signal_to_background
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table I (oxidase working potentials).
+fn main() {
+    bios_bench::banner("Table I — oxidase chronoamperometric working potentials (vs Ag/AgCl)");
+    let rows = bios_bench::table1::run();
+    print!("{}", bios_bench::table1::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table II (CYP450 reduction potentials).
+fn main() {
+    bios_bench::banner("Table II — cytochrome P450 reduction potentials (vs Ag/AgCl)");
+    let rows = bios_bench::table2::run();
+    print!("{}", bios_bench::table2::render(&rows));
+}

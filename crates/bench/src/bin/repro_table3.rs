@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table III (per-target biosensor performance).
+fn main() {
+    bios_bench::banner("Table III — metabolite biosensor performance (full calibration campaigns)");
+    let rows = bios_bench::table3::run(3, 2011);
+    print!("{}", bios_bench::table3::render(&rows));
+}

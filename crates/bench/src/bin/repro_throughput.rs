@@ -1,0 +1,46 @@
+//! §II-B sample throughput: repeated sample/wash cycles on the glucose WE.
+use bios_afe::{ChainConfig, CurrentRange, ReadoutChain};
+use bios_biochem::{Oxidase, OxidaseSensor};
+use bios_electrochem::Electrode;
+use bios_instrument::{run_injection_series, InjectionSchedule};
+use bios_units::{Molar, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    bios_bench::banner("Sample throughput — glucose WE, sample/wash cycles");
+    let sensor = OxidaseSensor::from_registry(Oxidase::Glucose)?;
+    let chain = ReadoutChain::new(ChainConfig::for_range(CurrentRange::oxidase())?);
+    let schedule = InjectionSchedule::sample_wash_cycles(
+        4,
+        Molar::from_millimolar(2.0),
+        Seconds::new(70.0),
+        Seconds::new(70.0),
+    )?;
+    let result = run_injection_series(
+        &sensor,
+        &Electrode::paper_gold_we(),
+        &chain,
+        &schedule,
+        Seconds::new(0.5),
+        2011,
+    )?;
+    println!(
+        "response t90 per injection (s): {:?}",
+        result
+            .response_times
+            .iter()
+            .map(|t| t.round())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "recovery t90 per wash (s):      {:?}",
+        result
+            .recovery_times
+            .iter()
+            .map(|t| t.round())
+            .collect::<Vec<_>>()
+    );
+    if let Some(tph) = result.throughput_per_hour {
+        println!("sample throughput: {tph:.0} samples/hour");
+    }
+    Ok(())
+}

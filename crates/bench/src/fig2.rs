@@ -1,0 +1,165 @@
+//! Fig. 2 reproduction: the complete biosensing acquisition chain
+//! (voltage generator → potentiostat → cell → readout → ADC), exercised
+//! end to end for signal integrity and noise budget, including the §II-C
+//! conditioning options (chopper, CDS).
+
+use bios_afe::{
+    ChainConfig, CorrelatedDoubleSampler, CurrentRange, MatchingQuality, NoiseConfig, ReadoutChain,
+};
+use bios_electrochem::PotentialProgram;
+use bios_units::{Amps, Seconds, Volts};
+
+/// One chain configuration's signal-integrity result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainResult {
+    /// Configuration label.
+    pub label: String,
+    /// Mean recovered current for a 500 nA DC input.
+    pub recovered: Amps,
+    /// Sample-to-sample noise SD.
+    pub noise_sd: Amps,
+}
+
+/// Flicker-dominated noise used for the ablation (scaled above the ADC LSB
+/// so the effects survive quantization).
+fn test_noise() -> NoiseConfig {
+    // Balanced so both low-frequency mechanisms matter over a 2-minute
+    // record: the drift walk accumulates to ≈11 nA, the flicker floor is
+    // of the same order — chopper attacks the flicker, CDS the drift.
+    NoiseConfig {
+        white_density: 2e-10,
+        flicker_density_1hz: 8e-9,
+        drift_per_sqrt_s: 1e-9,
+    }
+}
+
+/// Runs the chain in one configuration and measures recovery + noise.
+pub fn measure_chain(label: &str, config: ChainConfig, seed: u64) -> ChainResult {
+    let chain = ReadoutChain::new(config);
+    let truth = Amps::from_nanoamps(500.0);
+    let program = PotentialProgram::Hold {
+        potential: Volts::from_millivolts(650.0),
+        duration: Seconds::new(120.0),
+    };
+    let samples = chain
+        .acquire(
+            &program,
+            Seconds::from_millis(250.0),
+            seed,
+            move |_, _| truth,
+            |_, _| Amps::ZERO,
+        )
+        .expect("valid program");
+    let vals: Vec<f64> = samples.iter().skip(4).map(|s| s.current.value()).collect();
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let sd = (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt();
+    ChainResult {
+        label: label.to_string(),
+        recovered: Amps::new(mean),
+        noise_sd: Amps::new(sd),
+    }
+}
+
+/// Runs the four-way conditioning ablation, averaged over `runs` seeds.
+pub fn run(runs: u64) -> Vec<ChainResult> {
+    let base = ChainConfig::for_range(CurrentRange::oxidase())
+        .expect("paper range")
+        .with_noise(test_noise());
+    let configs: Vec<(&str, ChainConfig)> = vec![
+        ("plain", base),
+        ("chopper", base.with_chopper()),
+        (
+            "cds",
+            base.with_cds(CorrelatedDoubleSampler::new(MatchingQuality::Monolithic)),
+        ),
+        (
+            "chopper+cds",
+            base.with_chopper()
+                .with_cds(CorrelatedDoubleSampler::new(MatchingQuality::Monolithic)),
+        ),
+    ];
+    configs
+        .iter()
+        .map(|(label, cfg)| {
+            let mut acc_mean = 0.0;
+            let mut acc_sd = 0.0;
+            for r in 0..runs {
+                let res = measure_chain(label, *cfg, 500 + r * 37);
+                acc_mean += res.recovered.value();
+                acc_sd += res.noise_sd.value();
+            }
+            ChainResult {
+                label: label.to_string(),
+                recovered: Amps::new(acc_mean / runs as f64),
+                noise_sd: Amps::new(acc_sd / runs as f64),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 2 experiment report.
+pub fn render(results: &[ChainResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>14} {:>14} {:>10}\n",
+        "conditioning", "recovered", "noise SD", "vs plain"
+    ));
+    let plain_sd = results
+        .first()
+        .map(|r| r.noise_sd.value())
+        .unwrap_or(f64::NAN);
+    for r in results {
+        out.push_str(&format!(
+            "{:<14} {:>14} {:>14} {:>9.2}x\n",
+            r.label,
+            r.recovered.to_string(),
+            r.noise_sd.to_string(),
+            r.noise_sd.value() / plain_sd
+        ));
+    }
+    out.push_str("(500 nA DC truth through vgen → potentiostat → TIA → ADC)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configurations_recover_the_signal() {
+        for r in run(4) {
+            assert!(
+                (r.recovered.as_nanoamps() - 500.0).abs() < 25.0,
+                "{}: recovered {}",
+                r.label,
+                r.recovered
+            );
+        }
+    }
+
+    #[test]
+    fn conditioning_reduces_noise() {
+        let results = run(8);
+        let sd_of = |label: &str| {
+            results
+                .iter()
+                .find(|r| r.label == label)
+                .expect("configuration present")
+                .noise_sd
+                .value()
+        };
+        // Chopper kills the flicker component; CDS kills the drift; each
+        // alone leaves the other mechanism, together they beat everything.
+        assert!(sd_of("chopper") < sd_of("plain"), "chopper must help");
+        assert!(
+            sd_of("cds") < sd_of("plain") * 1.2,
+            "cds must not hurt much"
+        );
+        assert!(
+            sd_of("chopper+cds") < sd_of("plain") * 0.5,
+            "combined conditioning must clearly win: {} vs {}",
+            sd_of("chopper+cds"),
+            sd_of("plain")
+        );
+    }
+}

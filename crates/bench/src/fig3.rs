@@ -1,0 +1,106 @@
+//! Fig. 3 reproduction: the glucose biosensor's time response — "the
+//! signal takes around 30 seconds to reach the steady-state after an
+//! injection of the target molecule".
+
+use bios_afe::{ChainConfig, CurrentRange, ReadoutChain};
+use bios_biochem::{Oxidase, OxidaseSensor};
+use bios_electrochem::Electrode;
+use bios_instrument::{run_chrono, ChronoMeasurement, ChronoProtocol};
+use bios_units::{Molar, Seconds};
+
+/// Runs the Fig. 3 experiment: 2 mM glucose injected at t = 10 s.
+pub fn run(seed: u64) -> ChronoMeasurement {
+    let sensor = OxidaseSensor::from_registry(Oxidase::Glucose).expect("registry oxidase");
+    let electrode = Electrode::paper_gold_we();
+    let chain =
+        ReadoutChain::new(ChainConfig::for_range(CurrentRange::oxidase()).expect("paper range"));
+    let protocol = ChronoProtocol {
+        settle: Seconds::new(10.0),
+        measure: Seconds::new(80.0),
+        dt: Seconds::new(0.25),
+    };
+    run_chrono(
+        &sensor,
+        &electrode,
+        &chain,
+        Molar::from_millimolar(2.0),
+        &protocol,
+        seed,
+    )
+    .expect("valid protocol")
+}
+
+/// Renders the transient as an ASCII time-series plus the §II-B metrics.
+pub fn render(m: &ChronoMeasurement) -> String {
+    let mut out = String::new();
+    out.push_str("glucose biosensor time response (2 mM injection at t = 10 s):\n\n");
+    // Decimated ASCII profile.
+    let max_i = m.steady_state.value().max(1e-30);
+    for (t, i) in m.transient.iter() {
+        let frac = (t.value() / 0.25) as u64;
+        if !frac.is_multiple_of(20) {
+            continue; // one line per 5 s
+        }
+        let bars = ((i.value() / max_i).clamp(0.0, 1.2) * 50.0) as usize;
+        out.push_str(&format!(
+            "{:>5.0} s | {:<62} {:>10}\n",
+            t.value(),
+            "#".repeat(bars),
+            i.to_string()
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!("baseline        : {}\n", m.baseline));
+    out.push_str(&format!("steady state    : {}\n", m.steady_state));
+    if let Some(t90) = m.t90 {
+        out.push_str(&format!(
+            "t90             : {:.1} s   (paper Fig. 3: ≈30 s)\n",
+            t90.value()
+        ));
+    }
+    if let Some(tr) = m.transient_response_time {
+        out.push_str(&format!(
+            "(dI/dt)max time : {:.1} s after injection\n",
+            tr.value()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t90_is_about_30_seconds() {
+        let m = run(2011);
+        let t90 = m.t90.expect("response settles").value();
+        assert!((t90 - 30.0).abs() < 6.0, "t90 = {t90} s, paper shows ≈30 s");
+    }
+
+    #[test]
+    fn transient_time_precedes_t90() {
+        let m = run(7);
+        let tr = m.transient_response_time.expect("slope found").value();
+        let t90 = m.t90.expect("response settles").value();
+        assert!(tr < t90);
+        assert!(
+            tr > 1.0,
+            "the membrane delays the inflection past the first second"
+        );
+    }
+
+    #[test]
+    fn signal_rises_monotonically_after_injection() {
+        let m = run(3);
+        // Compare 5 s / 15 s / 40 s after injection.
+        let at = |t: f64| {
+            m.transient
+                .current_at(Seconds::new(10.0 + t))
+                .expect("sampled")
+                .value()
+        };
+        assert!(at(15.0) > at(5.0));
+        assert!(at(40.0) > at(15.0));
+    }
+}

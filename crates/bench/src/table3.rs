@@ -1,0 +1,321 @@
+//! Table III reproduction: sensitivity, LOD and linear range for all six
+//! functionalized electrodes, re-derived from full simulated calibration
+//! campaigns (blank replicates + concentration series through sensor, AFE
+//! and calibration statistics).
+
+use bios_afe::{ChainConfig, CurrentRange, ReadoutChain};
+use bios_biochem::{
+    tables::{PerformanceRow, ProbeRef},
+    Analyte, CypSensor, OxidaseSensor,
+};
+use bios_electrochem::Electrode;
+use bios_instrument::{
+    analyze_calibration, cathodic_segment, peak_readout, run_chrono, run_cv, CalibrationOutcome,
+    CalibrationPoint, ChronoProtocol, CvProtocol,
+};
+use bios_units::{Molar, QRange};
+
+/// One reproduced row of Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Target analyte.
+    pub target: Analyte,
+    /// Probe name.
+    pub probe: String,
+    /// Paper sensitivity, µA/(mM·cm²).
+    pub paper_sensitivity: f64,
+    /// Measured sensitivity, µA/(mM·cm²).
+    pub measured_sensitivity: f64,
+    /// Paper LOD, µM (`None` where the paper prints "—").
+    pub paper_lod_um: Option<f64>,
+    /// Measured LOD, µM.
+    pub measured_lod_um: f64,
+    /// Paper linear range, mM.
+    pub paper_range_mm: (f64, f64),
+    /// Measured linear range, mM.
+    pub measured_range_mm: (f64, f64),
+    /// Calibration R² over the measured linear range.
+    pub r2: f64,
+}
+
+/// The concentration series for a row: the paper's linear range plus two
+/// points beyond it, so the linear-range detector has saturation to find.
+fn series(row: &PerformanceRow) -> Vec<Molar> {
+    let range: QRange<Molar> = row.linear_range();
+    let mut concs = range.linspace(5);
+    concs.push(range.hi() * 1.6);
+    concs.push(range.hi() * 2.4);
+    concs
+}
+
+/// Replicate multiplier for low-SNR rows. The glutamate sensor's blank
+/// noise is comparable to its whole linear-range signal (its LOD of
+/// 1574 µM sits *above* the 500 µM range bottom in the paper's own data),
+/// so its slope needs more averaging than glucose's. Boost = ⌈(5/SNR)²⌉
+/// clamped to [1, 8], with SNR evaluated at the range midpoint.
+fn replicate_boost(row: &PerformanceRow) -> usize {
+    let c_mid = row.linear_range().midpoint().value();
+    let signal = row.sensitivity_si() * c_mid;
+    let snr = signal / row.blank_sd().value().max(1e-30);
+    ((5.0 / snr).powi(2).ceil() as usize).clamp(1, 8)
+}
+
+/// Calibrates one oxidase row through the chronoamperometric chain.
+///
+/// Blank responses are individual measurements (the LOD is a
+/// single-measurement statistic); concentration points average
+/// `replicates` runs for slope stability.
+pub fn calibrate_oxidase_row(
+    oxidase: bios_biochem::Oxidase,
+    row: &PerformanceRow,
+    replicates: usize,
+    seed: u64,
+) -> CalibrationOutcome {
+    let sensor = OxidaseSensor::from_registry(oxidase).expect("registry oxidase");
+    let electrode = Electrode::paper_gold_we();
+    let chain =
+        ReadoutChain::new(ChainConfig::for_range(CurrentRange::oxidase()).expect("paper range"));
+    let protocol = ChronoProtocol::default();
+
+    let blanks: Vec<f64> = (0..10)
+        .map(|k| {
+            run_chrono(
+                &sensor,
+                &electrode,
+                &chain,
+                Molar::ZERO,
+                &protocol,
+                seed + k,
+            )
+            .expect("valid protocol")
+            .delta()
+            .value()
+        })
+        .collect();
+    let points: Vec<CalibrationPoint> = series(row)
+        .iter()
+        .enumerate()
+        .map(|(j, c)| {
+            let mean = (0..replicates)
+                .map(|r| {
+                    run_chrono(
+                        &sensor,
+                        &electrode,
+                        &chain,
+                        *c,
+                        &protocol,
+                        seed + 100 + (j * replicates + r) as u64,
+                    )
+                    .expect("valid protocol")
+                    .delta()
+                    .value()
+                })
+                .sum::<f64>()
+                / replicates as f64;
+            CalibrationPoint {
+                concentration: *c,
+                response: mean,
+            }
+        })
+        .collect();
+    analyze_calibration(&blanks, &points, 0.10).expect("well-formed campaign")
+}
+
+/// Calibrates one cytochrome row through the CV chain using the linear
+/// [`peak_readout`] statistic at the drug's Table II potential.
+pub fn calibrate_cyp_row(
+    isoform: bios_biochem::CypIsoform,
+    target: Analyte,
+    row: &PerformanceRow,
+    replicates: usize,
+    seed: u64,
+) -> CalibrationOutcome {
+    let sensor = CypSensor::from_registry(isoform).expect("registry isoform");
+    let electrode = Electrode::paper_gold_we();
+    let range = CurrentRange::cytochrome().scaled(electrode.geometric_area().value());
+    let chain = ReadoutChain::new(ChainConfig::for_range(range).expect("range is realizable"));
+    let protocol = CvProtocol::default();
+    let expected = sensor
+        .nominal_peak_potential(target)
+        .expect("registered substrate");
+    let response_of = |m: &bios_instrument::CvMeasurement| {
+        let seg = cathodic_segment(&m.voltammogram);
+        peak_readout(&seg, expected)
+            .map(|a| a.value())
+            .unwrap_or(0.0)
+    };
+
+    let blanks: Vec<f64> = (0..10)
+        .map(|k| {
+            let m = run_cv(&sensor, &electrode, &chain, &[], &protocol, seed + k)
+                .expect("valid protocol");
+            response_of(&m)
+        })
+        .collect();
+    let points: Vec<CalibrationPoint> = series(row)
+        .iter()
+        .enumerate()
+        .map(|(j, c)| {
+            let mean = (0..replicates)
+                .map(|r| {
+                    let m = run_cv(
+                        &sensor,
+                        &electrode,
+                        &chain,
+                        &[(target, *c)],
+                        &protocol,
+                        seed + 100 + (j * replicates + r) as u64,
+                    )
+                    .expect("valid protocol");
+                    response_of(&m)
+                })
+                .sum::<f64>()
+                / replicates as f64;
+            CalibrationPoint {
+                concentration: *c,
+                response: mean,
+            }
+        })
+        .collect();
+    analyze_calibration(&blanks, &points, 0.10).expect("well-formed campaign")
+}
+
+/// Runs the full Table III reproduction with the given per-point replicate
+/// count (3 reproduces the paper comfortably; 1 is faster for benches).
+pub fn run(replicates: usize, seed: u64) -> Vec<Table3Row> {
+    let area = Electrode::paper_gold_we().geometric_area().value();
+    bios_biochem::tables::TABLE_III
+        .iter()
+        .enumerate()
+        .map(|(k, row)| {
+            let reps = replicates * replicate_boost(row);
+            let outcome = match row.probe {
+                ProbeRef::Oxidase(o) => calibrate_oxidase_row(o, row, reps, seed + 1000 * k as u64),
+                ProbeRef::Cytochrome(c) => {
+                    calibrate_cyp_row(c, row.target, row, reps, seed + 1000 * k as u64)
+                }
+            };
+            Table3Row {
+                target: row.target,
+                probe: row.probe.to_string(),
+                paper_sensitivity: row.sensitivity_ua_per_mm_cm2,
+                measured_sensitivity: outcome.fit.slope / area * 1e3,
+                paper_lod_um: row.lod_um,
+                measured_lod_um: outcome.lod.as_micromolar(),
+                paper_range_mm: (row.linear_lo_mm, row.linear_hi_mm),
+                measured_range_mm: (
+                    outcome.linear_range.lo().as_millimolar(),
+                    outcome.linear_range.hi().as_millimolar(),
+                ),
+                r2: outcome.fit.r2,
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows in the paper's format, paper value above measured.
+pub fn render(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<22} {:>18} {:>16} {:>19} {:>7}\n",
+        "Target", "Probe", "S (µA/(mM·cm²))", "LOD (µM)", "Linear range (mM)", "R²"
+    ));
+    for r in rows {
+        let paper_lod = r
+            .paper_lod_um
+            .map(|l| format!("{l:.0}"))
+            .unwrap_or_else(|| "—".to_string());
+        out.push_str(&format!(
+            "{:<14} {:<22} {:>8.2}/{:<8.2} {:>7}/{:<7.0} {:>7.2}-{:<4.2}/{:.2}-{:<5.2} {:>6.3}\n",
+            r.target.to_string().to_uppercase(),
+            r.probe,
+            r.paper_sensitivity,
+            r.measured_sensitivity,
+            paper_lod,
+            r.measured_lod_um,
+            r.paper_range_mm.0,
+            r.paper_range_mm.1,
+            r.measured_range_mm.0,
+            r.measured_range_mm.1,
+            r.r2,
+        ));
+    }
+    out.push_str("(each cell: paper/measured)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_biochem::tables::performance_of;
+
+    #[test]
+    fn sensitivities_match_within_20_percent() {
+        for r in run(3, 99) {
+            let rel = (r.measured_sensitivity - r.paper_sensitivity).abs() / r.paper_sensitivity;
+            assert!(
+                rel < 0.20,
+                "{}: measured {} vs paper {}",
+                r.target,
+                r.measured_sensitivity,
+                r.paper_sensitivity
+            );
+        }
+    }
+
+    #[test]
+    fn lods_match_within_a_factor_of_three() {
+        // The LOD is a statistic of 10 simulated blanks — factor-level
+        // agreement is the meaningful criterion.
+        for r in run(3, 123) {
+            if let Some(paper) = r.paper_lod_um {
+                let ratio = r.measured_lod_um / paper;
+                assert!(
+                    (0.33..3.0).contains(&ratio),
+                    "{}: measured {} µM vs paper {paper} µM",
+                    r.target,
+                    r.measured_lod_um
+                );
+            } else {
+                assert!(r.measured_lod_um > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_ordering_is_preserved() {
+        let rows = run(2, 7);
+        let s = |a: Analyte| {
+            rows.iter()
+                .find(|r| r.target == a)
+                .expect("all rows present")
+                .measured_sensitivity
+        };
+        assert!(s(Analyte::Cholesterol) > s(Analyte::Lactate));
+        assert!(s(Analyte::Lactate) > s(Analyte::Glucose));
+        assert!(s(Analyte::Glucose) > s(Analyte::Aminopyrine));
+        assert!(s(Analyte::Aminopyrine) > s(Analyte::Benzphetamine));
+    }
+
+    #[test]
+    fn linear_ranges_end_near_the_paper_values() {
+        for r in run(2, 55) {
+            // The measured top must be within the series granularity of the
+            // paper's (the detector can keep the 1.6×hi point when noise
+            // masks the ~14% saturation there, but never the 2.4× point).
+            assert!(
+                r.measured_range_mm.1 <= r.paper_range_mm.1 * 1.7,
+                "{}: linear top {} vs paper {}",
+                r.target,
+                r.measured_range_mm.1,
+                r.paper_range_mm.1
+            );
+        }
+    }
+
+    #[test]
+    fn registry_rows_cover_all_six_targets() {
+        assert!(performance_of(Analyte::Glucose).is_some());
+        assert_eq!(run(1, 1).len(), 6);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the biochemistry layer.
+
+use bios_units::Molar;
+
+/// Errors produced while configuring biochemical sensing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BiochemError {
+    /// A kinetic or geometric parameter was out of its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The requested enzyme does not act on the requested analyte.
+    UnsupportedAnalyte {
+        /// The probe that was asked.
+        probe: String,
+        /// The analyte it cannot sense.
+        analyte: String,
+    },
+    /// A concentration was outside the model's validity window.
+    ConcentrationOutOfRange {
+        /// The offending concentration.
+        value: Molar,
+        /// Human-readable bound description.
+        bound: String,
+    },
+}
+
+impl BiochemError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for BiochemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            Self::UnsupportedAnalyte { probe, analyte } => {
+                write!(f, "probe {probe} cannot sense analyte {analyte}")
+            }
+            Self::ConcentrationOutOfRange { value, bound } => {
+                write!(f, "concentration {value} outside model validity ({bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BiochemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BiochemError::invalid("km", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter km: must be positive");
+        let u = BiochemError::UnsupportedAnalyte {
+            probe: "GOD".into(),
+            analyte: "lactate".into(),
+        };
+        assert!(u.to_string().contains("GOD"));
+        assert!(u.to_string().contains("lactate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<BiochemError>();
+    }
+}

@@ -1,0 +1,150 @@
+//! Electroactive interferents: species that oxidize directly on a bare
+//! working electrode at sensing potentials.
+//!
+//! These are the reason the paper's §II-C blank-electrode CDS scheme exists
+//! — and the reason it fails for dopamine and etoposide, which show up on
+//! the blank electrode too.
+
+use crate::analyte::Analyte;
+use bios_units::{AmpsPerCm2, Molar, Volts};
+
+/// A direct-oxidation interferent model: a sigmoidal anodic wave that turns
+/// on above an onset potential.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Interferent {
+    analyte: Analyte,
+    onset: Volts,
+    /// Plateau sensitivity above the wave, A/(M·cm²).
+    sensitivity_si: f64,
+}
+
+impl Interferent {
+    /// The registry of common interferents with literature onset potentials
+    /// vs Ag/AgCl and plateau sensitivities.
+    pub fn registry() -> Vec<Interferent> {
+        vec![
+            Interferent {
+                analyte: Analyte::Ascorbate,
+                onset: Volts::new(0.20),
+                sensitivity_si: 8.0e-3,
+            },
+            Interferent {
+                analyte: Analyte::Dopamine,
+                onset: Volts::new(0.15),
+                sensitivity_si: 12.0e-3,
+            },
+            Interferent {
+                analyte: Analyte::Etoposide,
+                onset: Volts::new(0.25),
+                sensitivity_si: 5.0e-3,
+            },
+        ]
+    }
+
+    /// Looks up an interferent model by analyte.
+    pub fn of(analyte: Analyte) -> Option<Interferent> {
+        Self::registry().into_iter().find(|i| i.analyte == analyte)
+    }
+
+    /// The interfering species.
+    pub fn analyte(&self) -> Analyte {
+        self.analyte
+    }
+
+    /// Onset potential of the direct-oxidation wave.
+    pub fn onset(&self) -> Volts {
+        self.onset
+    }
+
+    /// Anodic current density contributed at electrode potential `e` and
+    /// interferent concentration `c` (zero below the onset, sigmoidal rise
+    /// over ≈100 mV, concentration-linear plateau).
+    pub fn current_density(&self, e: Volts, c: Molar) -> AmpsPerCm2 {
+        if c.value() <= 0.0 {
+            return AmpsPerCm2::ZERO;
+        }
+        let x = (e.value() - self.onset.value()) / 0.03; // 30 mV logistic scale
+        let gate = 1.0 / (1.0 + (-x.clamp(-60.0, 60.0)).exp());
+        AmpsPerCm2::new(self.sensitivity_si * c.value() * gate)
+    }
+
+    /// Whether this species also appears on an enzyme-free blank electrode,
+    /// defeating blank-subtraction CDS (paper §II-C: true for all direct
+    /// oxidizers — that is what makes them pernicious).
+    pub fn defeats_blank_subtraction(&self) -> bool {
+        self.analyte.oxidizes_directly()
+    }
+}
+
+/// Selectivity coefficient of a sensor against an interferent: the ratio of
+/// the interferent's current contribution to the target's, at equal
+/// concentrations and the sensing potential (IUPAC amperometric selectivity).
+pub fn selectivity_coefficient(
+    target_sensitivity_si: f64,
+    interferent: &Interferent,
+    at_potential: Volts,
+) -> f64 {
+    let unit_c = Molar::from_millimolar(1.0);
+    let j_int = interferent.current_density(at_potential, unit_c).value();
+    let j_tgt = target_sensitivity_si * unit_c.value();
+    if j_tgt == 0.0 {
+        f64::INFINITY
+    } else {
+        j_int / j_tgt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_papers_warnings() {
+        let names: Vec<Analyte> = Interferent::registry()
+            .iter()
+            .map(|i| i.analyte())
+            .collect();
+        assert!(names.contains(&Analyte::Dopamine));
+        assert!(names.contains(&Analyte::Etoposide));
+        assert!(names.contains(&Analyte::Ascorbate));
+        assert!(Interferent::of(Analyte::Glucose).is_none());
+    }
+
+    #[test]
+    fn wave_is_off_below_onset_and_linear_above() {
+        let asc = Interferent::of(Analyte::Ascorbate).expect("registry");
+        let c = Molar::from_millimolar(0.05);
+        let below = asc.current_density(Volts::new(-0.2), c);
+        assert!(below.value() < 1e-9 * asc.sensitivity_si);
+        let j1 = asc.current_density(Volts::new(0.65), c);
+        let j2 = asc.current_density(Volts::new(0.65), c * 2.0);
+        assert!(j1.value() > 0.0);
+        assert!((j2.value() / j1.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_direct_oxidizers_defeat_cds() {
+        for i in Interferent::registry() {
+            assert!(i.defeats_blank_subtraction(), "{}", i.analyte());
+        }
+    }
+
+    #[test]
+    fn ascorbate_interferes_with_oxidase_readout() {
+        // At +650 mV the ascorbate wave is fully on; against glucose's
+        // 27.7 µA/(mM·cm²) its 8 µA/(mM·cm²) means a ~0.29 selectivity
+        // coefficient — significant, as in real sensors.
+        let asc = Interferent::of(Analyte::Ascorbate).expect("registry");
+        let k = selectivity_coefficient(27.7e-3, &asc, Volts::new(0.65));
+        assert!((k - 8.0 / 27.7).abs() < 0.01, "k = {k}");
+    }
+
+    #[test]
+    fn cathodic_cyp_window_avoids_anodic_interferents() {
+        // At −400 mV (CYP11A1 cholesterol peak) the interferent waves are off.
+        for i in Interferent::registry() {
+            let j = i.current_density(Volts::new(-0.4), Molar::from_millimolar(0.1));
+            assert!(j.value() < 1e-12, "{} leaks {j:?}", i.analyte());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the biochemistry layer.
+
+use bios_biochem::{
+    Analyte, CypIsoform, CypSensor, Membrane, MichaelisMenten, OneCompartmentPk, Oxidase,
+    OxidaseSensor, Route,
+};
+use bios_units::{
+    Centimeters, DiffusionCoefficient, Liters, Molar, Moles, Seconds, Volts, VoltsPerSecond, T_ROOM,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Michaelis–Menten linear-limit inversion round-trips for any Km/tol.
+    #[test]
+    fn mm_linear_limit_round_trips(km_mm in 0.01f64..1000.0, tol in 0.01f64..0.9) {
+        let mm = MichaelisMenten::new(Molar::from_millimolar(km_mm)).expect("valid");
+        let c_max = mm.linear_limit(tol);
+        let back = MichaelisMenten::from_linear_limit(c_max, tol);
+        prop_assert!((back.km().value() - mm.km().value()).abs() / mm.km().value() < 1e-9);
+    }
+
+    /// Saturation is monotone and bounded for all oxidase sensors.
+    #[test]
+    fn oxidase_response_monotone(c1_mm in 0.0f64..50.0, dc_mm in 0.001f64..50.0, pick in 0usize..4) {
+        let sensor = OxidaseSensor::from_registry(Oxidase::ALL[pick]).expect("registry");
+        let j1 = sensor.steady_current_density(Molar::from_millimolar(c1_mm));
+        let j2 = sensor.steady_current_density(Molar::from_millimolar(c1_mm + dc_mm));
+        prop_assert!(j2.value() > j1.value());
+        // Bounded by S·Km (the Vmax current).
+        let vmax = sensor.sensitivity_si() * sensor.kinetics().km().value();
+        prop_assert!(j2.value() < vmax);
+    }
+
+    /// Membrane step response is a valid CDF-like curve for any geometry.
+    #[test]
+    fn membrane_response_is_cdf(l_um in 10.0f64..500.0, d_exp in -7.0f64..-5.0, t in 0.0f64..500.0) {
+        let m = Membrane::new(
+            Centimeters::from_micrometers(l_um),
+            DiffusionCoefficient::new(10f64.powf(d_exp)),
+        ).expect("valid");
+        let r = m.step_response(Seconds::new(t));
+        prop_assert!((0.0..=1.0).contains(&r));
+        let r_later = m.step_response(Seconds::new(t + 1.0));
+        prop_assert!(r_later >= r - 1e-12);
+    }
+
+    /// Transient response always lies between the two steady states.
+    #[test]
+    fn oxidase_transient_is_bounded(
+        c0_mm in 0.0f64..5.0,
+        c1_mm in 0.0f64..5.0,
+        t in 0.0f64..200.0,
+    ) {
+        let s = OxidaseSensor::from_registry(Oxidase::Glucose).expect("registry");
+        let (c0, c1) = (Molar::from_millimolar(c0_mm), Molar::from_millimolar(c1_mm));
+        let j = s.transient_current_density(c0, c1, Seconds::new(t)).value();
+        let j0 = s.steady_current_density(c0).value();
+        let j1 = s.steady_current_density(c1).value();
+        let (lo, hi) = if j0 <= j1 { (j0, j1) } else { (j1, j0) };
+        prop_assert!(j >= lo - 1e-15 && j <= hi + 1e-15);
+    }
+
+    /// CYP cathodic current is monotone in each substrate's concentration at
+    /// its own peak potential.
+    #[test]
+    fn cyp_peak_current_monotone(c_mm in 0.05f64..8.0, factor in 1.1f64..3.0) {
+        let s = CypSensor::from_registry(CypIsoform::Cyp2B4).expect("registry");
+        let rate = VoltsPerSecond::from_millivolts_per_second(20.0);
+        let e = Volts::new(-0.25);
+        let j = |c: f64| {
+            s.current_density(e, rate, false, &[(Analyte::Benzphetamine, Molar::from_millimolar(c))], T_ROOM)
+                .value()
+        };
+        prop_assert!(j(c_mm * factor) < j(c_mm), "more drug, more cathodic");
+    }
+
+    /// PK concentration is non-negative and eventually decays.
+    #[test]
+    fn pk_concentration_sane(
+        dose_mmol in 1.0f64..100.0,
+        vol_l in 5.0f64..100.0,
+        ka in 1e-5f64..1e-3,
+        ke_frac in 0.01f64..0.9,
+    ) {
+        let ke = ka * ke_frac; // ke < ka, avoids the degenerate case
+        let pk = OneCompartmentPk::new(
+            Moles::from_millimoles(dose_mmol),
+            Liters::new(vol_l),
+            Route::Oral,
+            ka,
+            ke,
+        ).expect("valid");
+        let t_peak = pk.time_to_peak();
+        prop_assert!(t_peak.value() > 0.0);
+        let c_peak = pk.concentration(t_peak);
+        prop_assert!(c_peak.value() >= 0.0);
+        // Ten half-lives after the peak the drug is mostly gone.
+        let late = Seconds::new(t_peak.value() + 10.0 * pk.half_life().value());
+        prop_assert!(pk.concentration(late).value() < 0.01 * c_peak.value().max(1e-30));
+    }
+
+    /// Peak-shift (Laviron) drift is zero below the critical rate and
+    /// monotone above it.
+    #[test]
+    fn laviron_drift_monotone(v1 in 0.031f64..0.2, dv in 0.01f64..0.5) {
+        let s = CypSensor::from_registry(CypIsoform::Cyp1A2).expect("registry");
+        let slow = s.peak_potential(Analyte::Clozapine, VoltsPerSecond::new(0.02), T_ROOM).expect("substrate");
+        let nominal = s.nominal_peak_potential(Analyte::Clozapine).expect("substrate");
+        prop_assert_eq!(slow, nominal);
+        let p1 = s.peak_potential(Analyte::Clozapine, VoltsPerSecond::new(v1), T_ROOM).expect("substrate");
+        let p2 = s.peak_potential(Analyte::Clozapine, VoltsPerSecond::new(v1 + dv), T_ROOM).expect("substrate");
+        prop_assert!(p2.value() < p1.value(), "faster scan drifts more cathodic");
+        prop_assert!(p1.value() < nominal.value());
+    }
+}

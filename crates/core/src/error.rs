@@ -1,0 +1,119 @@
+//! Error type for the platform layer.
+
+use bios_biochem::Analyte;
+
+/// Errors produced while assembling or running a biosensing platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// A configuration parameter was out of its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// No registered probe can sense the requested analyte.
+    NoProbeFor(Analyte),
+    /// The panel was empty.
+    EmptyPanel,
+    /// A component could not satisfy the panel's requirements.
+    Infeasible {
+        /// Which requirement failed.
+        requirement: String,
+    },
+    /// The underlying instrument layer failed.
+    Instrument(bios_instrument::InstrumentError),
+    /// The underlying AFE layer failed.
+    Afe(bios_afe::AfeError),
+    /// The underlying biochemistry layer failed.
+    Biochem(bios_biochem::BiochemError),
+}
+
+impl PlatformError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            Self::NoProbeFor(a) => write!(f, "no registered probe senses {a}"),
+            Self::EmptyPanel => write!(f, "panel has no targets"),
+            Self::Infeasible { requirement } => {
+                write!(f, "design cannot satisfy requirement: {requirement}")
+            }
+            Self::Instrument(e) => write!(f, "instrument error: {e}"),
+            Self::Afe(e) => write!(f, "afe error: {e}"),
+            Self::Biochem(e) => write!(f, "biochemistry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Instrument(e) => Some(e),
+            Self::Afe(e) => Some(e),
+            Self::Biochem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bios_instrument::InstrumentError> for PlatformError {
+    fn from(e: bios_instrument::InstrumentError) -> Self {
+        Self::Instrument(e)
+    }
+}
+
+impl From<bios_afe::AfeError> for PlatformError {
+    fn from(e: bios_afe::AfeError) -> Self {
+        Self::Afe(e)
+    }
+}
+
+impl From<bios_biochem::BiochemError> for PlatformError {
+    fn from(e: bios_biochem::BiochemError) -> Self {
+        Self::Biochem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PlatformError::NoProbeFor(Analyte::Dopamine)
+            .to_string()
+            .contains("dopamine"));
+        assert_eq!(
+            PlatformError::EmptyPanel.to_string(),
+            "panel has no targets"
+        );
+        let i = PlatformError::Infeasible {
+            requirement: "LOD 1 µM for glucose".to_string(),
+        };
+        assert!(i.to_string().contains("LOD"));
+    }
+
+    #[test]
+    fn error_is_send_sync_with_sources() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<PlatformError>();
+        use std::error::Error;
+        let wrapped: PlatformError = bios_afe::AfeError::BadChannel {
+            requested: 1,
+            available: 0,
+        }
+        .into();
+        assert!(wrapped.source().is_some());
+    }
+}

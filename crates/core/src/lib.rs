@@ -1,0 +1,64 @@
+//! `bios-platform` — the DATE 2011 paper's contribution: platform-based
+//! design of integrated multi-target electrochemical biosensors.
+//!
+//! The paper proposes "the use of a platform, i.e., a restriction of the
+//! design space to the use of a small number of parametrized components, to
+//! cope with the design of integrated multiple-target biosensors" (§I).
+//! This crate implements that idea end to end:
+//!
+//! * [`PanelSpec`] — *what to sense*: targets with LOD/range requirements;
+//! * [`PlatformBuilder`] — probe selection (oxidase vs cytochrome,
+//!   multi-target grouping), sensor [`SensorStructure`] choice including
+//!   the quantitative cross-talk/chamber decision
+//!   ([`crosstalk_fraction`]), and readout-chain instantiation;
+//! * [`Platform`] — the runnable Fig. 4-style instance: multiplexed
+//!   [`Schedule`], full-session simulation
+//!   ([`Platform::run_session`]) and a [`PlatformCost`] summary;
+//! * [`explore`] / [`DesignSpace`] — design-space exploration with
+//!   analytic LOD prediction ([`predict_lod`]) and Pareto filtering
+//!   ([`pareto_front`]).
+//!
+//! # Example: the paper's Fig. 4 platform in four lines
+//!
+//! ```
+//! use bios_biochem::Analyte;
+//! use bios_platform::{PanelSpec, PlatformBuilder};
+//! use bios_units::Molar;
+//!
+//! # fn main() -> Result<(), bios_platform::PlatformError> {
+//! let platform = PlatformBuilder::new(PanelSpec::paper_fig4()).build()?;
+//! let sample = [(Analyte::Glucose, Molar::from_millimolar(3.0))];
+//! let report = platform.run_session(&sample, 42)?;
+//! assert!(report.reading_for(Analyte::Glucose).expect("on panel").identified);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod chamber;
+mod cost;
+mod error;
+mod explore;
+mod platform;
+mod report;
+mod requirements;
+mod schedule;
+mod selectivity;
+mod structure;
+
+pub use builder::{PlatformBuilder, ProbePreference};
+pub use chamber::{crosstalk_fraction, minimum_pitch, needs_chambers, CAPTURE_EFFICIENCY, D_H2O2};
+pub use cost::{electronics_budget, PlatformCost, ReadoutSharing};
+pub use error::PlatformError;
+pub use explore::{
+    evaluate, explore, pareto_front, predict_lod, probes_for_point, DesignPoint, DesignSpace,
+    EvaluatedDesign,
+};
+pub use platform::{Platform, SensorModel, SessionReport, TargetReading, WeAssignment};
+pub use requirements::{PanelSpec, TargetSpec};
+pub use schedule::{Schedule, ScheduleSlot};
+pub use selectivity::SelectivityMatrix;
+pub use structure::SensorStructure;

@@ -1,0 +1,749 @@
+//! The assembled platform: working electrodes, shared readout, scheduling
+//! and full-session simulation — the running version of the paper's Fig. 4.
+
+use crate::cost::{electronics_budget, PlatformCost, ReadoutSharing};
+use crate::error::PlatformError;
+use crate::schedule::Schedule;
+use crate::structure::SensorStructure;
+use bios_afe::{AnalogMux, ReadoutChain};
+use bios_biochem::Interferent;
+use bios_biochem::{Analyte, CypSensor, MichaelisMenten, OxidaseSensor, Probe, Technique};
+use bios_electrochem::{Electrode, PotentialProgram};
+use bios_instrument::{
+    calibrate_chrono, calibrate_cv, run_chrono_with_interferents, run_cv, ChronoProtocol,
+    CvProtocol, PerformanceReport,
+};
+use bios_units::{Amps, Molar, Seconds};
+
+/// The sensing model behind one working electrode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensorModel {
+    /// Chronoamperometric oxidase sensor.
+    Oxidase(OxidaseSensor),
+    /// Voltammetric cytochrome P450 sensor.
+    Cytochrome(CypSensor),
+}
+
+/// One working electrode with its probe and targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeAssignment {
+    index: usize,
+    probe: Probe,
+    targets: Vec<Analyte>,
+    electrode: Electrode,
+    sensor: SensorModel,
+}
+
+impl WeAssignment {
+    pub(crate) fn new(
+        index: usize,
+        probe: Probe,
+        targets: Vec<Analyte>,
+        electrode: Electrode,
+        sensor: SensorModel,
+    ) -> Self {
+        Self {
+            index,
+            probe,
+            targets,
+            electrode,
+            sensor,
+        }
+    }
+
+    /// The working-electrode index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The biological probe on this electrode.
+    pub fn probe(&self) -> Probe {
+        self.probe
+    }
+
+    /// The analytes read from this electrode.
+    pub fn targets(&self) -> &[Analyte] {
+        &self.targets
+    }
+
+    /// The physical electrode.
+    pub fn electrode(&self) -> &Electrode {
+        &self.electrode
+    }
+
+    /// The readout technique this electrode uses.
+    pub fn technique(&self) -> Technique {
+        self.probe.technique()
+    }
+
+    /// The sensing model.
+    pub fn sensor(&self) -> &SensorModel {
+        &self.sensor
+    }
+}
+
+/// One analyte reading out of a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetReading {
+    /// The analyte.
+    pub analyte: Analyte,
+    /// Which working electrode produced it.
+    pub we: usize,
+    /// The raw analytical response (ΔI for chrono, peak height for CV).
+    pub response: Amps,
+    /// Concentration estimate from the registry calibration; `None` when
+    /// the sensor saturated or nothing was detected.
+    pub estimated: Option<Molar>,
+    /// Whether the signal cleared the 3σ detection threshold (and, for CV,
+    /// the signature matched).
+    pub identified: bool,
+}
+
+/// The outcome of one full measurement session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    readings: Vec<TargetReading>,
+    schedule: Schedule,
+}
+
+impl SessionReport {
+    /// All readings in measurement order.
+    pub fn readings(&self) -> &[TargetReading] {
+        &self.readings
+    }
+
+    /// The reading for one analyte, if it was on the panel.
+    pub fn reading_for(&self, analyte: Analyte) -> Option<&TargetReading> {
+        self.readings.iter().find(|r| r.analyte == analyte)
+    }
+
+    /// The executed schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Total session duration.
+    pub fn total_duration(&self) -> Seconds {
+        self.schedule.total_duration()
+    }
+
+    /// Worst relative concentration error against a ground-truth sample
+    /// (readings without an estimate count as 100% error; truths of zero
+    /// are skipped).
+    pub fn worst_relative_error(&self, truth: &[(Analyte, Molar)]) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (analyte, c_true) in truth {
+            if c_true.value() <= 0.0 {
+                continue;
+            }
+            let err = match self.reading_for(*analyte).and_then(|r| r.estimated) {
+                Some(est) => ((est.value() - c_true.value()) / c_true.value()).abs(),
+                None => 1.0,
+            };
+            worst = worst.max(err);
+        }
+        worst
+    }
+}
+
+/// A fully assembled multi-target biosensing platform.
+///
+/// Built by [`PlatformBuilder`](crate::PlatformBuilder); see there for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    assignments: Vec<WeAssignment>,
+    structure: SensorStructure,
+    mux: AnalogMux,
+    chrono_chain: ReadoutChain,
+    cv_chain: ReadoutChain,
+    chrono_protocol: ChronoProtocol,
+    cv_protocol: CvProtocol,
+    sharing: ReadoutSharing,
+    chopper: bool,
+    cds: bool,
+}
+
+impl Platform {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        assignments: Vec<WeAssignment>,
+        structure: SensorStructure,
+        mux: AnalogMux,
+        chrono_chain: ReadoutChain,
+        cv_chain: ReadoutChain,
+        chrono_protocol: ChronoProtocol,
+        cv_protocol: CvProtocol,
+        sharing: ReadoutSharing,
+        chopper: bool,
+        cds: bool,
+    ) -> Self {
+        Self {
+            assignments,
+            structure,
+            mux,
+            chrono_chain,
+            cv_chain,
+            chrono_protocol,
+            cv_protocol,
+            sharing,
+            chopper,
+            cds,
+        }
+    }
+
+    /// The working-electrode assignments.
+    pub fn assignments(&self) -> &[WeAssignment] {
+        &self.assignments
+    }
+
+    /// The physical sensor structure.
+    pub fn structure(&self) -> SensorStructure {
+        self.structure
+    }
+
+    /// The readout-sharing strategy.
+    pub fn sharing(&self) -> ReadoutSharing {
+        self.sharing
+    }
+
+    /// The chronoamperometry protocol in force.
+    pub fn chrono_protocol(&self) -> &ChronoProtocol {
+        &self.chrono_protocol
+    }
+
+    /// The CV protocol in force.
+    pub fn cv_protocol(&self) -> &CvProtocol {
+        &self.cv_protocol
+    }
+
+    /// The duration of one measurement on an assignment.
+    pub fn measurement_duration(&self, assignment: &WeAssignment) -> Seconds {
+        match &assignment.sensor {
+            SensorModel::Oxidase(_) => Seconds::new(
+                self.chrono_protocol.settle.value() + self.chrono_protocol.measure.value(),
+            ),
+            SensorModel::Cytochrome(sensor) => {
+                let (start, vertex) = sensor.recommended_window();
+                PotentialProgram::cyclic_single(start, vertex, self.cv_protocol.scan_rate)
+                    .duration()
+            }
+        }
+    }
+
+    /// The session schedule under the configured sharing strategy.
+    pub fn schedule(&self) -> Schedule {
+        let measurements: Vec<(usize, Technique, Seconds)> = self
+            .assignments
+            .iter()
+            .map(|a| (a.index, a.technique(), self.measurement_duration(a)))
+            .collect();
+        match self.sharing {
+            ReadoutSharing::Shared => Schedule::sequential(&measurements, &self.mux),
+            ReadoutSharing::Dedicated => Schedule::parallel(&measurements),
+        }
+    }
+
+    /// Runs one full measurement session against a sample.
+    ///
+    /// The sample is a list of true analyte concentrations; analytes not
+    /// listed are absent (zero). Returns per-target readings with
+    /// registry-calibration concentration estimates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if any underlying measurement fails.
+    pub fn run_session(
+        &self,
+        sample: &[(Analyte, Molar)],
+        seed: u64,
+    ) -> Result<SessionReport, PlatformError> {
+        // Electroactive species in the sample interfere with the anodic
+        // (oxidase) readouts; the cathodic CYP window sits below their
+        // onset potentials.
+        let interferents: Vec<(Interferent, Molar)> = sample
+            .iter()
+            .filter_map(|(a, c)| Interferent::of(*a).map(|i| (i, *c)))
+            .collect();
+        let mut readings = Vec::new();
+        for assignment in &self.assignments {
+            let we_seed = seed.wrapping_add(17 * (assignment.index as u64 + 1));
+            match &assignment.sensor {
+                SensorModel::Oxidase(sensor) => {
+                    let analyte = assignment.targets[0];
+                    let c = concentration_of(sample, analyte);
+                    let m = run_chrono_with_interferents(
+                        sensor,
+                        &assignment.electrode,
+                        &self.chrono_chain,
+                        c,
+                        &interferents,
+                        &self.chrono_protocol,
+                        we_seed,
+                    )?;
+                    let response = m.delta();
+                    let area = assignment.electrode.geometric_area().value();
+                    let threshold = 3.0 * sensor.blank_sd().value() * area;
+                    let estimated = invert_mm(
+                        response.value(),
+                        area,
+                        sensor.sensitivity_si(),
+                        sensor.kinetics(),
+                    );
+                    readings.push(TargetReading {
+                        analyte,
+                        we: assignment.index,
+                        response,
+                        estimated,
+                        identified: response.value() > threshold,
+                    });
+                }
+                SensorModel::Cytochrome(sensor) => {
+                    let concs: Vec<(Analyte, Molar)> = assignment
+                        .targets
+                        .iter()
+                        .map(|a| (*a, concentration_of(sample, *a)))
+                        .collect();
+                    let m = run_cv(
+                        sensor,
+                        &assignment.electrode,
+                        &self.cv_chain,
+                        &concs,
+                        &self.cv_protocol,
+                        we_seed,
+                    )?;
+                    let area = assignment.electrode.geometric_area().value();
+                    for analyte in &assignment.targets {
+                        let height = m.peak_height(*analyte);
+                        let response = height.unwrap_or(Amps::ZERO);
+                        let threshold = 3.0
+                            * sensor
+                                .blank_sd(*analyte)
+                                .expect("assigned targets are registered")
+                                .value()
+                            * area;
+                        let kinetics = sensor
+                            .kinetics(*analyte)
+                            .expect("assigned targets are registered");
+                        let s_si = sensor
+                            .sensitivity_si(*analyte)
+                            .expect("assigned targets are registered");
+                        let estimated =
+                            height.and_then(|h| invert_mm(h.value(), area, s_si, kinetics));
+                        readings.push(TargetReading {
+                            analyte: *analyte,
+                            we: assignment.index,
+                            response,
+                            estimated,
+                            identified: height.is_some() && response.value() > threshold,
+                        });
+                    }
+                }
+            }
+        }
+        // Merge replicate readings of the same analyte (redundant WEs):
+        // responses average (uncorrelated noise shrinks by √n), a majority
+        // of replicates must agree for identification, and the estimate is
+        // re-derived from the averaged response.
+        let mut merged: Vec<TargetReading> = Vec::new();
+        for r in &readings {
+            if merged.iter().any(|m| m.analyte == r.analyte) {
+                continue;
+            }
+            let group: Vec<&TargetReading> =
+                readings.iter().filter(|x| x.analyte == r.analyte).collect();
+            if group.len() == 1 {
+                merged.push(*r);
+                continue;
+            }
+            let mean_response = Amps::new(
+                group.iter().map(|x| x.response.value()).sum::<f64>() / group.len() as f64,
+            );
+            let votes = group.iter().filter(|x| x.identified).count();
+            let estimates: Vec<f64> = group
+                .iter()
+                .filter_map(|x| x.estimated.map(|c| c.value()))
+                .collect();
+            merged.push(TargetReading {
+                analyte: r.analyte,
+                we: r.we,
+                response: mean_response,
+                estimated: (!estimates.is_empty())
+                    .then(|| Molar::new(estimates.iter().sum::<f64>() / estimates.len() as f64)),
+                identified: 2 * votes > group.len(),
+            });
+        }
+        Ok(SessionReport {
+            readings: merged,
+            schedule: self.schedule(),
+        })
+    }
+
+    /// Self-characterizes every working electrode with a full calibration
+    /// campaign (blank replicates plus a concentration series over the
+    /// registry linear range), returning one Table III-style
+    /// [`PerformanceReport`] per target.
+    ///
+    /// This is what a manufactured platform's acceptance test would run.
+    /// With `n_blanks` around 6–10 the LODs carry the usual small-sample
+    /// scatter; the concentration series uses 6 points per target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if any underlying campaign fails.
+    pub fn calibrate(
+        &self,
+        n_blanks: usize,
+        seed: u64,
+    ) -> Result<Vec<PerformanceReport>, PlatformError> {
+        let mut reports = Vec::new();
+        for assignment in &self.assignments {
+            let we_seed = seed.wrapping_add(1009 * (assignment.index as u64 + 1));
+            let area = assignment.electrode.geometric_area();
+            match &assignment.sensor {
+                SensorModel::Oxidase(sensor) => {
+                    let analyte = assignment.targets[0];
+                    let concs = series_for(analyte);
+                    let outcome = calibrate_chrono(
+                        sensor,
+                        &assignment.electrode,
+                        &self.chrono_chain,
+                        &concs,
+                        n_blanks,
+                        &self.chrono_protocol,
+                        we_seed,
+                    )?;
+                    reports.push(
+                        PerformanceReport::from_calibration(
+                            analyte.to_string(),
+                            assignment.probe.to_string(),
+                            Technique::Chronoamperometry.to_string(),
+                            &outcome,
+                            area,
+                        )
+                        .with_timing(sensor.response_time_t90(), self.chrono_protocol.settle),
+                    );
+                }
+                SensorModel::Cytochrome(sensor) => {
+                    for (j, analyte) in assignment.targets.iter().enumerate() {
+                        let concs = series_for(*analyte);
+                        let outcome = calibrate_cv(
+                            sensor,
+                            &assignment.electrode,
+                            &self.cv_chain,
+                            *analyte,
+                            &concs,
+                            n_blanks,
+                            &self.cv_protocol,
+                            we_seed.wrapping_add(j as u64),
+                        )?;
+                        reports.push(PerformanceReport::from_calibration(
+                            analyte.to_string(),
+                            assignment.probe.to_string(),
+                            Technique::CyclicVoltammetry.to_string(),
+                            &outcome,
+                            area,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// The platform's cost summary.
+    pub fn cost(&self) -> PlatformCost {
+        let n_we = self.assignments.len();
+        let adc_bits = self.chrono_chain.config().adc.bits();
+        let budget = electronics_budget(n_we, self.sharing, adc_bits, self.chopper, self.cds);
+        let we_area = self
+            .assignments
+            .first()
+            .map(|a| a.electrode.geometric_area())
+            .unwrap_or_else(|| Electrode::paper_gold_we().geometric_area());
+        PlatformCost::assemble(
+            &budget,
+            we_area,
+            self.structure.total_electrodes(),
+            self.structure.chambers(),
+            self.schedule().total_duration(),
+        )
+    }
+}
+
+/// Inverts the calibrated Michaelis–Menten response `r = A·S·Km·sat(C)` to
+/// a concentration. Returns `None` when saturated (≥98% of Vmax) and
+/// clamps negative responses to zero concentration.
+fn invert_mm(response: f64, area_cm2: f64, s_si: f64, kinetics: &MichaelisMenten) -> Option<Molar> {
+    let vmax = area_cm2 * s_si * kinetics.km().value();
+    if vmax <= 0.0 {
+        return None;
+    }
+    let x = response / vmax;
+    if x <= 0.0 {
+        return Some(Molar::ZERO);
+    }
+    if x >= 0.98 {
+        return None;
+    }
+    Some(Molar::new(kinetics.km().value() * x / (1.0 - x)))
+}
+
+/// The calibration concentration series for an analyte: six points over
+/// its registry (Table III) linear range, falling back to the typical
+/// physiological range for unregistered targets.
+fn series_for(analyte: Analyte) -> Vec<Molar> {
+    let range = bios_biochem::tables::performance_of(analyte)
+        .map(|row| row.linear_range())
+        .unwrap_or_else(|| analyte.typical_range());
+    range.linspace(6)
+}
+
+fn concentration_of(sample: &[(Analyte, Molar)], analyte: Analyte) -> Molar {
+    sample
+        .iter()
+        .find(|(a, _)| *a == analyte)
+        .map(|(_, c)| *c)
+        .unwrap_or(Molar::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::requirements::{PanelSpec, TargetSpec};
+
+    fn fig4() -> Platform {
+        PlatformBuilder::new(PanelSpec::paper_fig4())
+            .build()
+            .expect("build")
+    }
+
+    fn fig4_sample() -> Vec<(Analyte, Molar)> {
+        vec![
+            (Analyte::Glucose, Molar::from_millimolar(3.0)),
+            (Analyte::Lactate, Molar::from_millimolar(1.5)),
+            // Above the glutamate sensor's 1.57 mM LOD (paper Table III).
+            (Analyte::Glutamate, Molar::from_millimolar(3.0)),
+            (Analyte::Benzphetamine, Molar::from_millimolar(0.8)),
+            (Analyte::Aminopyrine, Molar::from_millimolar(4.0)),
+            (Analyte::Cholesterol, Molar::from_micromolar(50.0)),
+        ]
+    }
+
+    #[test]
+    fn session_reads_all_six_targets() {
+        let p = fig4();
+        let report = p.run_session(&fig4_sample(), 42).expect("session");
+        assert_eq!(report.readings().len(), 6);
+        for r in report.readings() {
+            assert!(r.identified, "{} not identified", r.analyte);
+        }
+    }
+
+    #[test]
+    fn session_estimates_are_in_the_right_ballpark() {
+        let p = fig4();
+        let sample = fig4_sample();
+        let report = p.run_session(&sample, 7).expect("session");
+        // Glucose at 3 mM with σ_b-level noise: within ~35%.
+        let glucose = report
+            .reading_for(Analyte::Glucose)
+            .expect("on panel")
+            .estimated
+            .expect("not saturated");
+        assert!(
+            (glucose.as_millimolar() - 3.0).abs() < 1.0,
+            "glucose estimate {glucose}"
+        );
+        // Aminopyrine at 4 mM: generous band, CV peak readout is noisier.
+        let amino = report
+            .reading_for(Analyte::Aminopyrine)
+            .expect("on panel")
+            .estimated
+            .expect("not saturated");
+        assert!(
+            (amino.as_millimolar() - 4.0).abs() < 2.0,
+            "aminopyrine estimate {amino}"
+        );
+    }
+
+    #[test]
+    fn absent_analytes_are_not_identified() {
+        let p = fig4();
+        // Only glucose present.
+        let sample = vec![(Analyte::Glucose, Molar::from_millimolar(3.0))];
+        let report = p.run_session(&sample, 3).expect("session");
+        let benz = report
+            .reading_for(Analyte::Benzphetamine)
+            .expect("on panel");
+        assert!(!benz.identified, "absent drug flagged as identified");
+        let glucose = report.reading_for(Analyte::Glucose).expect("on panel");
+        assert!(glucose.identified);
+    }
+
+    #[test]
+    fn shared_schedule_is_sum_of_measurements() {
+        let p = fig4();
+        let s = p.schedule();
+        assert_eq!(s.slots().len(), 5);
+        assert!(!s.has_overlap());
+        // 3 chrono at 70 s + 2 CVs (window-dependent) — minutes total.
+        assert!(s.total_duration().value() > 250.0, "{}", s.total_duration());
+    }
+
+    #[test]
+    fn dedicated_sharing_shortens_session() {
+        let shared = fig4();
+        let dedicated = PlatformBuilder::new(PanelSpec::paper_fig4())
+            .with_sharing(ReadoutSharing::Dedicated)
+            .build()
+            .expect("build");
+        assert!(
+            dedicated.schedule().total_duration().value()
+                < shared.schedule().total_duration().value() / 2.0
+        );
+        // ... at a higher electronics cost.
+        assert!(dedicated.cost().power.value() > 2.0 * shared.cost().power.value());
+    }
+
+    #[test]
+    fn worst_relative_error_metric() {
+        let p = fig4();
+        let sample = fig4_sample();
+        let report = p.run_session(&sample, 42).expect("session");
+        let err = report.worst_relative_error(&sample);
+        assert!(err < 1.0, "worst error {err}");
+        // Perfect self-comparison: estimated vs estimated → mid errors.
+        assert!(err >= 0.0);
+    }
+
+    #[test]
+    fn redundancy_averages_down_the_noise() {
+        use crate::builder::PlatformBuilder;
+        let mut panel = PanelSpec::new();
+        panel.push(TargetSpec::typical(Analyte::Glucose));
+        let single = PlatformBuilder::new(panel.clone()).build().expect("build");
+        let triple = PlatformBuilder::new(panel)
+            .with_redundancy(3)
+            .build()
+            .expect("build");
+        assert_eq!(single.structure().working_electrodes(), 1);
+        assert_eq!(triple.structure().working_electrodes(), 3);
+
+        // Replicate sessions: the tripled platform's response scatter must
+        // shrink by roughly √3.
+        let sample = [(Analyte::Glucose, Molar::from_millimolar(2.0))];
+        let scatter = |p: &Platform, base: u64| {
+            let vals: Vec<f64> = (0..12)
+                .map(|k| {
+                    p.run_session(&sample, base + k)
+                        .expect("session")
+                        .reading_for(Analyte::Glucose)
+                        .expect("on panel")
+                        .response
+                        .value()
+                })
+                .collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let s1 = scatter(&single, 100);
+        let s3 = scatter(&triple, 500);
+        assert!(
+            s3 < 0.8 * s1,
+            "redundancy must reduce scatter: {s3} vs {s1}"
+        );
+        // And a session still reports exactly one merged glucose reading.
+        let report = triple.run_session(&sample, 9).expect("session");
+        assert_eq!(report.readings().len(), 1);
+        assert!(report.readings()[0].identified);
+    }
+
+    #[test]
+    fn self_calibration_produces_six_reports() {
+        let p = fig4();
+        let reports = p.calibrate(6, 314).expect("calibration");
+        assert_eq!(reports.len(), 6, "one report per target");
+        for r in &reports {
+            assert!(r.sensitivity_ua_per_mm_cm2 > 0.0, "{}", r.target);
+            assert!(r.lod_um > 0.0, "{}", r.target);
+        }
+        // Oxidase reports carry timing; CYP reports do not.
+        let glucose = reports
+            .iter()
+            .find(|r| r.target == "glucose")
+            .expect("present");
+        assert!(glucose.t90.is_some());
+        assert!(glucose.throughput_per_hour.expect("timing set") > 10.0);
+        let chol = reports
+            .iter()
+            .find(|r| r.target == "cholesterol")
+            .expect("present");
+        assert!(chol.t90.is_none());
+        // Sensitivities land near the registry (wide band: quick campaign).
+        assert!(
+            (glucose.sensitivity_ua_per_mm_cm2 - 27.7).abs() / 27.7 < 0.4,
+            "glucose S {}",
+            glucose.sensitivity_ua_per_mm_cm2
+        );
+    }
+
+    #[test]
+    fn sample_interferents_bias_oxidase_wes_and_cds_restores() {
+        // Ascorbate in the sample leaks into every anodic reading unless
+        // the platform was built with blank-electrode CDS — §II-C end to
+        // end at the platform level.
+        let mut panel = PanelSpec::new();
+        panel.push(TargetSpec::typical(Analyte::Glucose));
+        let sample_clean = vec![(Analyte::Glucose, Molar::from_millimolar(3.0))];
+        let sample_dirty = vec![
+            (Analyte::Glucose, Molar::from_millimolar(3.0)),
+            (Analyte::Ascorbate, Molar::from_millimolar(1.0)),
+        ];
+        let plain = PlatformBuilder::new(panel.clone()).build().expect("build");
+        let with_cds = PlatformBuilder::new(panel)
+            .with_cds(true)
+            .build()
+            .expect("build");
+
+        let read = |p: &Platform, s: &[(Analyte, Molar)]| {
+            p.run_session(s, 8)
+                .expect("session")
+                .reading_for(Analyte::Glucose)
+                .expect("on panel")
+                .response
+                .value()
+        };
+        let clean = read(&plain, &sample_clean);
+        let dirty = read(&plain, &sample_dirty);
+        // 1 mM ascorbate at 8 µA/(mM·cm²) on 0.0023 cm² ≈ 18 nA of bias.
+        assert!(dirty - clean > 10e-9, "bias {}", dirty - clean);
+        let corrected = read(&with_cds, &sample_dirty);
+        let clean_cds = read(&with_cds, &sample_clean);
+        assert!(
+            (corrected - clean_cds).abs() < 5e-9,
+            "cds residual {}",
+            corrected - clean_cds
+        );
+    }
+
+    #[test]
+    fn mm_inversion_round_trips() {
+        let kinetics = MichaelisMenten::new(Molar::from_millimolar(36.0)).expect("valid");
+        let area = 0.0023;
+        let s = 27.7e-3;
+        for c_mm in [0.5, 2.0, 4.0, 10.0] {
+            let c = Molar::from_millimolar(c_mm);
+            let r = area * s * kinetics.km().value() * kinetics.saturation(c);
+            let back = invert_mm(r, area, s, &kinetics).expect("not saturated");
+            assert!(
+                (back.as_millimolar() - c_mm).abs() < 1e-9,
+                "{c_mm} mM → {back}"
+            );
+        }
+        // Saturation returns None; negatives clamp to zero.
+        assert_eq!(invert_mm(-1e-9, area, s, &kinetics), Some(Molar::ZERO));
+        assert_eq!(invert_mm(1.0, area, s, &kinetics), None);
+    }
+}

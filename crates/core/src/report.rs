@@ -1,0 +1,78 @@
+//! Human-readable platform datasheets.
+
+use crate::platform::{Platform, SensorModel};
+use core::fmt::Write as _;
+
+impl Platform {
+    /// Renders a datasheet: structure, per-WE assignments, readout
+    /// configuration, schedule and cost — the §III "platform example"
+    /// description as text.
+    pub fn datasheet(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== advdiag platform datasheet ===");
+        let _ = writeln!(out, "structure     : {}", self.structure());
+        let _ = writeln!(out, "readout       : {}", self.sharing());
+        let _ = writeln!(out, "working electrodes:");
+        for a in self.assignments() {
+            let technique = a.technique();
+            let targets: Vec<String> = a.targets().iter().map(|t| t.to_string()).collect();
+            let extra = match a.sensor() {
+                SensorModel::Oxidase(s) => format!(
+                    "bias {} | t90 {:.0} s",
+                    s.applied_potential(),
+                    s.response_time_t90().value()
+                ),
+                SensorModel::Cytochrome(s) => {
+                    let (start, vertex) = s.recommended_window();
+                    format!("sweep {start} → {vertex}")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  WE{}: {:<22} [{}] via {technique} ({extra})",
+                a.index(),
+                a.probe().to_string(),
+                targets.join(", "),
+            );
+        }
+        let schedule = self.schedule();
+        let _ = writeln!(
+            out,
+            "session       : {} slots, {:.0} s total",
+            schedule.slots().len(),
+            schedule.total_duration().value()
+        );
+        let cost = self.cost();
+        let _ = writeln!(
+            out,
+            "cost          : {} | {:.2} mm² total ({} electrodes, {} chamber(s))",
+            cost.power,
+            cost.total_area_mm2(),
+            cost.electrodes,
+            cost.chambers
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::PlatformBuilder;
+    use crate::requirements::PanelSpec;
+
+    #[test]
+    fn datasheet_mentions_all_wes_and_costs() {
+        let p = PlatformBuilder::new(PanelSpec::paper_fig4())
+            .build()
+            .expect("build");
+        let sheet = p.datasheet();
+        assert!(sheet.contains("5-WE"));
+        for we in ["WE0", "WE1", "WE2", "WE3", "WE4"] {
+            assert!(sheet.contains(we), "missing {we} in:\n{sheet}");
+        }
+        assert!(sheet.contains("glucose"));
+        assert!(sheet.contains("CYP2B4"));
+        assert!(sheet.contains("session"));
+        assert!(sheet.contains("cost"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Measurement scheduling: how the mux walks the working electrodes
+//! ("it is necessary to multiplex the signal of the working electrodes, in
+//! order to activate them sequentially" — paper §III).
+
+use bios_afe::AnalogMux;
+use bios_biochem::Technique;
+use bios_units::Seconds;
+
+/// One scheduled measurement slot.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScheduleSlot {
+    /// Working-electrode index.
+    pub we: usize,
+    /// Slot start time from session begin.
+    pub start: Seconds,
+    /// Measurement duration.
+    pub duration: Seconds,
+    /// The technique used in this slot.
+    pub technique: Technique,
+}
+
+impl ScheduleSlot {
+    /// The slot's end time.
+    pub fn end(&self) -> Seconds {
+        self.start + self.duration
+    }
+}
+
+/// A sequential session schedule.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Schedule {
+    slots: Vec<ScheduleSlot>,
+    total: Seconds,
+}
+
+impl Schedule {
+    /// Builds a sequential schedule: each `(we, technique, duration)` runs
+    /// in turn with the mux's acquisition delay between slots.
+    pub fn sequential(measurements: &[(usize, Technique, Seconds)], mux: &AnalogMux) -> Self {
+        let gap = mux.acquisition_delay();
+        let mut slots = Vec::with_capacity(measurements.len());
+        let mut clock = Seconds::ZERO;
+        for (k, (we, technique, duration)) in measurements.iter().enumerate() {
+            if k > 0 {
+                clock += gap;
+            }
+            slots.push(ScheduleSlot {
+                we: *we,
+                start: clock,
+                duration: *duration,
+                technique: *technique,
+            });
+            clock += *duration;
+        }
+        Self {
+            slots,
+            total: clock,
+        }
+    }
+
+    /// Builds a parallel schedule (dedicated chains): all slots start at
+    /// zero; the session lasts as long as the longest measurement.
+    pub fn parallel(measurements: &[(usize, Technique, Seconds)]) -> Self {
+        let slots: Vec<ScheduleSlot> = measurements
+            .iter()
+            .map(|(we, technique, duration)| ScheduleSlot {
+                we: *we,
+                start: Seconds::ZERO,
+                duration: *duration,
+                technique: *technique,
+            })
+            .collect();
+        let total = slots
+            .iter()
+            .map(|s| s.duration)
+            .fold(Seconds::ZERO, Seconds::max);
+        Self { slots, total }
+    }
+
+    /// The slots in execution order.
+    pub fn slots(&self) -> &[ScheduleSlot] {
+        &self.slots
+    }
+
+    /// Total session duration.
+    pub fn total_duration(&self) -> Seconds {
+        self.total
+    }
+
+    /// Whether any two slots overlap (never true for sequential schedules).
+    pub fn has_overlap(&self) -> bool {
+        for (i, a) in self.slots.iter().enumerate() {
+            for b in &self.slots[i + 1..] {
+                if a.start.value() < b.end().value() && b.start.value() < a.end().value() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux() -> AnalogMux {
+        AnalogMux::typical_cmos(5).expect("valid")
+    }
+
+    fn fig4_measurements() -> Vec<(usize, Technique, Seconds)> {
+        vec![
+            (0, Technique::Chronoamperometry, Seconds::new(70.0)), // glucose
+            (1, Technique::Chronoamperometry, Seconds::new(70.0)), // lactate
+            (2, Technique::Chronoamperometry, Seconds::new(70.0)), // glutamate
+            (3, Technique::CyclicVoltammetry, Seconds::new(55.0)), // CYP2B4
+            (4, Technique::CyclicVoltammetry, Seconds::new(65.0)), // CYP11A1
+        ]
+    }
+
+    #[test]
+    fn sequential_schedule_is_gapless_up_to_mux_delay() {
+        let s = Schedule::sequential(&fig4_measurements(), &mux());
+        assert_eq!(s.slots().len(), 5);
+        assert!(!s.has_overlap());
+        // Total ≈ sum of durations + 4 mux delays (µs-scale).
+        let sum: f64 = fig4_measurements().iter().map(|m| m.2.value()).sum();
+        assert!((s.total_duration().value() - sum).abs() < 0.01);
+        // Slots are ordered and contiguous.
+        for pair in s.slots().windows(2) {
+            assert!(pair[1].start.value() >= pair[0].end().value());
+        }
+    }
+
+    #[test]
+    fn parallel_schedule_is_max_duration() {
+        let s = Schedule::parallel(&fig4_measurements());
+        assert!((s.total_duration().value() - 70.0).abs() < 1e-9);
+        assert!(s.has_overlap());
+    }
+
+    #[test]
+    fn sharing_trades_time_for_hardware() {
+        // The quantitative version of the paper's resource-sharing
+        // discussion: mux sharing stretches the session ~5×.
+        let seq = Schedule::sequential(&fig4_measurements(), &mux());
+        let par = Schedule::parallel(&fig4_measurements());
+        assert!(seq.total_duration().value() > 4.0 * par.total_duration().value());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::sequential(&[], &mux());
+        assert!(s.slots().is_empty());
+        assert_eq!(s.total_duration(), Seconds::ZERO);
+        assert!(!s.has_overlap());
+    }
+}

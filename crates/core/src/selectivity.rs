@@ -1,0 +1,191 @@
+//! Platform-level selectivity characterization (paper §II-B:
+//! "Selectivity. It measures the ability to discriminate between different
+//! substances").
+//!
+//! One single-analyte session per panel target yields a stimulus×readout
+//! response matrix; a selective platform is diagonally dominant — each
+//! analyte lights up its own channel and nothing else.
+
+use crate::error::PlatformError;
+use crate::platform::Platform;
+use bios_biochem::Analyte;
+use bios_units::Molar;
+use core::fmt::Write as _;
+
+/// The cross-response matrix of a platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectivityMatrix {
+    analytes: Vec<Analyte>,
+    /// `responses[i][j]`: channel `j`'s response (A) when only analyte `i`
+    /// is present.
+    responses: Vec<Vec<f64>>,
+    /// `identified[i][j]`: whether channel `j` claimed a detection.
+    identified: Vec<Vec<bool>>,
+}
+
+impl SelectivityMatrix {
+    /// The panel analytes, in matrix order.
+    pub fn analytes(&self) -> &[Analyte] {
+        &self.analytes
+    }
+
+    /// The response of channel `readout` to a sample containing only
+    /// `stimulus`.
+    pub fn response(&self, stimulus: Analyte, readout: Analyte) -> Option<f64> {
+        let i = self.analytes.iter().position(|a| *a == stimulus)?;
+        let j = self.analytes.iter().position(|a| *a == readout)?;
+        Some(self.responses[i][j])
+    }
+
+    /// Whether channel `readout` flagged a detection under `stimulus` only.
+    pub fn identified(&self, stimulus: Analyte, readout: Analyte) -> Option<bool> {
+        let i = self.analytes.iter().position(|a| *a == stimulus)?;
+        let j = self.analytes.iter().position(|a| *a == readout)?;
+        Some(self.identified[i][j])
+    }
+
+    /// Worst off-diagonal false-positive: the largest off-diagonal response
+    /// relative to that channel's own diagonal response.
+    pub fn worst_cross_response(&self) -> f64 {
+        let n = self.analytes.len();
+        let mut worst: f64 = 0.0;
+        for j in 0..n {
+            let own = self.responses[j][j].abs().max(1e-30);
+            for i in 0..n {
+                if i != j {
+                    worst = worst.max(self.responses[i][j].abs() / own);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Number of off-diagonal false detections.
+    pub fn false_positives(&self) -> usize {
+        let n = self.analytes.len();
+        let mut count = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.identified[i][j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Renders the matrix with `x` marking detections.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:<15}", "stimulus \\ ch");
+        for a in &self.analytes {
+            let _ = write!(out, "{:>14.13}", a.to_string());
+        }
+        out.push('\n');
+        for (i, a) in self.analytes.iter().enumerate() {
+            let _ = write!(out, "{:<15}", a.to_string());
+            for j in 0..self.analytes.len() {
+                let mark = if self.identified[i][j] { "x" } else { "" };
+                let _ = write!(
+                    out,
+                    "{:>12.2e}{:1}{}",
+                    self.responses[i][j],
+                    mark,
+                    if mark.is_empty() { " " } else { "" }
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Platform {
+    /// Measures the full selectivity matrix: one session per panel target,
+    /// each with that analyte alone at a firmly detectable concentration —
+    /// the top of its registry linear range or twice its LOD, whichever is
+    /// larger (the glutamate sensor's LOD sits *above* its linear-range
+    /// midpoint in the paper's own data).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] if any session fails.
+    pub fn selectivity_matrix(&self, seed: u64) -> Result<SelectivityMatrix, PlatformError> {
+        let analytes: Vec<Analyte> = self
+            .assignments()
+            .iter()
+            .flat_map(|a| a.targets().iter().copied())
+            .collect();
+        let mut responses = Vec::with_capacity(analytes.len());
+        let mut identified = Vec::with_capacity(analytes.len());
+        for (i, stimulus) in analytes.iter().enumerate() {
+            let c = bios_biochem::tables::performance_of(*stimulus)
+                .map(|row| {
+                    let hi = row.linear_range().hi();
+                    let lod_floor = row.lod().map(|l| l * 2.0).unwrap_or(Molar::ZERO);
+                    hi.max(lod_floor)
+                })
+                .unwrap_or_else(|| stimulus.typical_range().midpoint());
+            let sample: Vec<(Analyte, Molar)> = vec![(*stimulus, c)];
+            let report = self.run_session(&sample, seed.wrapping_add(31 * i as u64))?;
+            let mut row_r = Vec::with_capacity(analytes.len());
+            let mut row_i = Vec::with_capacity(analytes.len());
+            for readout in &analytes {
+                let reading = report.reading_for(*readout).expect("panel target");
+                row_r.push(reading.response.value());
+                row_i.push(reading.identified);
+            }
+            responses.push(row_r);
+            identified.push(row_i);
+        }
+        Ok(SelectivityMatrix {
+            analytes,
+            responses,
+            identified,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlatformBuilder;
+    use crate::requirements::PanelSpec;
+
+    #[test]
+    fn fig4_platform_is_diagonally_selective() {
+        let p = PlatformBuilder::new(PanelSpec::paper_fig4())
+            .build()
+            .expect("build");
+        let m = p.selectivity_matrix(2025).expect("matrix");
+        assert_eq!(m.analytes().len(), 6);
+        // Every diagonal entry identified.
+        for a in m.analytes() {
+            assert_eq!(m.identified(*a, *a), Some(true), "{a} missed itself");
+        }
+        // No off-diagonal false positives across enzyme families.
+        assert_eq!(m.false_positives(), 0, "{}", m.render());
+        // The worst cross-response stays below 40% of a channel's own
+        // signal (blank noise on low-SNR channels like glutamate sets the
+        // floor; the enzymes themselves do not cross-react).
+        assert!(m.worst_cross_response() < 0.4, "{}", m.render());
+    }
+
+    #[test]
+    fn render_contains_all_targets() {
+        let p = PlatformBuilder::new(PanelSpec::paper_fig4())
+            .build()
+            .expect("build");
+        let m = p.selectivity_matrix(4).expect("matrix");
+        let shown = m.render();
+        for a in m.analytes() {
+            assert!(shown.contains(&a.to_string()[..5.min(a.to_string().len())]));
+        }
+        assert!(
+            m.response(Analyte::Glucose, Analyte::Glucose)
+                .expect("present")
+                > 0.0
+        );
+        assert!(m.response(Analyte::Dopamine, Analyte::Glucose).is_none());
+    }
+}

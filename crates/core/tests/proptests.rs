@@ -1,0 +1,144 @@
+//! Property-based tests for the platform layer.
+
+use bios_biochem::Analyte;
+use bios_electrochem::Nanostructure;
+use bios_platform::{
+    crosstalk_fraction, explore, minimum_pitch, pareto_front, DesignPoint, DesignSpace, PanelSpec,
+    PlatformBuilder, ProbePreference, ReadoutSharing, Schedule, TargetSpec,
+};
+use bios_units::{Centimeters, Seconds};
+use proptest::prelude::*;
+
+fn arbitrary_panel() -> impl Strategy<Value = PanelSpec> {
+    // Subsets of the sensable analytes, always non-empty.
+    let sensable = [
+        Analyte::Glucose,
+        Analyte::Lactate,
+        Analyte::Glutamate,
+        Analyte::Cholesterol,
+        Analyte::Benzphetamine,
+        Analyte::Aminopyrine,
+        Analyte::Clozapine,
+        Analyte::Lidocaine,
+    ];
+    prop::collection::vec(0usize..sensable.len(), 1..6).prop_map(move |idxs| {
+        idxs.into_iter()
+            .map(|i| TargetSpec::typical(sensable[i]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every valid panel builds, covers all its targets, and schedules
+    /// without overlap under shared readout.
+    #[test]
+    fn any_panel_builds_and_covers_targets(panel in arbitrary_panel()) {
+        let targets: Vec<Analyte> = panel.targets().iter().map(|t| t.analyte).collect();
+        let p = PlatformBuilder::new(panel).build().expect("build");
+        for t in &targets {
+            let covered = p
+                .assignments()
+                .iter()
+                .any(|a| a.targets().contains(t));
+            prop_assert!(covered, "target {t} not covered");
+        }
+        // WEs never exceed targets.
+        prop_assert!(p.assignments().len() <= targets.len());
+        let s = p.schedule();
+        prop_assert!(!s.has_overlap());
+        prop_assert_eq!(s.slots().len(), p.assignments().len());
+    }
+
+    /// Cross-talk is monotone decreasing in pitch and the minimum pitch is
+    /// the exact boundary.
+    #[test]
+    fn crosstalk_monotonicity(
+        p1_mm in 0.05f64..5.0,
+        dp_mm in 0.01f64..5.0,
+        t in 5.0f64..1000.0,
+        tol in 0.0005f64..0.049,
+    ) {
+        let t = Seconds::new(t);
+        let f1 = crosstalk_fraction(Centimeters::from_millimeters(p1_mm), t);
+        let f2 = crosstalk_fraction(Centimeters::from_millimeters(p1_mm + dp_mm), t);
+        prop_assert!(f2 <= f1);
+        let pmin = minimum_pitch(t, tol);
+        if pmin.value() > 0.0 {
+            let at_boundary = crosstalk_fraction(pmin, t);
+            prop_assert!((at_boundary - tol).abs() < tol * 1e-6);
+        }
+    }
+
+    /// Pareto marking is sound: no marked design is dominated by another
+    /// feasible design, and at least one feasible design is marked.
+    #[test]
+    fn pareto_soundness(seed in 0u64..50) {
+        // A small deterministic space (vary by seed through bit choices).
+        let bits = 10 + (seed % 3) as u8 * 2;
+        let space = DesignSpace {
+            nanostructures: vec![Nanostructure::None, Nanostructure::CarbonNanotubes],
+            sharing: vec![ReadoutSharing::Shared, ReadoutSharing::Dedicated],
+            chopper: vec![false, true],
+            cds: vec![false],
+            adc_bits: vec![bits],
+            preferences: vec![ProbePreference::MinimizeElectrodes],
+        };
+        let designs = explore(&PanelSpec::paper_fig4(), &space).expect("explore");
+        let feasible: Vec<_> = designs.iter().filter(|d| d.feasible).collect();
+        if !feasible.is_empty() {
+            prop_assert!(designs.iter().any(|d| d.pareto));
+        }
+        for d in designs.iter().filter(|d| d.pareto) {
+            for other in &designs {
+                if other.feasible && !std::ptr::eq(d, other) {
+                    let dominates = other.cost.scalar() <= d.cost.scalar()
+                        && other.worst_lod_margin >= d.worst_lod_margin
+                        && (other.cost.scalar() < d.cost.scalar()
+                            || other.worst_lod_margin > d.worst_lod_margin);
+                    prop_assert!(!dominates);
+                }
+            }
+        }
+    }
+
+    /// Re-running pareto_front is idempotent.
+    #[test]
+    fn pareto_idempotent(_x in 0..5) {
+        let point = DesignPoint {
+            nanostructure: Nanostructure::CarbonNanotubes,
+            sharing: ReadoutSharing::Shared,
+            chopper: false,
+            cds: false,
+            adc_bits: 12,
+            preference: ProbePreference::MinimizeElectrodes,
+        };
+        let mut designs = vec![
+            bios_platform::evaluate(&PanelSpec::paper_fig4(), &point).expect("evaluate"),
+        ];
+        pareto_front(&mut designs);
+        let once: Vec<bool> = designs.iter().map(|d| d.pareto).collect();
+        pareto_front(&mut designs);
+        let twice: Vec<bool> = designs.iter().map(|d| d.pareto).collect();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Sequential schedules conserve total time; parallel ones take the max.
+    #[test]
+    fn schedule_time_arithmetic(durations in prop::collection::vec(1.0f64..200.0, 1..8)) {
+        let mux = bios_afe::AnalogMux::typical_cmos(durations.len()).expect("valid");
+        let ms: Vec<(usize, bios_biochem::Technique, Seconds)> = durations
+            .iter()
+            .enumerate()
+            .map(|(k, d)| (k, bios_biochem::Technique::Chronoamperometry, Seconds::new(*d)))
+            .collect();
+        let seq = Schedule::sequential(&ms, &mux);
+        let par = Schedule::parallel(&ms);
+        let sum: f64 = durations.iter().sum();
+        let max = durations.iter().fold(0.0f64, |a, b| a.max(*b));
+        prop_assert!((seq.total_duration().value() - sum).abs() < 0.01);
+        prop_assert!((par.total_duration().value() - max).abs() < 1e-9);
+        prop_assert!(!seq.has_overlap());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the electrochemistry engine.
+
+/// Errors produced while configuring or running electrochemical simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElectrochemError {
+    /// A physical parameter was out of its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The requested simulation would produce no samples.
+    EmptyProgram,
+    /// The spatial grid could not resolve the diffusion layer.
+    GridTooCoarse {
+        /// Requested node count.
+        nodes: usize,
+        /// Minimum node count for the requested accuracy.
+        minimum: usize,
+    },
+    /// The tridiagonal system was singular.
+    SingularSystem,
+}
+
+impl ElectrochemError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for ElectrochemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            Self::EmptyProgram => write!(f, "potential program produces no samples"),
+            Self::GridTooCoarse { nodes, minimum } => write!(
+                f,
+                "spatial grid of {nodes} nodes cannot resolve the diffusion layer (need at least {minimum})"
+            ),
+            Self::SingularSystem => write!(f, "tridiagonal diffusion system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for ElectrochemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ElectrochemError::invalid("k0", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter k0: must be positive");
+        assert!(ElectrochemError::EmptyProgram
+            .to_string()
+            .contains("no samples"));
+        let g = ElectrochemError::GridTooCoarse {
+            nodes: 4,
+            minimum: 32,
+        };
+        assert!(g.to_string().contains('4') && g.to_string().contains("32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<ElectrochemError>();
+    }
+}

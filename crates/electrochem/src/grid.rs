@@ -1,0 +1,220 @@
+//! Spatial grids for the 1-D diffusion solver.
+//!
+//! Concentration gradients are steepest at the electrode surface, so the
+//! default grid expands geometrically away from it (Feldberg-style): fine
+//! where the physics happens, coarse in the bulk.
+
+use crate::error::ElectrochemError;
+use bios_units::{DiffusionCoefficient, Seconds};
+
+/// A 1-D spatial grid normal to the electrode, `x[0] = 0` at the surface.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Grid {
+    x: Vec<f64>, // node positions in cm, strictly increasing
+}
+
+impl Grid {
+    /// A uniform grid of `n` nodes spanning `[0, length_cm]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] for non-positive length
+    /// and [`ElectrochemError::GridTooCoarse`] for fewer than 8 nodes.
+    pub fn uniform(length_cm: f64, n: usize) -> Result<Self, ElectrochemError> {
+        if length_cm <= 0.0 || !length_cm.is_finite() {
+            return Err(ElectrochemError::invalid(
+                "length_cm",
+                "must be positive and finite",
+            ));
+        }
+        if n < 8 {
+            return Err(ElectrochemError::GridTooCoarse {
+                nodes: n,
+                minimum: 8,
+            });
+        }
+        let dx = length_cm / (n - 1) as f64;
+        Ok(Self {
+            x: (0..n).map(|i| i as f64 * dx).collect(),
+        })
+    }
+
+    /// A geometrically expanding grid: spacing starts at `first_dx_cm` and
+    /// grows by `gamma` per interval until `length_cm` is covered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] for non-positive
+    /// `first_dx_cm`/`length_cm` or `gamma < 1`.
+    pub fn expanding(
+        first_dx_cm: f64,
+        gamma: f64,
+        length_cm: f64,
+    ) -> Result<Self, ElectrochemError> {
+        if first_dx_cm <= 0.0 || !first_dx_cm.is_finite() {
+            return Err(ElectrochemError::invalid(
+                "first_dx_cm",
+                "must be positive and finite",
+            ));
+        }
+        if length_cm <= first_dx_cm {
+            return Err(ElectrochemError::invalid(
+                "length_cm",
+                "must exceed the first spacing",
+            ));
+        }
+        if gamma < 1.0 || !gamma.is_finite() {
+            return Err(ElectrochemError::invalid("gamma", "must be at least 1"));
+        }
+        let mut x = vec![0.0];
+        let mut dx = first_dx_cm;
+        while *x.last().expect("nonempty") < length_cm {
+            let next = x.last().expect("nonempty") + dx;
+            x.push(next);
+            dx *= gamma;
+        }
+        Ok(Self { x })
+    }
+
+    /// Builds a grid sized for an experiment of duration `t_total` on a
+    /// species with diffusion coefficient `d`, resolving time step `dt`.
+    ///
+    /// The domain extends 6 diffusion lengths (`6·√(D·t_total)`), far enough
+    /// that the bulk boundary never feels the electrode. The first spacing is
+    /// half of `√(D·dt)`, which resolves the per-step diffusion layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for degenerate inputs.
+    pub fn for_experiment(
+        d: DiffusionCoefficient,
+        t_total: Seconds,
+        dt: Seconds,
+    ) -> Result<Self, ElectrochemError> {
+        if d.value() <= 0.0 {
+            return Err(ElectrochemError::invalid("d", "must be positive"));
+        }
+        if t_total.value() <= 0.0 || dt.value() <= 0.0 {
+            return Err(ElectrochemError::invalid("t", "durations must be positive"));
+        }
+        let length = 6.0 * (d.value() * t_total.value()).sqrt();
+        let first_dx = 0.5 * (d.value() * dt.value()).sqrt();
+        Self::expanding(first_dx.min(length / 16.0), 1.05, length)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Node positions in cm.
+    pub fn positions(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Spacing `x[i+1] - x[i]` in cm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i + 1` is out of bounds.
+    pub fn spacing(&self, i: usize) -> f64 {
+        self.x[i + 1] - self.x[i]
+    }
+
+    /// Total domain length in cm.
+    pub fn length(&self) -> f64 {
+        *self.x.last().expect("grid is nonempty")
+    }
+
+    /// Finite-volume control width of node `i` (half-cells at both ends).
+    pub fn control_width(&self, i: usize) -> f64 {
+        let n = self.x.len();
+        if i == 0 {
+            (self.x[1] - self.x[0]) / 2.0
+        } else if i == n - 1 {
+            (self.x[n - 1] - self.x[n - 2]) / 2.0
+        } else {
+            (self.x[i + 1] - self.x[i - 1]) / 2.0
+        }
+    }
+
+    /// Integrates a nodal field over the domain (mol/cm³ → mol/cm²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` does not match the grid length.
+    pub fn integrate(&self, field: &[f64]) -> f64 {
+        assert_eq!(field.len(), self.len(), "field length mismatch");
+        field
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c * self.control_width(i))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spacing() {
+        let g = Grid::uniform(1.0, 11).expect("valid");
+        assert_eq!(g.len(), 11);
+        assert!((g.spacing(0) - 0.1).abs() < 1e-12);
+        assert!((g.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expanding_grows_geometrically() {
+        let g = Grid::expanding(0.01, 1.5, 1.0).expect("valid");
+        assert!(g.len() > 3);
+        let r = g.spacing(1) / g.spacing(0);
+        assert!((r - 1.5).abs() < 1e-12);
+        assert!(g.length() >= 1.0);
+        // Strictly increasing positions.
+        for w in g.positions().windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn experiment_grid_spans_diffusion_layer() {
+        let d = DiffusionCoefficient::new(1e-5);
+        let g = Grid::for_experiment(d, Seconds::new(100.0), Seconds::new(0.05)).expect("valid");
+        let expected = 6.0 * (1e-5f64 * 100.0).sqrt();
+        assert!(g.length() >= expected);
+        // First spacing resolves the per-step layer.
+        assert!(g.spacing(0) <= (1e-5f64 * 0.05).sqrt());
+        // Expanding grid keeps the node count modest.
+        assert!(g.len() < 400, "got {} nodes", g.len());
+    }
+
+    #[test]
+    fn control_widths_partition_domain() {
+        let g = Grid::expanding(0.01, 1.3, 0.5).expect("valid");
+        let total: f64 = (0..g.len()).map(|i| g.control_width(i)).sum();
+        assert!((total - g.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integrate_constant_field() {
+        let g = Grid::uniform(2.0, 21).expect("valid");
+        let field = vec![3.0; 21];
+        assert!((g.integrate(&field) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Grid::uniform(0.0, 10).is_err());
+        assert!(Grid::uniform(1.0, 4).is_err());
+        assert!(Grid::expanding(0.0, 1.1, 1.0).is_err());
+        assert!(Grid::expanding(0.1, 0.9, 1.0).is_err());
+        assert!(Grid::expanding(0.1, 1.1, 0.05).is_err());
+    }
+}

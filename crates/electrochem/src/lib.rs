@@ -1,0 +1,84 @@
+//! Electrochemistry simulation engine for the `advdiag` biosensing platform.
+//!
+//! This crate replaces the wet-lab electrochemical cell of the DATE 2011
+//! paper with a quantitative model:
+//!
+//! * [`RedoxCouple`] / [`SurfaceCouple`] — the species the electrode sees,
+//! * [`Electrode`] / [`Cell`] — geometry, materials, nanostructuring,
+//!   double layer and uncompensated resistance,
+//! * [`PotentialProgram`] — holds, steps and triangular sweeps,
+//! * [`DiffusionSim`] — an implicit (backward-Euler, Thomas-solver) 1-D
+//!   finite-volume solver for Fick's second law with an exact linear
+//!   Butler–Volmer boundary,
+//! * [`simulate_chrono`] / [`simulate_cv`] — experiment drivers producing
+//!   [`Transient`]s and [`Voltammogram`]s,
+//! * closed-form cross-checks: [`cottrell_current`],
+//!   [`randles_sevcik_peak`], microelectrode steady states.
+//!
+//! Sign convention is IUPAC throughout: anodic (oxidation) current positive.
+//!
+//! # Example: a cyclic voltammogram in six lines
+//!
+//! ```
+//! use bios_electrochem::{simulate_cv, Cell, Electrode, PotentialProgram, RedoxCouple};
+//! use bios_units::{Molar, Volts, VoltsPerSecond};
+//!
+//! # fn main() -> Result<(), bios_electrochem::ElectrochemError> {
+//! let cell = Cell::builder(Electrode::paper_gold_we()).build()?;
+//! let couple = RedoxCouple::ferrocyanide();
+//! let sweep = PotentialProgram::cyclic_single(
+//!     Volts::new(0.55), Volts::new(-0.1),
+//!     VoltsPerSecond::from_millivolts_per_second(50.0));
+//! let cv = simulate_cv(&cell, &couple, Molar::from_millimolar(1.0), Molar::ZERO, &sweep)?;
+//! assert!(cv.min_current().expect("nonempty").1.value() < 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod cottrell;
+mod diffusion;
+mod double_layer;
+mod electrode;
+mod error;
+mod grid;
+mod kinetics;
+mod nernst;
+mod randles_sevcik;
+mod simulate;
+mod species;
+mod surface;
+mod swv;
+mod trace;
+mod tridiag;
+mod waveform;
+
+pub use cell::{Cell, CellBuilder};
+pub use cottrell::{
+    cottrell_charge, cottrell_current, microdisk_settling_time, microdisk_steady_state,
+};
+pub use diffusion::DiffusionSim;
+pub use double_layer::{
+    charging_settling_time, step_charging_current, sweep_charging_current, ChargingFilter,
+};
+pub use electrode::{Electrode, ElectrodeMaterial, Nanostructure};
+pub use error::ElectrochemError;
+pub use grid::Grid;
+pub use kinetics::{classify_reversibility, rate_constants, Reversibility};
+pub use nernst::{equilibrium_potential, nernst_ratio};
+pub use randles_sevcik::{
+    randles_sevcik_peak, reversible_anodic_peak_potential, reversible_cathodic_peak_potential,
+    reversible_peak_separation,
+};
+pub use simulate::{
+    simulate_chrono, simulate_chrono_with, simulate_cv, simulate_cv_with, SimOptions,
+};
+pub use species::{RedoxCouple, RedoxCoupleBuilder};
+pub use surface::SurfaceCouple;
+pub use swv::{simulate_swv, SwvParams};
+pub use trace::{Transient, Voltammogram};
+pub use tridiag::Tridiagonal;
+pub use waveform::PotentialProgram;

@@ -1,0 +1,125 @@
+//! Nernstian equilibrium relations.
+
+use crate::species::RedoxCouple;
+use bios_units::{Kelvin, Molar, Volts, FARADAY, GAS_CONSTANT};
+
+/// Equilibrium electrode potential for the couple at the given bulk
+/// concentrations (Nernst equation):
+/// `E = E⁰' + (RT/nF)·ln([O]/[R])`.
+///
+/// # Panics
+///
+/// Panics if either concentration is non-positive (the logarithm is
+/// undefined there — use activities with a supporting electrolyte model if
+/// you need the trace limit).
+///
+/// # Example
+///
+/// ```
+/// use bios_electrochem::{equilibrium_potential, RedoxCouple};
+/// use bios_units::{Molar, T_ROOM};
+///
+/// let c = RedoxCouple::ferrocyanide();
+/// // Equal concentrations: E = E⁰'.
+/// let e = equilibrium_potential(&c, Molar::from_millimolar(1.0), Molar::from_millimolar(1.0), T_ROOM);
+/// assert!((e.value() - c.formal_potential().value()).abs() < 1e-12);
+/// ```
+pub fn equilibrium_potential(
+    couple: &RedoxCouple,
+    ox: Molar,
+    red: Molar,
+    temperature: Kelvin,
+) -> Volts {
+    assert!(
+        ox.value() > 0.0 && red.value() > 0.0,
+        "nernst: concentrations must be strictly positive"
+    );
+    let slope = GAS_CONSTANT * temperature.value() / (couple.electrons() as f64 * FARADAY);
+    Volts::new(couple.formal_potential().value() + slope * (ox.value() / red.value()).ln())
+}
+
+/// Surface concentration ratio `[O]₀/[R]₀` imposed by a Nernstian electrode
+/// at potential `e`: `exp(nF(E−E⁰')/RT)`.
+///
+/// # Example
+///
+/// ```
+/// use bios_electrochem::{nernst_ratio, RedoxCouple};
+/// use bios_units::{T_ROOM, Volts};
+///
+/// let c = RedoxCouple::ferrocyanide();
+/// // 59.2/n mV positive of E⁰' → ratio 10 (for n = 1).
+/// let e = Volts::new(c.formal_potential().value() + 0.05916);
+/// let r = nernst_ratio(&c, e, T_ROOM);
+/// assert!((r - 10.0).abs() < 0.01);
+/// ```
+pub fn nernst_ratio(couple: &RedoxCouple, e: Volts, temperature: Kelvin) -> f64 {
+    let f = FARADAY / (GAS_CONSTANT * temperature.value());
+    let n = couple.electrons() as f64;
+    (n * f * (e.value() - couple.formal_potential().value()))
+        .clamp(-200.0, 200.0)
+        .exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::T_ROOM;
+
+    #[test]
+    fn decade_shift_is_59_mv() {
+        let c = RedoxCouple::ferrocyanide();
+        let e1 = equilibrium_potential(
+            &c,
+            Molar::from_millimolar(10.0),
+            Molar::from_millimolar(1.0),
+            T_ROOM,
+        );
+        let e2 = equilibrium_potential(
+            &c,
+            Molar::from_millimolar(1.0),
+            Molar::from_millimolar(1.0),
+            T_ROOM,
+        );
+        assert!(((e1 - e2).as_millivolts() - 59.16).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_electron_halves_the_slope() {
+        let c2 = RedoxCouple::builder("x")
+            .electrons(2)
+            .build()
+            .expect("valid");
+        let e = equilibrium_potential(
+            &c2,
+            Molar::from_millimolar(10.0),
+            Molar::from_millimolar(1.0),
+            T_ROOM,
+        );
+        assert!((e.as_millivolts() - 29.58).abs() < 0.05);
+    }
+
+    #[test]
+    fn ratio_is_consistent_with_equilibrium() {
+        let c = RedoxCouple::ferrocyanide();
+        let ox = Molar::from_millimolar(3.0);
+        let red = Molar::from_millimolar(0.7);
+        let e = equilibrium_potential(&c, ox, red, T_ROOM);
+        let ratio = nernst_ratio(&c, e, T_ROOM);
+        assert!((ratio - ox.value() / red.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_concentration_panics() {
+        let c = RedoxCouple::ferrocyanide();
+        let _ = equilibrium_potential(&c, Molar::ZERO, Molar::from_millimolar(1.0), T_ROOM);
+    }
+
+    #[test]
+    fn extreme_potentials_clamp() {
+        let c = RedoxCouple::ferrocyanide();
+        let r = nernst_ratio(&c, Volts::new(1e6), T_ROOM);
+        assert!(r.is_finite());
+    }
+}

@@ -1,0 +1,112 @@
+//! Randles–Ševčík relations for reversible cyclic voltammetry — the
+//! closed-form benchmarks the CV simulator must reproduce.
+
+use crate::species::RedoxCouple;
+use bios_units::{
+    Amps, Kelvin, Molar, SquareCentimeters, Volts, VoltsPerSecond, FARADAY, GAS_CONSTANT,
+};
+
+/// Reversible CV peak current magnitude:
+/// `i_p = 0.4463·n·F·A·C·√(n·F·v·D/(R·T))`.
+///
+/// # Example
+///
+/// ```
+/// use bios_electrochem::{randles_sevcik_peak, RedoxCouple};
+/// use bios_units::{Molar, SquareCentimeters, T_ROOM, VoltsPerSecond};
+///
+/// let c = RedoxCouple::ferrocyanide();
+/// let ip = randles_sevcik_peak(
+///     &c,
+///     SquareCentimeters::new(0.01),
+///     Molar::from_millimolar(1.0),
+///     VoltsPerSecond::from_millivolts_per_second(20.0),
+///     T_ROOM,
+/// );
+/// // ≈ 0.98 µA for these parameters.
+/// assert!((ip.as_microamps() - 0.98).abs() < 0.02);
+/// ```
+pub fn randles_sevcik_peak(
+    couple: &RedoxCouple,
+    area: SquareCentimeters,
+    bulk: Molar,
+    scan_rate: VoltsPerSecond,
+    temperature: Kelvin,
+) -> Amps {
+    let n = couple.electrons() as f64;
+    let d = couple.diffusion_ox().value();
+    let c = bulk.to_moles_per_cm3().value();
+    let f_over_rt = FARADAY / (GAS_CONSTANT * temperature.value());
+    Amps::new(
+        0.4463 * n * FARADAY * area.value() * c * (n * f_over_rt * scan_rate.value() * d).sqrt(),
+    )
+}
+
+/// Cathodic peak potential of a reversible reduction:
+/// `E_p = E⁰' − 1.109·RT/(nF)` (≈ `E⁰' − 28.5/n` mV at 25 °C).
+pub fn reversible_cathodic_peak_potential(couple: &RedoxCouple, temperature: Kelvin) -> Volts {
+    let shift = 1.109 * GAS_CONSTANT * temperature.value() / (couple.electrons() as f64 * FARADAY);
+    Volts::new(couple.formal_potential().value() - shift)
+}
+
+/// Anodic peak potential of a reversible oxidation:
+/// `E_p = E⁰' + 1.109·RT/(nF)`.
+pub fn reversible_anodic_peak_potential(couple: &RedoxCouple, temperature: Kelvin) -> Volts {
+    let shift = 1.109 * GAS_CONSTANT * temperature.value() / (couple.electrons() as f64 * FARADAY);
+    Volts::new(couple.formal_potential().value() + shift)
+}
+
+/// Reversible peak-to-peak separation `ΔE_p ≈ 2.218·RT/(nF)`
+/// (≈ 57/n mV at 25 °C) — the classic reversibility diagnostic.
+pub fn reversible_peak_separation(couple: &RedoxCouple, temperature: Kelvin) -> Volts {
+    Volts::new(2.218 * GAS_CONSTANT * temperature.value() / (couple.electrons() as f64 * FARADAY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::T_ROOM;
+
+    #[test]
+    fn peak_scales_with_sqrt_scan_rate() {
+        let c = RedoxCouple::ferrocyanide();
+        let a = SquareCentimeters::new(0.01);
+        let conc = Molar::from_millimolar(1.0);
+        let i1 = randles_sevcik_peak(&c, a, conc, VoltsPerSecond::new(0.02), T_ROOM);
+        let i4 = randles_sevcik_peak(&c, a, conc, VoltsPerSecond::new(0.08), T_ROOM);
+        assert!((i4.value() / i1.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_linear_in_concentration() {
+        let c = RedoxCouple::ferrocyanide();
+        let a = SquareCentimeters::new(0.01);
+        let v = VoltsPerSecond::new(0.02);
+        let i1 = randles_sevcik_peak(&c, a, Molar::from_millimolar(1.0), v, T_ROOM);
+        let i3 = randles_sevcik_peak(&c, a, Molar::from_millimolar(3.0), v, T_ROOM);
+        assert!((i3.value() / i1.value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_potentials_bracket_formal_potential() {
+        let c = RedoxCouple::ferrocyanide();
+        let ec = reversible_cathodic_peak_potential(&c, T_ROOM);
+        let ea = reversible_anodic_peak_potential(&c, T_ROOM);
+        assert!(ec.value() < c.formal_potential().value());
+        assert!(ea.value() > c.formal_potential().value());
+        // 28.5 mV shifts at room temperature for n = 1.
+        assert!(((c.formal_potential() - ec).as_millivolts() - 28.5).abs() < 0.2);
+        let sep = reversible_peak_separation(&c, T_ROOM);
+        assert!((sep.as_millivolts() - 57.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn multi_electron_compresses_separation() {
+        let c2 = RedoxCouple::builder("x")
+            .electrons(2)
+            .build()
+            .expect("valid");
+        let sep = reversible_peak_separation(&c2, T_ROOM);
+        assert!((sep.as_millivolts() - 28.5).abs() < 0.3);
+    }
+}

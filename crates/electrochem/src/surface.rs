@@ -1,0 +1,244 @@
+//! Surface-confined (adsorbed) redox couples.
+//!
+//! Cytochrome P450 biosensors immobilize the protein film *on* the
+//! electrode, so its heme centre is a surface-confined couple: no diffusion
+//! tail, symmetric peaks centred at `E⁰'`, peak current linear in scan rate
+//! (not √v). The catalytic drug-sensing current of paper eq. 4 rides on top
+//! of this wave (modelled in `bios-biochem`).
+
+use crate::error::ElectrochemError;
+use bios_units::{
+    Amps, Kelvin, MolesPerCm2, SquareCentimeters, Volts, VoltsPerSecond, FARADAY, GAS_CONSTANT,
+};
+
+/// A redox couple immobilized on the electrode surface at a given coverage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SurfaceCouple {
+    name: String,
+    electrons: u32,
+    formal_potential: Volts,
+    coverage: MolesPerCm2,
+}
+
+impl SurfaceCouple {
+    /// Creates a surface couple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] for zero electrons or
+    /// non-positive coverage.
+    pub fn new(
+        name: impl Into<String>,
+        electrons: u32,
+        formal_potential: Volts,
+        coverage: MolesPerCm2,
+    ) -> Result<Self, ElectrochemError> {
+        if electrons == 0 {
+            return Err(ElectrochemError::invalid("electrons", "must be at least 1"));
+        }
+        if coverage.value() <= 0.0 || !coverage.value().is_finite() {
+            return Err(ElectrochemError::invalid(
+                "coverage",
+                "must be positive and finite",
+            ));
+        }
+        if !formal_potential.is_finite() {
+            return Err(ElectrochemError::invalid(
+                "formal_potential",
+                "must be finite",
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            electrons,
+            formal_potential,
+            coverage,
+        })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Electrons transferred.
+    pub fn electrons(&self) -> u32 {
+        self.electrons
+    }
+
+    /// Formal potential vs Ag/AgCl.
+    pub fn formal_potential(&self) -> Volts {
+        self.formal_potential
+    }
+
+    /// Surface coverage.
+    pub fn coverage(&self) -> MolesPerCm2 {
+        self.coverage
+    }
+
+    /// Faradaic current of the surface wave at potential `e` during a sweep.
+    ///
+    /// `i = ∓ (n²F²/RT)·A·Γ·v·e^ξ/(1+e^ξ)²` with `ξ = nF(E−E⁰')/RT`; the
+    /// sign follows the sweep: cathodic (downward, `direction_up = false`)
+    /// sweeps give negative (reduction) current.
+    pub fn wave_current(
+        &self,
+        e: Volts,
+        scan_rate: VoltsPerSecond,
+        direction_up: bool,
+        area: SquareCentimeters,
+        temperature: Kelvin,
+    ) -> Amps {
+        let n = self.electrons as f64;
+        let rt = GAS_CONSTANT * temperature.value();
+        let xi =
+            (n * FARADAY * (e.value() - self.formal_potential.value()) / rt).clamp(-200.0, 200.0);
+        let shape = xi.exp() / (1.0 + xi.exp()).powi(2);
+        let magnitude = n * n * FARADAY * FARADAY / rt
+            * area.value()
+            * self.coverage.value()
+            * scan_rate.value()
+            * shape;
+        Amps::new(if direction_up { magnitude } else { -magnitude })
+    }
+
+    /// Peak current magnitude `n²F²AΓv/(4RT)` — linear in scan rate, the
+    /// diagnostic that distinguishes adsorbed from diffusing species.
+    pub fn peak_current(
+        &self,
+        scan_rate: VoltsPerSecond,
+        area: SquareCentimeters,
+        temperature: Kelvin,
+    ) -> Amps {
+        let n = self.electrons as f64;
+        let rt = GAS_CONSTANT * temperature.value();
+        Amps::new(
+            n * n * FARADAY * FARADAY * area.value() * self.coverage.value() * scan_rate.value()
+                / (4.0 * rt),
+        )
+    }
+
+    /// Full width at half maximum of the ideal surface wave,
+    /// `3.53·RT/(nF)` (≈ 90.6/n mV at 25 °C).
+    pub fn fwhm(&self, temperature: Kelvin) -> Volts {
+        let n = self.electrons as f64;
+        Volts::new(3.53 * GAS_CONSTANT * temperature.value() / (n * FARADAY))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::T_ROOM;
+
+    fn cyp_like() -> SurfaceCouple {
+        SurfaceCouple::new(
+            "CYP-heme",
+            1,
+            Volts::from_millivolts(-400.0),
+            MolesPerCm2::from_picomoles_per_cm2(20.0),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn peak_sits_at_formal_potential() {
+        let c = cyp_like();
+        let v = VoltsPerSecond::from_millivolts_per_second(20.0);
+        let a = SquareCentimeters::new(0.0023);
+        let at_e0 = c
+            .wave_current(c.formal_potential(), v, false, a, T_ROOM)
+            .abs();
+        let off = c
+            .wave_current(
+                c.formal_potential() + Volts::from_millivolts(30.0),
+                v,
+                false,
+                a,
+                T_ROOM,
+            )
+            .abs();
+        assert!(at_e0.value() > off.value());
+        // Value at the peak equals the closed-form peak current.
+        let ip = c.peak_current(v, a, T_ROOM);
+        assert!((at_e0.value() - ip.value()).abs() / ip.value() < 1e-9);
+    }
+
+    #[test]
+    fn cathodic_sweep_is_negative() {
+        let c = cyp_like();
+        let v = VoltsPerSecond::from_millivolts_per_second(20.0);
+        let a = SquareCentimeters::new(0.0023);
+        assert!(
+            c.wave_current(c.formal_potential(), v, false, a, T_ROOM)
+                .value()
+                < 0.0
+        );
+        assert!(
+            c.wave_current(c.formal_potential(), v, true, a, T_ROOM)
+                .value()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn peak_linear_in_scan_rate() {
+        let c = cyp_like();
+        let a = SquareCentimeters::new(0.0023);
+        let i1 = c.peak_current(VoltsPerSecond::new(0.02), a, T_ROOM);
+        let i2 = c.peak_current(VoltsPerSecond::new(0.04), a, T_ROOM);
+        assert!((i2.value() / i1.value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fwhm_matches_textbook() {
+        let c = cyp_like();
+        assert!((c.fwhm(T_ROOM).as_millivolts() - 90.7).abs() < 0.5);
+        // Verify numerically: find potentials at half of peak.
+        let v = VoltsPerSecond::new(0.02);
+        let a = SquareCentimeters::new(0.0023);
+        let half = c.peak_current(v, a, T_ROOM).value() / 2.0;
+        let mut width = 0.0;
+        let mut prev_above = false;
+        for k in 0..4000 {
+            let e = Volts::new(-0.6 + k as f64 * 1e-4);
+            let above = c.wave_current(e, v, true, a, T_ROOM).value() > half;
+            if above && !prev_above {
+                width = e.value();
+            }
+            if !above && prev_above {
+                width = e.value() - width;
+                break;
+            }
+            prev_above = above;
+        }
+        assert!(
+            (width - c.fwhm(T_ROOM).value()).abs() < 1e-3,
+            "width {width}"
+        );
+    }
+
+    #[test]
+    fn realistic_cyp_peak_magnitude() {
+        // 20 pmol/cm² on 0.23 mm² at 20 mV/s:
+        // n²F²AΓv/4RT ≈ (96485²·0.0023·2e-11·0.02)/(4·8.314·298) ≈ 0.86 nA.
+        let c = cyp_like();
+        let ip = c.peak_current(
+            VoltsPerSecond::from_millivolts_per_second(20.0),
+            SquareCentimeters::new(0.0023),
+            T_ROOM,
+        );
+        assert!(
+            (ip.as_nanoamps() - 0.86).abs() < 0.05,
+            "ip = {}",
+            ip.as_nanoamps()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(SurfaceCouple::new("x", 0, Volts::ZERO, MolesPerCm2::new(1e-12)).is_err());
+        assert!(SurfaceCouple::new("x", 1, Volts::ZERO, MolesPerCm2::ZERO).is_err());
+        assert!(SurfaceCouple::new("x", 1, Volts::new(f64::NAN), MolesPerCm2::new(1e-12)).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Tridiagonal linear solver (Thomas algorithm).
+//!
+//! The implicit diffusion step reduces to one tridiagonal solve per species
+//! per time step; the Thomas algorithm does it in O(N).
+
+use crate::error::ElectrochemError;
+
+/// A tridiagonal system `A·x = d` with diagonals `(lower, main, upper)`.
+///
+/// # Example
+///
+/// ```
+/// use bios_electrochem::Tridiagonal;
+///
+/// # fn main() -> Result<(), bios_electrochem::ElectrochemError> {
+/// // [2 1 0] [x0]   [3]
+/// // [1 2 1] [x1] = [4]   → x = [1, 1, 1]
+/// // [0 1 2] [x2]   [3]
+/// let sys = Tridiagonal::new(vec![1.0, 1.0], vec![2.0, 2.0, 2.0], vec![1.0, 1.0])?;
+/// let x = sys.solve(&[3.0, 4.0, 3.0])?;
+/// for v in x {
+///     assert!((v - 1.0).abs() < 1e-12);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonal {
+    lower: Vec<f64>,
+    main: Vec<f64>,
+    upper: Vec<f64>,
+    // Precomputed LU-style factorization for repeated solves.
+    factor_main: Vec<f64>,
+    factor_lower: Vec<f64>,
+}
+
+impl Tridiagonal {
+    /// Builds (and factorizes) the system from its three diagonals.
+    ///
+    /// `main` has length `n`; `lower` and `upper` have length `n - 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] on mismatched diagonal
+    /// lengths and [`ElectrochemError::SingularSystem`] if a pivot vanishes.
+    pub fn new(lower: Vec<f64>, main: Vec<f64>, upper: Vec<f64>) -> Result<Self, ElectrochemError> {
+        let n = main.len();
+        if n == 0 {
+            return Err(ElectrochemError::invalid("main", "system must be nonempty"));
+        }
+        if lower.len() != n - 1 || upper.len() != n - 1 {
+            return Err(ElectrochemError::invalid(
+                "lower/upper",
+                format!(
+                    "off-diagonals must have length {} (got {} and {})",
+                    n - 1,
+                    lower.len(),
+                    upper.len()
+                ),
+            ));
+        }
+        // Factorize once: forward elimination multipliers.
+        let mut factor_main = main.clone();
+        let mut factor_lower = vec![0.0; n.saturating_sub(1)];
+        for i in 1..n {
+            let pivot = factor_main[i - 1];
+            if pivot.abs() < 1e-300 {
+                return Err(ElectrochemError::SingularSystem);
+            }
+            let m = lower[i - 1] / pivot;
+            factor_lower[i - 1] = m;
+            factor_main[i] = main[i] - m * upper[i - 1];
+        }
+        if factor_main[n - 1].abs() < 1e-300 {
+            return Err(ElectrochemError::SingularSystem);
+        }
+        Ok(Self {
+            lower,
+            main,
+            upper,
+            factor_main,
+            factor_lower,
+        })
+    }
+
+    /// Dimension of the system.
+    pub fn len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Whether the system is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.main.is_empty()
+    }
+
+    /// Solves `A·x = d` using the precomputed factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] if `d` has the wrong
+    /// length.
+    pub fn solve(&self, d: &[f64]) -> Result<Vec<f64>, ElectrochemError> {
+        let n = self.len();
+        if d.len() != n {
+            return Err(ElectrochemError::invalid(
+                "d",
+                format!("right-hand side must have length {n} (got {})", d.len()),
+            ));
+        }
+        let mut x = d.to_vec();
+        self.solve_in_place(&mut x);
+        Ok(x)
+    }
+
+    /// Solves in place, reusing the caller's buffer (hot path of the
+    /// diffusion stepper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` has the wrong length.
+    pub fn solve_in_place(&self, d: &mut [f64]) {
+        let n = self.len();
+        assert_eq!(d.len(), n, "right-hand side length mismatch");
+        for i in 1..n {
+            d[i] -= self.factor_lower[i - 1] * d[i - 1];
+        }
+        d[n - 1] /= self.factor_main[n - 1];
+        for i in (0..n - 1).rev() {
+            d[i] = (d[i] - self.upper[i] * d[i + 1]) / self.factor_main[i];
+        }
+    }
+
+    /// Computes `A·x` (for residual checks and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong length.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.len();
+        assert_eq!(x.len(), n, "vector length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = self.main[i] * x[i];
+            if i > 0 {
+                v += self.lower[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                v += self.upper[i] * x[i + 1];
+            }
+            y[i] = v;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let sys = Tridiagonal::new(vec![0.0; 4], vec![1.0; 5], vec![0.0; 4]).expect("valid");
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = sys.solve(&d).expect("solve");
+        assert_eq!(x, d.to_vec());
+    }
+
+    #[test]
+    fn solves_known_system() {
+        let sys =
+            Tridiagonal::new(vec![1.0, 1.0], vec![2.0, 2.0, 2.0], vec![1.0, 1.0]).expect("valid");
+        let x = sys.solve(&[3.0, 4.0, 3.0]).expect("solve");
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_then_solve_round_trips() {
+        // Diagonally dominant random-ish system.
+        let n = 64;
+        let lower: Vec<f64> = (0..n - 1).map(|i| -0.3 - 0.001 * i as f64).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|i| -0.4 + 0.002 * i as f64).collect();
+        let main: Vec<f64> = (0..n).map(|i| 2.0 + 0.01 * i as f64).collect();
+        let sys = Tridiagonal::new(lower, main, upper).expect("valid");
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let d = sys.apply(&x_true);
+        let x = sys.solve(&d).expect("solve");
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(Tridiagonal::new(vec![1.0], vec![1.0, 1.0, 1.0], vec![1.0, 1.0]).is_err());
+        assert!(Tridiagonal::new(vec![], vec![], vec![]).is_err());
+        let sys = Tridiagonal::new(vec![1.0], vec![2.0, 2.0], vec![1.0]).expect("valid");
+        assert!(sys.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn detects_singularity() {
+        // First pivot zero.
+        assert!(matches!(
+            Tridiagonal::new(vec![1.0], vec![0.0, 1.0], vec![1.0]),
+            Err(ElectrochemError::SingularSystem)
+        ));
+        // Elimination produces a zero pivot: [[1,1],[1,1]].
+        assert!(matches!(
+            Tridiagonal::new(vec![1.0], vec![1.0, 1.0], vec![1.0]),
+            Err(ElectrochemError::SingularSystem)
+        ));
+    }
+
+    #[test]
+    fn single_element_system() {
+        let sys = Tridiagonal::new(vec![], vec![4.0], vec![]).expect("valid");
+        let x = sys.solve(&[8.0]).expect("solve");
+        assert_eq!(x, vec![2.0]);
+        assert_eq!(sys.len(), 1);
+        assert!(!sys.is_empty());
+    }
+}

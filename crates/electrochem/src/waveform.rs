@@ -1,0 +1,513 @@
+//! Potential programs: what the voltage generator applies to the cell.
+//!
+//! The paper's platform needs "a voltage generator that generates a fixed or
+//! variable voltage" (§II-C): fixed holds for chronoamperometry, triangular
+//! sweeps for cyclic voltammetry. Programs here are pure descriptions; the
+//! AFE crate adds DAC quantization and slew limits on top.
+
+use crate::error::ElectrochemError;
+use bios_units::{Seconds, Volts, VoltsPerSecond};
+
+/// A time-parameterized potential program applied between RE and WE.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PotentialProgram {
+    /// Constant potential for a duration (single-target chronoamperometry).
+    Hold {
+        /// Applied potential.
+        potential: Volts,
+        /// Total duration.
+        duration: Seconds,
+    },
+    /// Potential step at a given time (classic Cottrell experiment).
+    Step {
+        /// Potential before the step.
+        initial: Volts,
+        /// Potential after the step.
+        stepped: Volts,
+        /// Step instant.
+        at: Seconds,
+        /// Total duration.
+        duration: Seconds,
+    },
+    /// Single linear sweep from one potential to another.
+    LinearSweep {
+        /// Start potential.
+        from: Volts,
+        /// End potential.
+        to: Volts,
+        /// Magnitude of the scan rate.
+        rate: VoltsPerSecond,
+    },
+    /// Cyclic voltammetry: start → vertex1 → vertex2 → start, repeated.
+    Cyclic {
+        /// Start (and end) potential of each cycle.
+        start: Volts,
+        /// First vertex.
+        vertex1: Volts,
+        /// Second vertex.
+        vertex2: Volts,
+        /// Magnitude of the scan rate.
+        rate: VoltsPerSecond,
+        /// Number of full cycles.
+        cycles: u32,
+    },
+    /// Staircase sweep: discrete potential steps of `step_height` held for
+    /// `step_duration` each — what a DAC-driven sweep really looks like,
+    /// and the base waveform of square-wave voltammetry.
+    Staircase {
+        /// Start potential.
+        from: Volts,
+        /// End potential (inclusive of the final tread).
+        to: Volts,
+        /// Magnitude of one step.
+        step_height: Volts,
+        /// Dwell on each tread.
+        step_duration: Seconds,
+    },
+}
+
+impl PotentialProgram {
+    /// A one-cycle CV sweep `start → vertex → start`, the shape used for the
+    /// paper's CYP reduction scans.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use bios_electrochem::PotentialProgram;
+    /// use bios_units::{Volts, VoltsPerSecond};
+    ///
+    /// let cv = PotentialProgram::cyclic_single(
+    ///     Volts::new(0.1),
+    ///     Volts::new(-0.8),
+    ///     VoltsPerSecond::from_millivolts_per_second(20.0),
+    /// );
+    /// // 0.9 V down + 0.9 V up at 20 mV/s = 90 s.
+    /// assert!((cv.duration().value() - 90.0).abs() < 1e-9);
+    /// ```
+    pub fn cyclic_single(start: Volts, vertex: Volts, rate: VoltsPerSecond) -> Self {
+        PotentialProgram::Cyclic {
+            start,
+            vertex1: vertex,
+            vertex2: start,
+            rate,
+            cycles: 1,
+        }
+    }
+
+    /// Validates the program's physical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] for non-positive
+    /// durations or scan rates, zero-width sweeps, or zero cycle counts.
+    pub fn validate(&self) -> Result<(), ElectrochemError> {
+        match self {
+            PotentialProgram::Hold { duration, .. } => {
+                if duration.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid("duration", "must be positive"));
+                }
+            }
+            PotentialProgram::Step { at, duration, .. } => {
+                if duration.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid("duration", "must be positive"));
+                }
+                if at.value() < 0.0 || at.value() >= duration.value() {
+                    return Err(ElectrochemError::invalid(
+                        "at",
+                        "step time must lie inside the program duration",
+                    ));
+                }
+            }
+            PotentialProgram::LinearSweep { from, to, rate } => {
+                if rate.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid("rate", "must be positive"));
+                }
+                if (from.value() - to.value()).abs() == 0.0 {
+                    return Err(ElectrochemError::invalid(
+                        "to",
+                        "sweep must have nonzero span",
+                    ));
+                }
+            }
+            PotentialProgram::Cyclic {
+                start,
+                vertex1,
+                rate,
+                cycles,
+                ..
+            } => {
+                if rate.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid("rate", "must be positive"));
+                }
+                if *cycles == 0 {
+                    return Err(ElectrochemError::invalid("cycles", "must be at least 1"));
+                }
+                if (start.value() - vertex1.value()).abs() == 0.0 {
+                    return Err(ElectrochemError::invalid(
+                        "vertex1",
+                        "first segment must have nonzero span",
+                    ));
+                }
+            }
+            PotentialProgram::Staircase {
+                from,
+                to,
+                step_height,
+                step_duration,
+            } => {
+                if step_height.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid("step_height", "must be positive"));
+                }
+                if step_duration.value() <= 0.0 {
+                    return Err(ElectrochemError::invalid(
+                        "step_duration",
+                        "must be positive",
+                    ));
+                }
+                if (from.value() - to.value()).abs() < step_height.value() {
+                    return Err(ElectrochemError::invalid(
+                        "to",
+                        "staircase must span at least one step",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total program duration.
+    pub fn duration(&self) -> Seconds {
+        match self {
+            PotentialProgram::Hold { duration, .. } => *duration,
+            PotentialProgram::Step { duration, .. } => *duration,
+            PotentialProgram::LinearSweep { from, to, rate } => {
+                Seconds::new((to.value() - from.value()).abs() / rate.value())
+            }
+            PotentialProgram::Cyclic {
+                start,
+                vertex1,
+                vertex2,
+                rate,
+                cycles,
+            } => {
+                let leg1 = (vertex1.value() - start.value()).abs();
+                let leg2 = (vertex2.value() - vertex1.value()).abs();
+                let leg3 = (start.value() - vertex2.value()).abs();
+                Seconds::new((leg1 + leg2 + leg3) * *cycles as f64 / rate.value())
+            }
+            PotentialProgram::Staircase {
+                from,
+                to,
+                step_height,
+                step_duration,
+            } => {
+                let steps = ((to.value() - from.value()).abs() / step_height.value()).floor();
+                Seconds::new((steps + 1.0) * step_duration.value())
+            }
+        }
+    }
+
+    /// The potential applied at time `t` (clamped to the program's ends).
+    pub fn potential_at(&self, t: Seconds) -> Volts {
+        let t = t.value().max(0.0);
+        match self {
+            PotentialProgram::Hold { potential, .. } => *potential,
+            PotentialProgram::Step {
+                initial,
+                stepped,
+                at,
+                ..
+            } => {
+                if t < at.value() {
+                    *initial
+                } else {
+                    *stepped
+                }
+            }
+            PotentialProgram::LinearSweep { from, to, rate } => {
+                let span = to.value() - from.value();
+                let dur = span.abs() / rate.value();
+                let frac = (t / dur).min(1.0);
+                Volts::new(from.value() + span * frac)
+            }
+            PotentialProgram::Cyclic {
+                start,
+                vertex1,
+                vertex2,
+                rate,
+                cycles,
+            } => {
+                let leg1 = (vertex1.value() - start.value()).abs();
+                let leg2 = (vertex2.value() - vertex1.value()).abs();
+                let leg3 = (start.value() - vertex2.value()).abs();
+                let period = (leg1 + leg2 + leg3) / rate.value();
+                let total = period * *cycles as f64;
+                let t = t.min(total - f64::EPSILON.max(total * 1e-15));
+                let tau = if period > 0.0 { t % period } else { 0.0 };
+                let d = tau * rate.value(); // potential distance travelled in this cycle
+                if d < leg1 {
+                    Volts::new(start.value() + (vertex1.value() - start.value()).signum() * d)
+                } else if d < leg1 + leg2 {
+                    let d2 = d - leg1;
+                    Volts::new(vertex1.value() + (vertex2.value() - vertex1.value()).signum() * d2)
+                } else {
+                    let d3 = d - leg1 - leg2;
+                    Volts::new(vertex2.value() + (start.value() - vertex2.value()).signum() * d3)
+                }
+            }
+            PotentialProgram::Staircase {
+                from,
+                to,
+                step_height,
+                step_duration,
+            } => {
+                let steps = ((to.value() - from.value()).abs() / step_height.value()).floor();
+                let k = (t / step_duration.value()).floor().min(steps);
+                let sign = (to.value() - from.value()).signum();
+                Volts::new(from.value() + sign * k * step_height.value())
+            }
+        }
+    }
+
+    /// Peak |dE/dt| of the program — zero for holds, the scan rate for sweeps.
+    pub fn max_slew(&self) -> VoltsPerSecond {
+        match self {
+            PotentialProgram::Hold { .. } => VoltsPerSecond::ZERO,
+            // A step is instantaneous; report a large sentinel slew.
+            PotentialProgram::Step { .. } => VoltsPerSecond::new(f64::INFINITY),
+            PotentialProgram::LinearSweep { rate, .. } => *rate,
+            PotentialProgram::Cyclic { rate, .. } => *rate,
+            // Each tread edge is an instantaneous step.
+            PotentialProgram::Staircase { .. } => VoltsPerSecond::new(f64::INFINITY),
+        }
+    }
+
+    /// A reasonable sample interval: 1 mV of potential movement for sweeps,
+    /// 1/200 of the duration for holds and steps.
+    pub fn suggested_dt(&self) -> Seconds {
+        match self {
+            PotentialProgram::Hold { duration, .. } | PotentialProgram::Step { duration, .. } => {
+                Seconds::new(duration.value() / 200.0)
+            }
+            PotentialProgram::LinearSweep { rate, .. } | PotentialProgram::Cyclic { rate, .. } => {
+                Seconds::new(1e-3 / rate.value())
+            }
+            // Resolve each tread with a few samples.
+            PotentialProgram::Staircase { step_duration, .. } => {
+                Seconds::new(step_duration.value() / 4.0)
+            }
+        }
+    }
+
+    /// Samples the program at interval `dt`, yielding `(t, E)` pairs covering
+    /// `[0, duration]` inclusive of the endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn sample(&self, dt: Seconds) -> Vec<(Seconds, Volts)> {
+        assert!(dt.value() > 0.0, "sample interval must be positive");
+        let dur = self.duration().value();
+        let n = (dur / dt.value()).round() as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            let t = Seconds::new((k as f64 * dt.value()).min(dur));
+            out.push((t, self.potential_at(t)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(v: f64) -> Volts {
+        Volts::from_millivolts(v)
+    }
+
+    #[test]
+    fn hold_is_constant() {
+        let p = PotentialProgram::Hold {
+            potential: mv(650.0),
+            duration: Seconds::new(60.0),
+        };
+        p.validate().expect("valid");
+        assert_eq!(p.potential_at(Seconds::new(0.0)), mv(650.0));
+        assert_eq!(p.potential_at(Seconds::new(59.9)), mv(650.0));
+        assert_eq!(p.duration(), Seconds::new(60.0));
+        assert_eq!(p.max_slew(), VoltsPerSecond::ZERO);
+    }
+
+    #[test]
+    fn step_switches_at_the_right_time() {
+        let p = PotentialProgram::Step {
+            initial: mv(0.0),
+            stepped: mv(650.0),
+            at: Seconds::new(5.0),
+            duration: Seconds::new(30.0),
+        };
+        p.validate().expect("valid");
+        assert_eq!(p.potential_at(Seconds::new(4.999)), mv(0.0));
+        assert_eq!(p.potential_at(Seconds::new(5.0)), mv(650.0));
+    }
+
+    #[test]
+    fn linear_sweep_interpolates_and_clamps() {
+        let p = PotentialProgram::LinearSweep {
+            from: mv(0.0),
+            to: mv(-800.0),
+            rate: VoltsPerSecond::from_millivolts_per_second(20.0),
+        };
+        p.validate().expect("valid");
+        assert!((p.duration().value() - 40.0).abs() < 1e-9);
+        let half = p.potential_at(Seconds::new(20.0));
+        assert!((half.as_millivolts() + 400.0).abs() < 1e-9);
+        // Past the end: clamp at the final potential.
+        assert!((p.potential_at(Seconds::new(100.0)).as_millivolts() + 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_triangle_shape() {
+        let p = PotentialProgram::cyclic_single(
+            mv(100.0),
+            mv(-800.0),
+            VoltsPerSecond::from_millivolts_per_second(20.0),
+        );
+        p.validate().expect("valid");
+        // Down leg 0.9 V, up leg 0.9 V at 20 mV/s → 90 s.
+        assert!((p.duration().value() - 90.0).abs() < 1e-9);
+        // Quarter way: 22.5 s → 450 mV descended.
+        let q = p.potential_at(Seconds::new(22.5));
+        assert!((q.as_millivolts() + 350.0).abs() < 1e-6);
+        // At the vertex (45 s).
+        let v = p.potential_at(Seconds::new(45.0));
+        assert!((v.as_millivolts() + 800.0).abs() < 1e-6);
+        // On the way back (67.5 s): -350 mV again.
+        let b = p.potential_at(Seconds::new(67.5));
+        assert!((b.as_millivolts() + 350.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_cycle_repeats() {
+        let p = PotentialProgram::Cyclic {
+            start: mv(0.0),
+            vertex1: mv(-500.0),
+            vertex2: mv(0.0),
+            rate: VoltsPerSecond::from_millivolts_per_second(50.0),
+            cycles: 3,
+        };
+        p.validate().expect("valid");
+        let period = 20.0; // (0.5+0.5)/0.05
+        for k in 0..3 {
+            let t = Seconds::new(period * k as f64 + 5.0);
+            assert!(
+                (p.potential_at(t).as_millivolts() + 250.0).abs() < 1e-6,
+                "cycle {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_programs() {
+        assert!(PotentialProgram::Hold {
+            potential: mv(0.0),
+            duration: Seconds::ZERO
+        }
+        .validate()
+        .is_err());
+        assert!(PotentialProgram::LinearSweep {
+            from: mv(0.0),
+            to: mv(0.0),
+            rate: VoltsPerSecond::new(0.02)
+        }
+        .validate()
+        .is_err());
+        assert!(PotentialProgram::Cyclic {
+            start: mv(0.0),
+            vertex1: mv(-500.0),
+            vertex2: mv(0.0),
+            rate: VoltsPerSecond::new(0.02),
+            cycles: 0
+        }
+        .validate()
+        .is_err());
+        assert!(PotentialProgram::Step {
+            initial: mv(0.0),
+            stepped: mv(1.0),
+            at: Seconds::new(50.0),
+            duration: Seconds::new(30.0)
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn staircase_quantizes_the_sweep() {
+        let p = PotentialProgram::Staircase {
+            from: mv(0.0),
+            to: mv(-500.0),
+            step_height: Volts::from_millivolts(5.0),
+            step_duration: Seconds::new(0.25),
+        };
+        p.validate().expect("valid");
+        // 100 steps + the first tread: 25.25 s total.
+        assert!((p.duration().value() - 25.25).abs() < 1e-9);
+        // Mid-tread: constant.
+        let e1 = p.potential_at(Seconds::new(1.0));
+        let e2 = p.potential_at(Seconds::new(1.24));
+        assert_eq!(e1, e2);
+        assert!((e1.as_millivolts() + 20.0).abs() < 1e-9);
+        // The final tread holds the end potential.
+        assert!((p.potential_at(Seconds::new(100.0)).as_millivolts() + 500.0).abs() < 1e-9);
+        // Steps are exact multiples of the height.
+        for k in 0..50 {
+            let e = p.potential_at(Seconds::new(k as f64 * 0.25 + 0.01));
+            let steps = e.as_millivolts() / -5.0;
+            assert!((steps - steps.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn staircase_validation() {
+        assert!(PotentialProgram::Staircase {
+            from: mv(0.0),
+            to: mv(-500.0),
+            step_height: Volts::ZERO,
+            step_duration: Seconds::new(0.25),
+        }
+        .validate()
+        .is_err());
+        assert!(PotentialProgram::Staircase {
+            from: mv(0.0),
+            to: mv(-2.0),
+            step_height: Volts::from_millivolts(5.0),
+            step_duration: Seconds::new(0.25),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sampling_covers_program_inclusively() {
+        let p = PotentialProgram::Hold {
+            potential: mv(650.0),
+            duration: Seconds::new(1.0),
+        };
+        let samples = p.sample(Seconds::new(0.1));
+        assert_eq!(samples.len(), 11);
+        assert_eq!(samples[0].0, Seconds::new(0.0));
+        assert!((samples[10].0.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suggested_dt_tracks_rate() {
+        let p = PotentialProgram::cyclic_single(
+            mv(0.0),
+            mv(-500.0),
+            VoltsPerSecond::from_millivolts_per_second(20.0),
+        );
+        // 1 mV per sample at 20 mV/s = 50 ms.
+        assert!((p.suggested_dt().value() - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the electrochemistry engine.
+
+use bios_electrochem::{
+    rate_constants, simulate_cv_with, Cell, DiffusionSim, Electrode, ElectrodeMaterial, Grid,
+    PotentialProgram, RedoxCouple, SimOptions, Tridiagonal,
+};
+use bios_units::{
+    DiffusionCoefficient, Molar, MolesPerCm3, Seconds, SquareCentimeters, Volts, VoltsPerSecond,
+    T_ROOM,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Thomas solver inverts any diagonally dominant system it accepts.
+    #[test]
+    fn tridiagonal_solver_inverts(
+        n in 2usize..64,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random diagonally dominant system.
+        let r = |k: usize| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((k as u64).wrapping_mul(1442695040888963407)) as f64;
+            (x / u64::MAX as f64) - 0.5
+        };
+        let lower: Vec<f64> = (0..n - 1).map(&r).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|k| r(k + 1000)).collect();
+        let main: Vec<f64> = (0..n)
+            .map(|k| {
+                let off = lower.get(k.wrapping_sub(1)).map(|v| v.abs()).unwrap_or(0.0)
+                    + upper.get(k).map(|v| v.abs()).unwrap_or(0.0);
+                off + 1.0 + r(k + 2000).abs()
+            })
+            .collect();
+        let sys = Tridiagonal::new(lower, main, upper).expect("diagonally dominant");
+        let x_true: Vec<f64> = (0..n).map(|k| r(k + 3000) * 10.0).collect();
+        let d = sys.apply(&x_true);
+        let x = sys.solve(&d).expect("solve");
+        for (a, b) in x.iter().zip(x_true.iter()) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    /// Mass is conserved by the diffusion stepper for any (kf, kb) program.
+    #[test]
+    fn diffusion_conserves_mass(
+        kf_exp in -6.0f64..2.0,
+        kb_exp in -6.0f64..2.0,
+        bulk_mm in 0.1f64..10.0,
+        steps in 10usize..200,
+    ) {
+        let d = DiffusionCoefficient::new(1e-5);
+        let dt = Seconds::new(0.01);
+        let grid = Grid::for_experiment(d, Seconds::new(steps as f64 * 0.01 + 1.0), dt).expect("grid");
+        let mut sim = DiffusionSim::new(
+            grid,
+            d,
+            d,
+            Molar::from_millimolar(bulk_mm).to_moles_per_cm3(),
+            MolesPerCm3::ZERO,
+            dt,
+        ).expect("sim");
+        for _ in 0..steps {
+            sim.step_with_rate_constants(10f64.powf(kf_exp), 10f64.powf(kb_exp));
+        }
+        prop_assert!(sim.mass_balance_error() < 5e-3, "mass error {}", sim.mass_balance_error());
+    }
+
+    /// Concentrations never go negative under pure consumption.
+    #[test]
+    fn concentrations_stay_nonnegative(
+        kf_exp in -4.0f64..6.0,
+        steps in 10usize..300,
+    ) {
+        let d = DiffusionCoefficient::new(1e-5);
+        let dt = Seconds::new(0.01);
+        let grid = Grid::for_experiment(d, Seconds::new(5.0), dt).expect("grid");
+        let mut sim = DiffusionSim::new(
+            grid, d, d,
+            Molar::from_millimolar(1.0).to_moles_per_cm3(),
+            MolesPerCm3::ZERO,
+            dt,
+        ).expect("sim");
+        for _ in 0..steps {
+            sim.step_with_rate_constants(10f64.powf(kf_exp), 0.0);
+        }
+        for c in sim.profile_ox() {
+            prop_assert!(*c >= -1e-12, "negative concentration {c}");
+        }
+        prop_assert!(sim.surface_ox().value() >= -1e-12);
+    }
+
+    /// Butler–Volmer rates satisfy the thermodynamic ratio
+    /// kf/kb = exp(−nF(E−E0)/RT) for any potential and α.
+    #[test]
+    fn bv_rates_respect_thermodynamics(
+        e_mv in -900.0f64..900.0,
+        alpha in 0.05f64..0.95,
+        n in 1u32..3,
+    ) {
+        let couple = RedoxCouple::builder("p")
+            .electrons(n)
+            .transfer_coefficient(alpha)
+            .formal_potential(Volts::new(0.1))
+            .build()
+            .expect("valid");
+        let e = Volts::from_millivolts(e_mv);
+        let (kf, kb) = rate_constants(&couple, e, T_ROOM, 1.0);
+        let f = bios_units::FARADAY / (bios_units::GAS_CONSTANT * T_ROOM.value());
+        let eta = e.value() - 0.1;
+        let expected = -(n as f64) * f * eta;
+        let ratio = kf / kb;
+        // The implementation clamps each exponent to ±50; only assert the
+        // thermodynamic ratio where neither exponent is clamped.
+        let worst_exponent = (n as f64) * f * eta.abs() * alpha.max(1.0 - alpha);
+        if worst_exponent < 49.0 {
+            prop_assert!((ratio.ln() - expected).abs() < 1e-9);
+        }
+        prop_assert!(kf > 0.0 && kb > 0.0);
+    }
+
+    /// The CV peak current grows monotonically with concentration.
+    #[test]
+    fn cv_peak_monotone_in_concentration(c1_mm in 0.2f64..2.0, factor in 1.5f64..4.0) {
+        let cell = Cell::builder(
+            Electrode::new(ElectrodeMaterial::Gold, SquareCentimeters::new(0.0023)).expect("area"),
+        ).build().expect("cell");
+        let couple = RedoxCouple::ferrocyanide();
+        let e0 = couple.formal_potential();
+        let program = PotentialProgram::cyclic_single(
+            e0 + Volts::new(0.25),
+            e0 - Volts::new(0.25),
+            VoltsPerSecond::new(0.1),
+        );
+        let opts = SimOptions { dt: Some(Seconds::new(0.025)), include_charging: false };
+        let run = |c_mm: f64| {
+            simulate_cv_with(&cell, &couple, Molar::from_millimolar(c_mm), Molar::ZERO, &program, opts)
+                .expect("sim")
+                .min_current()
+                .expect("nonempty")
+                .1
+                .abs()
+                .value()
+        };
+        let i1 = run(c1_mm);
+        let i2 = run(c1_mm * factor);
+        prop_assert!(i2 > i1, "peak must grow with concentration");
+        // And approximately linearly.
+        prop_assert!(((i2 / i1) - factor).abs() < 0.1 * factor);
+    }
+}

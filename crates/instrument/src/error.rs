@@ -1,0 +1,98 @@
+//! Error type for the measurement-science layer.
+
+/// Errors produced while running protocols or analyzing data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrumentError {
+    /// A protocol parameter was out of its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Not enough data points for the requested analysis.
+    InsufficientData {
+        /// What the analysis needed.
+        needed: usize,
+        /// What it got.
+        got: usize,
+    },
+    /// A numerical fit failed (degenerate input).
+    FitFailed(String),
+    /// The underlying AFE rejected the measurement.
+    Afe(bios_afe::AfeError),
+    /// The underlying biochemistry model rejected the configuration.
+    Biochem(bios_biochem::BiochemError),
+}
+
+impl InstrumentError {
+    pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            Self::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} points, got {got}")
+            }
+            Self::FitFailed(why) => write!(f, "fit failed: {why}"),
+            Self::Afe(e) => write!(f, "afe error: {e}"),
+            Self::Biochem(e) => write!(f, "biochemistry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Afe(e) => Some(e),
+            Self::Biochem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<bios_afe::AfeError> for InstrumentError {
+    fn from(e: bios_afe::AfeError) -> Self {
+        Self::Afe(e)
+    }
+}
+
+impl From<bios_biochem::BiochemError> for InstrumentError {
+    fn from(e: bios_biochem::BiochemError) -> Self {
+        Self::Biochem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = InstrumentError::invalid("dt", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter dt: must be positive");
+        let wrapped: InstrumentError = bios_afe::AfeError::BadChannel {
+            requested: 9,
+            available: 5,
+        }
+        .into();
+        assert!(wrapped.to_string().contains("afe error"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<InstrumentError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Measurement science for the `advdiag` biosensing platform: protocols,
+//! peak analysis and calibration statistics.
+//!
+//! This crate turns the paper's §II-B "desirable properties of a biosensing
+//! acquisition chain" into code:
+//!
+//! * [`run_chrono`] / [`calibrate_chrono`] — chronoamperometry on oxidase
+//!   sensors: injections, `t₉₀` and transient response times (Fig. 3),
+//!   full calibration campaigns;
+//! * [`run_cv`] / [`calibrate_cv`] — cyclic voltammetry on cytochrome P450
+//!   sensors: cathodic [`Peak`] detection, electrochemical
+//!   [`match_signature`] identification (Table II), peak-height
+//!   calibration;
+//! * [`analyze_calibration`] — sensitivity (eq. 6), LOD = `V_b + 3σ_b`
+//!   (eq. 5), linear-range detection and `NL_max` (eq. 7);
+//! * [`ReplicateStats`] and [`PerformanceReport`] — the statistics and the
+//!   Table III-style outputs.
+//!
+//! Every stochastic function takes an explicit seed; identical seeds give
+//! identical measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibration;
+mod chrono_protocol;
+mod cv_protocol;
+mod error;
+mod injection;
+mod metrics;
+mod peaks;
+mod replicate;
+mod signature;
+
+pub use calibration::{
+    analyze_calibration, fit_line, max_nonlinearity, CalibrationOutcome, CalibrationPoint,
+    LinearFit,
+};
+pub use chrono_protocol::{
+    analyze_transient, calibrate_chrono, run_chrono, run_chrono_with_interferents,
+    ChronoMeasurement, ChronoProtocol,
+};
+pub use cv_protocol::{calibrate_cv, peak_readout, run_cv, CvMeasurement, CvProtocol};
+pub use error::InstrumentError;
+pub use injection::{run_injection_series, InjectionSchedule, InjectionSeriesResult};
+pub use metrics::PerformanceReport;
+pub use peaks::{
+    anodic_segment, cathodic_segment, detect_anodic_peaks, detect_cathodic_peaks, Peak, PeakOptions,
+};
+pub use replicate::ReplicateStats;
+pub use signature::{match_signature, ExpectedPeak, SignatureMatch, DEFAULT_WINDOW};

@@ -1,0 +1,193 @@
+//! Electrochemical signature matching: assign detected peaks to analytes
+//! by their reduction potentials (paper §I-B: "position gives information
+//! on the type of molecules that are oxidized, like an electrochemical
+//! signature").
+
+use crate::peaks::Peak;
+use bios_biochem::Analyte;
+use bios_units::Volts;
+
+/// The default half-width of the potential window used to claim a peak.
+///
+/// Catalytic CYP waves are ≈45 mV FWHM in this workspace, and the closest
+/// Table II pair (torsemide −19 mV vs diclofenac −41 mV) is 22 mV apart —
+/// a 30 mV window keeps those separable while tolerating noise-induced
+/// apex wobble.
+pub const DEFAULT_WINDOW: Volts = Volts::new(0.030);
+
+/// An expected signature entry: an analyte and where its peak should be.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExpectedPeak {
+    /// The analyte.
+    pub analyte: Analyte,
+    /// Its nominal reduction potential (Table II).
+    pub potential: Volts,
+}
+
+/// The outcome of matching one expected analyte against detected peaks.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SignatureMatch {
+    /// The analyte looked for.
+    pub analyte: Analyte,
+    /// Nominal potential from the registry.
+    pub expected: Volts,
+    /// The matched peak, if one fell inside the window.
+    pub peak: Option<Peak>,
+    /// Apex-position error (`found − expected`) when matched.
+    pub position_error: Option<Volts>,
+}
+
+impl SignatureMatch {
+    /// Whether the analyte was identified.
+    pub fn identified(&self) -> bool {
+        self.peak.is_some()
+    }
+}
+
+/// Matches detected peaks against an expected signature table.
+///
+/// Each expected analyte claims the most prominent unclaimed peak within
+/// `window` of its nominal potential; peaks are consumed greedily in
+/// prominence order so a large neighboring peak cannot double-count.
+///
+/// # Example
+///
+/// ```
+/// use bios_biochem::Analyte;
+/// use bios_instrument::{match_signature, ExpectedPeak, Peak, DEFAULT_WINDOW};
+/// use bios_units::{Amps, Volts};
+///
+/// let detected = vec![Peak {
+///     potential: Volts::new(-0.405),
+///     current: Amps::new(-2e-9),
+///     height: Amps::new(2e-9),
+///     index: 10,
+/// }];
+/// let expected = [ExpectedPeak {
+///     analyte: Analyte::Aminopyrine,
+///     potential: Volts::new(-0.400),
+/// }];
+/// let matches = match_signature(&detected, &expected, DEFAULT_WINDOW);
+/// assert!(matches[0].identified());
+/// ```
+pub fn match_signature(
+    detected: &[Peak],
+    expected: &[ExpectedPeak],
+    window: Volts,
+) -> Vec<SignatureMatch> {
+    let mut claimed = vec![false; detected.len()];
+    let mut out = Vec::with_capacity(expected.len());
+    for exp in expected {
+        // `detected` arrives prominence-sorted from the peak detector; take
+        // the first unclaimed peak in window.
+        let hit = detected.iter().enumerate().find(|(k, p)| {
+            !claimed[*k] && (p.potential - exp.potential).abs().value() <= window.value()
+        });
+        match hit {
+            Some((k, p)) => {
+                claimed[k] = true;
+                out.push(SignatureMatch {
+                    analyte: exp.analyte,
+                    expected: exp.potential,
+                    peak: Some(*p),
+                    position_error: Some(p.potential - exp.potential),
+                });
+            }
+            None => out.push(SignatureMatch {
+                analyte: exp.analyte,
+                expected: exp.potential,
+                peak: None,
+                position_error: None,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::Amps;
+
+    fn peak(e: f64, h: f64) -> Peak {
+        Peak {
+            potential: Volts::new(e),
+            current: Amps::new(-h),
+            height: Amps::new(h),
+            index: 0,
+        }
+    }
+
+    #[test]
+    fn matches_within_window_and_reports_error() {
+        let detected = vec![peak(-0.256, 1e-9)];
+        let expected = [ExpectedPeak {
+            analyte: Analyte::Benzphetamine,
+            potential: Volts::new(-0.250),
+        }];
+        let m = match_signature(&detected, &expected, DEFAULT_WINDOW);
+        assert!(m[0].identified());
+        assert!((m[0].position_error.expect("matched").as_millivolts() + 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn misses_outside_window() {
+        let detected = vec![peak(-0.32, 1e-9)];
+        let expected = [ExpectedPeak {
+            analyte: Analyte::Benzphetamine,
+            potential: Volts::new(-0.250),
+        }];
+        let m = match_signature(&detected, &expected, DEFAULT_WINDOW);
+        assert!(!m[0].identified());
+    }
+
+    #[test]
+    fn peaks_are_not_double_claimed() {
+        // One real peak between two expected analytes: only one claims it.
+        let detected = vec![peak(-0.030, 1e-9)];
+        let expected = [
+            ExpectedPeak {
+                analyte: Analyte::Torsemide,
+                potential: Volts::new(-0.019),
+            },
+            ExpectedPeak {
+                analyte: Analyte::Diclofenac,
+                potential: Volts::new(-0.041),
+            },
+        ];
+        let m = match_signature(&detected, &expected, DEFAULT_WINDOW);
+        let identified = m.iter().filter(|x| x.identified()).count();
+        assert_eq!(identified, 1);
+    }
+
+    #[test]
+    fn two_peaks_two_analytes() {
+        let detected = vec![peak(-0.398, 5e-9), peak(-0.252, 1e-9)];
+        let expected = [
+            ExpectedPeak {
+                analyte: Analyte::Benzphetamine,
+                potential: Volts::new(-0.250),
+            },
+            ExpectedPeak {
+                analyte: Analyte::Aminopyrine,
+                potential: Volts::new(-0.400),
+            },
+        ];
+        let m = match_signature(&detected, &expected, DEFAULT_WINDOW);
+        assert!(m.iter().all(|x| x.identified()));
+        assert_eq!(m[0].peak.expect("matched").height, Amps::new(1e-9));
+        assert_eq!(m[1].peak.expect("matched").height, Amps::new(5e-9));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(match_signature(&[], &[], DEFAULT_WINDOW).is_empty());
+        let expected = [ExpectedPeak {
+            analyte: Analyte::Clozapine,
+            potential: Volts::new(-0.265),
+        }];
+        let m = match_signature(&[], &expected, DEFAULT_WINDOW);
+        assert_eq!(m.len(), 1);
+        assert!(!m[0].identified());
+    }
+}

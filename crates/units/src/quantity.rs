@@ -1,0 +1,264 @@
+//! The [`Quantity`] trait and the macros that generate quantity newtypes.
+
+/// A scalar physical quantity backed by an `f64` in its SI-coherent base unit.
+///
+/// All newtypes produced by this crate implement `Quantity`, which lets
+/// downstream code be generic over the dimension — e.g.
+/// [`QRange`](crate::QRange) works for voltage windows and concentration
+/// ranges alike.
+///
+/// # Example
+///
+/// ```
+/// use bios_units::{Quantity, Volts};
+///
+/// fn midpoint<Q: Quantity>(a: Q, b: Q) -> Q {
+///     Q::from_value((a.value() + b.value()) / 2.0)
+/// }
+///
+/// assert_eq!(midpoint(Volts::new(0.0), Volts::new(1.0)), Volts::new(0.5));
+/// ```
+pub trait Quantity: Copy + PartialOrd + core::fmt::Debug {
+    /// Unit symbol used by [`Display`](core::fmt::Display) (e.g. `"V"`).
+    const SYMBOL: &'static str;
+
+    /// Constructs the quantity from a raw value in its base unit.
+    fn from_value(value: f64) -> Self;
+
+    /// Returns the raw value in the base unit.
+    fn value(self) -> f64;
+}
+
+/// Defines a quantity newtype with arithmetic, display, parsing and
+/// optional scaled constructors.
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:expr
+        $(, scaled { $( $(#[$smeta:meta])* $from_fn:ident / $as_fn:ident : $factor:expr ),* $(,)? } )?
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Constructs the quantity from a value in its base unit.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in the base unit.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `-1.0`, `0.0` or `1.0` depending on the sign.
+            pub fn signum(self) -> f64 {
+                if self.0 == 0.0 { 0.0 } else { self.0.signum() }
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the value to `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp: lo must not exceed hi");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` when the value is neither infinite nor NaN.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Linear interpolation: `self + t * (other - self)`.
+            pub fn lerp(self, other: Self, t: f64) -> Self {
+                Self(self.0 + t * (other.0 - self.0))
+            }
+
+            $($(
+                $(#[$smeta])*
+                pub fn $from_fn(value: f64) -> Self {
+                    Self(value * $factor)
+                }
+
+                #[doc = concat!("Returns the value scaled by 1/", stringify!($factor), ".")]
+                pub fn $as_fn(self) -> f64 {
+                    self.0 / $factor
+                }
+            )*)?
+        }
+
+        impl $crate::Quantity for $name {
+            const SYMBOL: &'static str = $symbol;
+
+            fn from_value(value: f64) -> Self {
+                Self(value)
+            }
+
+            fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                f.write_str(&$crate::format_si(self.0, $symbol))
+            }
+        }
+
+        impl core::str::FromStr for $name {
+            type Err = $crate::ParseQuantityError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                $crate::prefix::parse_quantity(s, $symbol).map(Self)
+            }
+        }
+    };
+}
+
+/// Generates dimensional product impls: `A * B = C` (and the commuted and
+/// divided forms `B * A = C`, `C / A = B`, `C / B = A`).
+macro_rules! qprod {
+    ($a:ty, $b:ty => $c:ty) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            fn mul(self, rhs: $b) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            fn mul(self, rhs: $a) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            fn div(self, rhs: $a) -> $b {
+                <$b>::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            fn div(self, rhs: $b) -> $a {
+                <$a>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}
+
+/// Generates a squared dimensional product: `A * A = C`, `C / A = A`.
+macro_rules! qsquare {
+    ($a:ty => $c:ty) => {
+        impl core::ops::Mul for $a {
+            type Output = $c;
+            fn mul(self, rhs: Self) -> $c {
+                <$c>::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $a;
+            fn div(self, rhs: $a) -> $a {
+                <$a>::new(self.value() / rhs.value())
+            }
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Design-space exploration for the paper's panel: enumerate component
+//! choices, predict per-target LODs, and print the Pareto front — the §I
+//! "search of the most cost-effective solution" made executable.
+//!
+//! Run with `cargo run --example design_space_exploration`.
+
+use advdiag::platform::{explore, DesignSpace, PanelSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let panel = PanelSpec::paper_fig4();
+    let space = DesignSpace::paper_default();
+    println!(
+        "exploring {} designs for a {}-target panel...\n",
+        space.len(),
+        panel.targets().len()
+    );
+    let mut designs = explore(&panel, &space)?;
+    let feasible = designs.iter().filter(|d| d.feasible).count();
+    println!("{feasible}/{} designs feasible", designs.len());
+
+    designs.sort_by(|a, b| {
+        a.cost
+            .scalar()
+            .partial_cmp(&b.cost.scalar())
+            .expect("costs are finite")
+    });
+
+    println!(
+        "\n{:<6} {:<5} {:<10} {:<5} {:<4} {:<5} {:>9} {:>9} {:>8} {:>8}",
+        "pareto", "nano", "sharing", "chop", "cds", "bits", "power", "area", "time", "margin"
+    );
+    for d in designs.iter().filter(|d| d.feasible) {
+        println!(
+            "{:<6} {:<5} {:<10} {:<5} {:<4} {:<5} {:>9} {:>7.2}mm² {:>7.0}s {:>8.2}",
+            if d.pareto { "*" } else { "" },
+            d.point.nanostructure.to_string(),
+            format!("{}", d.point.sharing)
+                .chars()
+                .take(9)
+                .collect::<String>(),
+            d.point.chopper,
+            d.point.cds,
+            d.point.adc_bits,
+            d.cost.power.to_string(),
+            d.cost.total_area_mm2(),
+            d.cost.session_time.value(),
+            d.worst_lod_margin,
+        );
+    }
+
+    // The front's endpoints tell the story.
+    let front: Vec<_> = designs.iter().filter(|d| d.pareto).collect();
+    if let (Some(cheapest), Some(best)) = (front.first(), front.last()) {
+        println!("\ncheapest feasible design: {:?}", cheapest.point);
+        println!("highest-margin design:    {:?}", best.point);
+    }
+
+    // Show the per-target LOD predictions of the cheapest Pareto design.
+    if let Some(d) = front.first() {
+        println!("\npredicted LODs of the cheapest Pareto design:");
+        for (analyte, lod) in &d.predicted_lods {
+            println!("  {:<15} {}", analyte.to_string(), lod);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Therapeutic drug monitoring with a cytochrome P450 sensor.
+//!
+//! The paper's §I-A: "The measure of their level in the blood during
+//! pharmacological therapy allows doctors to monitor how the patient is
+//! metabolizing the supplied drugs." This example doses aminopyrine orally,
+//! follows the plasma concentration with a one-compartment PK model, and
+//! tracks it with CYP2B4 cyclic voltammetry every half hour.
+//!
+//! Run with `cargo run --example drug_panel_cv`.
+
+use advdiag::afe::{ChainConfig, CurrentRange, ReadoutChain};
+use advdiag::biochem::{Analyte, CypIsoform, CypSensor, OneCompartmentPk, Route};
+use advdiag::electrochem::Electrode;
+use advdiag::instrument::{run_cv, CvProtocol};
+use advdiag::units::{Liters, Moles, Seconds};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sensor = CypSensor::from_registry(CypIsoform::Cyp2B4)?;
+    let electrode = Electrode::paper_gold_we();
+    let range = CurrentRange::cytochrome().scaled(electrode.geometric_area().value());
+    let chain = ReadoutChain::new(ChainConfig::for_range(range)?);
+    let protocol = CvProtocol::default();
+
+    // A hefty oral aminopyrine dose into 42 L of distribution volume:
+    // peaks a bit over 2 mM, inside the sensor's 0.8–8 mM linear range.
+    let pk = OneCompartmentPk::new(
+        Moles::from_millimoles(120.0),
+        Liters::new(42.0),
+        Route::Oral,
+        2.0e-4, // ka: ~1 h absorption
+        4.0e-5, // ke: ~4.8 h half-life
+    )?;
+    println!(
+        "dose t½ = {:.1} h, peak at {:.1} h",
+        pk.half_life().as_hours(),
+        pk.time_to_peak().as_hours()
+    );
+    println!("\nhour   true(mM)   peak(nA)   measured(mM)");
+
+    for step in 0..=24 {
+        let t = Seconds::from_hours(step as f64 * 0.5);
+        let truth = pk.concentration(t);
+        let m = run_cv(
+            &sensor,
+            &electrode,
+            &chain,
+            &[(Analyte::Aminopyrine, truth)],
+            &protocol,
+            7000 + step as u64,
+        )?;
+        let (peak_na, est_mm) = match m.peak_height(Analyte::Aminopyrine) {
+            Some(h) => {
+                // Invert the registry calibration.
+                let s = sensor
+                    .sensitivity_si(Analyte::Aminopyrine)
+                    .expect("substrate");
+                let km = sensor
+                    .kinetics(Analyte::Aminopyrine)
+                    .expect("substrate")
+                    .km();
+                let x = h.value() / (electrode.geometric_area().value() * s * km.value());
+                let c = if x < 0.98 {
+                    km.value() * x / (1.0 - x)
+                } else {
+                    f64::NAN
+                };
+                (h.as_nanoamps(), c * 1e3)
+            }
+            None => (0.0, 0.0),
+        };
+        if step % 2 == 0 {
+            println!(
+                "{:>4.1}  {:>9.2}  {:>9.2}  {:>12.2}",
+                t.as_hours(),
+                truth.as_millimolar(),
+                peak_na,
+                est_mm
+            );
+        }
+    }
+    println!("\npeak appears at the Table II potential (−400 mV vs Ag/AgCl);");
+    println!("below the sensor's 400 µM LOD the drug correctly reads as absent.");
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full stack from panel specification
+//! to concentration readings.
+
+use advdiag::biochem::{Analyte, Technique};
+use advdiag::platform::{
+    PanelSpec, PlatformBuilder, ProbePreference, ReadoutSharing, SensorStructure, TargetSpec,
+};
+use advdiag::units::{Molar, Seconds};
+
+fn fig4_sample() -> Vec<(Analyte, Molar)> {
+    vec![
+        (Analyte::Glucose, Molar::from_millimolar(3.0)),
+        (Analyte::Lactate, Molar::from_millimolar(1.5)),
+        (Analyte::Glutamate, Molar::from_millimolar(3.2)),
+        (Analyte::Benzphetamine, Molar::from_millimolar(0.9)),
+        (Analyte::Aminopyrine, Molar::from_millimolar(4.0)),
+        (Analyte::Cholesterol, Molar::from_micromolar(50.0)),
+    ]
+}
+
+#[test]
+fn paper_panel_full_pipeline() {
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    // Structure is the paper's Fig. 4: 5 WE + CE + RE.
+    assert_eq!(
+        platform.structure(),
+        SensorStructure::MultiElectrode { working: 5 }
+    );
+    assert_eq!(platform.structure().total_electrodes(), 7);
+
+    let report = platform.run_session(&fig4_sample(), 1).expect("session");
+    assert_eq!(report.readings().len(), 6);
+    for r in report.readings() {
+        assert!(r.identified, "{} not identified", r.analyte);
+        let est = r.estimated.expect("not saturated");
+        assert!(est.value() > 0.0);
+    }
+    // All six within 2× of truth end-to-end.
+    assert!(report.worst_relative_error(&fig4_sample()) < 1.0);
+}
+
+#[test]
+fn concentration_sweep_is_monotone_through_the_whole_stack() {
+    // Glucose estimates should rise with the true concentration, through
+    // enzyme model, AFE, quantization and inversion.
+    let mut panel = PanelSpec::new();
+    panel.push(TargetSpec::typical(Analyte::Glucose));
+    let platform = PlatformBuilder::new(panel).build().expect("build");
+    let mut last = -1.0;
+    for (k, mm) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+        let sample = [(Analyte::Glucose, Molar::from_millimolar(*mm))];
+        let report = platform
+            .run_session(&sample, 100 + k as u64)
+            .expect("session");
+        let est = report
+            .reading_for(Analyte::Glucose)
+            .expect("on panel")
+            .estimated
+            .expect("not saturated")
+            .as_millimolar();
+        assert!(est > last, "estimate {est} not above previous {last}");
+        last = est;
+    }
+}
+
+#[test]
+fn session_is_reproducible_per_seed() {
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    let a = platform.run_session(&fig4_sample(), 99).expect("session");
+    let b = platform.run_session(&fig4_sample(), 99).expect("session");
+    assert_eq!(a.readings(), b.readings());
+    let c = platform.run_session(&fig4_sample(), 100).expect("session");
+    assert_ne!(a.readings(), c.readings());
+}
+
+#[test]
+fn technique_split_matches_probe_families() {
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    let chrono = platform
+        .assignments()
+        .iter()
+        .filter(|a| a.technique() == Technique::Chronoamperometry)
+        .count();
+    let cv = platform
+        .assignments()
+        .iter()
+        .filter(|a| a.technique() == Technique::CyclicVoltammetry)
+        .count();
+    assert_eq!((chrono, cv), (3, 2));
+}
+
+#[test]
+fn probe_preference_changes_the_layout() {
+    let mut panel = PanelSpec::new();
+    panel.push(TargetSpec::typical(Analyte::Cholesterol));
+    panel.push(TargetSpec::typical(Analyte::Glucose));
+    let cyp = PlatformBuilder::new(panel.clone())
+        .with_preference(ProbePreference::PreferCytochrome)
+        .build()
+        .expect("build");
+    let oxi = PlatformBuilder::new(panel)
+        .with_preference(ProbePreference::PreferOxidase)
+        .build()
+        .expect("build");
+    let cv_count = |p: &advdiag::platform::Platform| {
+        p.assignments()
+            .iter()
+            .filter(|a| a.technique() == Technique::CyclicVoltammetry)
+            .count()
+    };
+    assert_eq!(cv_count(&cyp), 1);
+    assert_eq!(cv_count(&oxi), 0);
+}
+
+#[test]
+fn dedicated_readout_runs_faster_but_costs_more() {
+    let shared = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    let dedicated = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .with_sharing(ReadoutSharing::Dedicated)
+        .build()
+        .expect("build");
+    assert!(
+        dedicated.schedule().total_duration().value() < shared.schedule().total_duration().value()
+    );
+    assert!(dedicated.cost().power.value() > shared.cost().power.value());
+    assert!(dedicated.cost().total_area_mm2() > shared.cost().total_area_mm2());
+    // And both still measure correctly.
+    let r = dedicated.run_session(&fig4_sample(), 3).expect("session");
+    assert!(
+        r.reading_for(Analyte::Glucose)
+            .expect("on panel")
+            .identified
+    );
+}
+
+#[test]
+fn chamber_separation_when_crosstalk_demands_it() {
+    let mut panel = PanelSpec::new();
+    panel.push(TargetSpec::typical(Analyte::Glucose));
+    panel.push(TargetSpec::typical(Analyte::Lactate));
+    panel.push(TargetSpec::typical(Analyte::Glutamate));
+    let tight = PlatformBuilder::new(panel.clone())
+        .with_pitch(advdiag::units::Centimeters::from_millimeters(0.1))
+        .with_chrono_protocol(advdiag::instrument::ChronoProtocol {
+            settle: Seconds::new(10.0),
+            measure: Seconds::new(600.0),
+            dt: Seconds::new(1.0),
+        })
+        .build()
+        .expect("build");
+    assert!(matches!(
+        tight.structure(),
+        SensorStructure::MultiChamber { chambers: 3 }
+    ));
+    let roomy = PlatformBuilder::new(panel).build().expect("build");
+    assert!(matches!(
+        roomy.structure(),
+        SensorStructure::MultiElectrode { working: 3 }
+    ));
+}
+
+#[test]
+fn prelude_covers_the_quickstart_path() {
+    use advdiag::prelude::*;
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4()).build().expect("build");
+    let sample = [(Analyte::Glucose, Molar::from_millimolar(3.0))];
+    let report: SessionReport = platform.run_session(&sample, 1).expect("session");
+    assert!(report.reading_for(Analyte::Glucose).expect("on panel").identified);
+}

@@ -1,0 +1,145 @@
+//! Fast checks of the paper's headline claims, spanning all crates (the
+//! heavyweight versions live in `bios-bench`).
+
+use advdiag::afe::{ChainConfig, CurrentRange, ReadoutChain};
+use advdiag::biochem::{Analyte, CypIsoform, CypSensor, Membrane, Oxidase, OxidaseSensor};
+use advdiag::electrochem::{
+    randles_sevcik_peak, simulate_cv_with, Cell, Electrode, PotentialProgram, RedoxCouple,
+    SimOptions,
+};
+use advdiag::instrument::{run_chrono, run_cv, ChronoProtocol, CvProtocol};
+use advdiag::units::{Molar, Seconds, Volts, VoltsPerSecond, T_ROOM};
+
+#[test]
+fn fig3_claim_glucose_settles_in_about_30_s() {
+    // "the signal takes around 30 seconds to reach the steady-state"
+    let t90 = Membrane::paper_glucose_membrane().response_time(0.9);
+    assert!((t90.value() - 30.0).abs() < 1.5, "t90 = {}", t90.value());
+
+    // End-to-end (with AFE noise): stay in a generous band.
+    let sensor = OxidaseSensor::from_registry(Oxidase::Glucose).expect("registry");
+    let chain = ReadoutChain::new(ChainConfig::for_range(CurrentRange::oxidase()).expect("range"));
+    let m = run_chrono(
+        &sensor,
+        &Electrode::paper_gold_we(),
+        &chain,
+        Molar::from_millimolar(2.0),
+        &ChronoProtocol::default(),
+        12,
+    )
+    .expect("measurement");
+    let measured = m.t90.expect("settles").value();
+    assert!((measured - 30.0).abs() < 8.0, "measured t90 = {measured}");
+}
+
+#[test]
+fn table_i_claim_oxidases_need_550_to_700_mv() {
+    for ox in Oxidase::ALL {
+        let e = ox.applied_potential().as_millivolts();
+        assert!((550.0..=700.0).contains(&e), "{ox}: {e} mV");
+    }
+}
+
+#[test]
+fn table_ii_claim_one_isoform_two_drugs_two_peaks() {
+    // "with the same agent (CYP2B4) it is possible to detect different
+    // compounds (benzphetamine and aminopyrine) at the same electrode"
+    let sensor = CypSensor::from_registry(CypIsoform::Cyp2B4).expect("registry");
+    let electrode = Electrode::paper_gold_we();
+    let range = CurrentRange::cytochrome().scaled(electrode.geometric_area().value());
+    let chain = ReadoutChain::new(ChainConfig::for_range(range).expect("range"));
+    let m = run_cv(
+        &sensor,
+        &electrode,
+        &chain,
+        &[
+            (Analyte::Benzphetamine, Molar::from_millimolar(1.0)),
+            (Analyte::Aminopyrine, Molar::from_millimolar(4.0)),
+        ],
+        &CvProtocol::default(),
+        8,
+    )
+    .expect("measurement");
+    let b = m.peak_height(Analyte::Benzphetamine).expect("peak found");
+    let a = m.peak_height(Analyte::Aminopyrine).expect("peak found");
+    // "The height of the two corresponding peaks gives information about
+    // their concentration" — and aminopyrine's 10× sensitivity shows.
+    assert!(a.value() > b.value());
+}
+
+#[test]
+fn section_iii_claim_shared_mux_platform_cheaper_than_replication() {
+    use advdiag::platform::{electronics_budget, ReadoutSharing};
+    let shared = electronics_budget(5, ReadoutSharing::Shared, 12, false, false);
+    let dedicated = electronics_budget(5, ReadoutSharing::Dedicated, 12, false, false);
+    assert!(shared.total_power().value() < dedicated.total_power().value() / 3.0);
+}
+
+#[test]
+fn solver_validates_against_randles_sevcik() {
+    let cell = Cell::builder(Electrode::paper_gold_we())
+        .build()
+        .expect("cell");
+    let couple = RedoxCouple::ferrocyanide();
+    let rate = VoltsPerSecond::from_millivolts_per_second(50.0);
+    let program = PotentialProgram::cyclic_single(
+        couple.formal_potential() + Volts::new(0.3),
+        couple.formal_potential() - Volts::new(0.3),
+        rate,
+    );
+    let cv = simulate_cv_with(
+        &cell,
+        &couple,
+        Molar::from_millimolar(1.0),
+        Molar::ZERO,
+        &program,
+        SimOptions {
+            dt: None,
+            include_charging: false,
+        },
+    )
+    .expect("simulation");
+    let (_, ip) = cv.min_current().expect("peak");
+    let analytic = randles_sevcik_peak(
+        &couple,
+        cell.working().active_area(),
+        Molar::from_millimolar(1.0),
+        rate,
+        T_ROOM,
+    );
+    let rel = (ip.abs().value() - analytic.value()).abs() / analytic.value();
+    assert!(rel < 0.04, "Randles–Ševčík deviation {rel}");
+}
+
+#[test]
+fn section_iic_claim_20mvs_preserves_signatures_but_200mvs_does_not() {
+    let sensor = CypSensor::from_registry(CypIsoform::Cyp2B4).expect("registry");
+    let slow = sensor
+        .peak_potential(
+            Analyte::Benzphetamine,
+            VoltsPerSecond::from_millivolts_per_second(20.0),
+            T_ROOM,
+        )
+        .expect("substrate");
+    assert_eq!(slow, Volts::new(-0.250));
+    let fast = sensor
+        .peak_potential(
+            Analyte::Benzphetamine,
+            VoltsPerSecond::from_millivolts_per_second(200.0),
+            T_ROOM,
+        )
+        .expect("substrate");
+    assert!(
+        (slow - fast).as_millivolts() > 30.0,
+        "drift {}",
+        (slow - fast)
+    );
+}
+
+#[test]
+fn section_ii_claim_oxidase_crosstalk_negligible_at_mm_pitch() {
+    use advdiag::platform::crosstalk_fraction;
+    use advdiag::units::Centimeters;
+    let f = crosstalk_fraction(Centimeters::from_millimeters(1.0), Seconds::new(70.0));
+    assert!(f < 0.01, "crosstalk {f}");
+}

@@ -1,0 +1,87 @@
+//! Serde round-trip tests for the workspace's data structures (C-SERDE):
+//! panels, programs, records and registries survive serialization.
+
+use advdiag::biochem::{Analyte, CypSensor, Membrane, OxidaseSensor};
+use advdiag::electrochem::{PotentialProgram, RedoxCouple, Transient, Voltammogram};
+use advdiag::platform::{PanelSpec, SensorStructure, TargetSpec};
+use advdiag::units::{Amps, Molar, QRange, Seconds, Volts, VoltsPerSecond};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn quantities_round_trip_as_bare_numbers() {
+    let v = Volts::from_millivolts(-625.0);
+    assert_eq!(round_trip(&v), v);
+    // Transparent representation: the wire format is the raw f64.
+    assert_eq!(serde_json::to_string(&v).expect("serialize"), "-0.625");
+    let r = QRange::new(Molar::from_millimolar(0.5), Molar::from_millimolar(4.0)).expect("range");
+    assert_eq!(round_trip(&r), r);
+}
+
+#[test]
+fn potential_programs_round_trip() {
+    let programs = [
+        PotentialProgram::Hold {
+            potential: Volts::new(0.65),
+            duration: Seconds::new(60.0),
+        },
+        PotentialProgram::cyclic_single(
+            Volts::new(0.1),
+            Volts::new(-0.8),
+            VoltsPerSecond::from_millivolts_per_second(20.0),
+        ),
+        PotentialProgram::Staircase {
+            from: Volts::ZERO,
+            to: Volts::new(-0.5),
+            step_height: Volts::from_millivolts(5.0),
+            step_duration: Seconds::new(0.25),
+        },
+    ];
+    for p in &programs {
+        assert_eq!(&round_trip(p), p);
+    }
+}
+
+#[test]
+fn records_round_trip() {
+    let mut t = Transient::new();
+    t.push(Seconds::new(0.0), Amps::from_nanoamps(1.0));
+    t.push(Seconds::new(1.0), Amps::from_nanoamps(2.0));
+    assert_eq!(round_trip(&t), t);
+    let mut v = Voltammogram::new();
+    v.push(
+        Seconds::new(0.0),
+        Volts::new(-0.2),
+        Amps::from_nanoamps(-1.0),
+    );
+    assert_eq!(round_trip(&v), v);
+}
+
+#[test]
+fn sensors_and_registries_round_trip() {
+    let couple = RedoxCouple::hydrogen_peroxide();
+    assert_eq!(round_trip(&couple), couple);
+    let oxidase =
+        OxidaseSensor::from_registry(advdiag::biochem::Oxidase::Glucose).expect("registry");
+    assert_eq!(round_trip(&oxidase), oxidase);
+    let cyp = CypSensor::from_registry(advdiag::biochem::CypIsoform::Cyp2B4).expect("registry");
+    assert_eq!(round_trip(&cyp), cyp);
+    let membrane = Membrane::paper_glucose_membrane();
+    assert_eq!(round_trip(&membrane), membrane);
+}
+
+#[test]
+fn panels_and_structures_round_trip() {
+    let panel = PanelSpec::paper_fig4();
+    assert_eq!(round_trip(&panel), panel);
+    let spec = TargetSpec::typical(Analyte::Glucose).with_lod(Molar::from_micromolar(100.0));
+    assert_eq!(round_trip(&spec), spec);
+    let s = SensorStructure::MultiElectrode { working: 5 };
+    assert_eq!(round_trip(&s), s);
+}
