@@ -5,6 +5,7 @@ use crate::adc::Adc;
 use crate::cds::CorrelatedDoubleSampler;
 use crate::current_range::CurrentRange;
 use crate::error::AfeError;
+use crate::fault::{Fault, FaultRuntime};
 use crate::noise::{NoiseConfig, NoiseSource};
 use crate::potentiostat::Potentiostat;
 use crate::tia::Tia;
@@ -81,6 +82,13 @@ impl ChainConfig {
         self.noise = noise;
         self
     }
+
+    /// The input current that exactly spans the chain: the TIA's
+    /// full-scale input. Fault models and QC gates use this as the
+    /// "rail" reference for saturation and spike amplitudes.
+    pub fn full_scale_current(&self) -> Amps {
+        self.tia.full_scale_input()
+    }
 }
 
 /// One digitized sample out of the chain.
@@ -126,17 +134,110 @@ pub struct Sample {
 #[derive(Debug, Clone)]
 pub struct ReadoutChain {
     config: ChainConfig,
+    faults: Vec<Fault>,
+    fault_seed: u64,
 }
 
 impl ReadoutChain {
     /// Wraps a configuration.
     pub fn new(config: ChainConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            faults: Vec::new(),
+            fault_seed: 0,
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &ChainConfig {
         &self.config
+    }
+
+    /// Injects faults into every subsequent acquisition. `fault_seed`
+    /// drives the faults' per-sample randomness (spikes, dropouts) —
+    /// typically [`FaultPlan::chain_seed`](crate::FaultPlan::chain_seed)
+    /// — independently of the acquisition noise seed.
+    pub fn with_faults(mut self, faults: Vec<Fault>, fault_seed: u64) -> Self {
+        self.faults = faults;
+        self.fault_seed = fault_seed;
+        self
+    }
+
+    /// The faults this chain injects.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Measures the chain's own input-referred baseline noise: a dry
+    /// acquisition with grounded inputs held at 0 V over `window`,
+    /// returning the standard deviation of the recorded current.
+    ///
+    /// This is the commissioning number a QC gate compares live baselines
+    /// against. Injected faults are exercised by the dry run too, so a
+    /// faulted chain's self-noise diverges from its fault-free twin's —
+    /// signal-path attenuation (open electrode, stale mux) shows up as an
+    /// implausibly quiet channel. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AfeError`] if `dt` or `window` is non-positive.
+    pub fn baseline_noise_reference(
+        &self,
+        dt: Seconds,
+        window: Seconds,
+        seed: u64,
+    ) -> Result<Amps, AfeError> {
+        if window.value() <= 0.0 {
+            return Err(AfeError::invalid("window", "must be positive"));
+        }
+        let program = PotentialProgram::Hold {
+            potential: Volts::ZERO,
+            duration: window,
+        };
+        let samples = self.acquire(&program, dt, seed, |_t, _e| Amps::ZERO, |_t, _e| Amps::ZERO)?;
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|s| s.current.value()).sum::<f64>() / n;
+        let var = samples
+            .iter()
+            .map(|s| (s.current.value() - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        Ok(Amps::new(var.sqrt()))
+    }
+
+    /// Built-in self-test: drives the chain with a known synthetic input
+    /// current (half of full scale, the dummy-cell trick) and returns the
+    /// mean recovered current over the hold, skipping the first quarter
+    /// for settling.
+    ///
+    /// Comparing a live chain's response against its commissioning value
+    /// exposes gain errors the noise floor cannot — signal-path
+    /// attenuation hides below one ADC code at quiescent input, but not
+    /// under a half-scale test signal. Injected faults are exercised by
+    /// the self-test. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AfeError`] if `dt` or `window` is non-positive.
+    pub fn self_test_response(
+        &self,
+        dt: Seconds,
+        window: Seconds,
+        seed: u64,
+    ) -> Result<Amps, AfeError> {
+        if window.value() <= 0.0 {
+            return Err(AfeError::invalid("window", "must be positive"));
+        }
+        let program = PotentialProgram::Hold {
+            potential: Volts::ZERO,
+            duration: window,
+        };
+        let test = Amps::new(0.5 * self.config.full_scale_current().value());
+        let samples = self.acquire(&program, dt, seed, |_t, _e| test, |_t, _e| Amps::ZERO)?;
+        let skip = samples.len() / 4;
+        let tail = &samples[skip..];
+        let mean = tail.iter().map(|s| s.current.value()).sum::<f64>() / tail.len() as f64;
+        Ok(Amps::new(mean))
     }
 
     /// Runs the chain over `program`, sampling every `dt`.
@@ -194,6 +295,19 @@ impl ReadoutChain {
             .streamer(program.potential_at(Seconds::ZERO));
         let mut tia = self.config.tia.streamer();
 
+        // Fault injection sits between the ideal blocks: currents are
+        // perturbed before the TIA, compliance collapse clips its output,
+        // and code faults hit after quantization. A no-op runtime (all
+        // severities zero) is skipped entirely so fault-free acquisitions
+        // stay bit-identical to the pre-fault-model chain.
+        let mut fault_rt = FaultRuntime::new(
+            &self.faults,
+            self.fault_seed,
+            self.config.full_scale_current(),
+        );
+        let inject = !fault_rt.is_noop();
+        let max_code = (1i32 << (self.config.adc.bits() - 1)) - 1;
+
         let duration = program.duration();
         let steps = (duration.value() / dt.value()).round() as usize;
         let mut out = Vec::with_capacity(steps + 1);
@@ -211,8 +325,23 @@ impl ReadoutChain {
                 }
                 None => i_active + drift_now,
             };
+            let i_meas = if inject {
+                fault_rt.apply_current(k, t, i_meas)
+            } else {
+                i_meas
+            };
             let v = tia.process(i_meas, dt);
+            let v = if inject {
+                fault_rt.apply_voltage(t, v, self.config.tia.rail())
+            } else {
+                v
+            };
             let code = self.config.adc.quantize(v);
+            let code = if inject {
+                fault_rt.apply_code(k, t, code, max_code)
+            } else {
+                code
+            };
             let volts = self.config.adc.to_volts(code);
             let current = Amps::new(volts.value() / self.config.tia.gain());
             out.push(Sample {

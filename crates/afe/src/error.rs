@@ -1,7 +1,10 @@
 //! Error type for the analog front-end models.
 
+use bios_units::ErrorSeverity;
+
 /// Errors produced while configuring or running AFE blocks.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AfeError {
     /// A circuit parameter was out of its valid domain.
     InvalidParameter {
@@ -33,6 +36,24 @@ impl AfeError {
             name,
             reason: reason.into(),
         }
+    }
+
+    /// How badly this error compromises the acquisition.
+    ///
+    /// Configuration defects are [`ErrorSeverity::Fatal`] (retrying the
+    /// same parameters cannot help); signal-range violations are
+    /// [`ErrorSeverity::Degraded`] because a lower gain or a retry under
+    /// different conditions can succeed.
+    pub fn severity(&self) -> ErrorSeverity {
+        match self {
+            Self::InvalidParameter { .. } | Self::BadChannel { .. } => ErrorSeverity::Fatal,
+            Self::RangeExceeded { .. } => ErrorSeverity::Degraded,
+        }
+    }
+
+    /// Whether an automatic retry is worthwhile.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity().is_recoverable()
     }
 }
 
@@ -77,5 +98,20 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_traits<T: Send + Sync + std::error::Error>() {}
         assert_traits::<AfeError>();
+    }
+
+    #[test]
+    fn severity_taxonomy() {
+        assert_eq!(
+            AfeError::invalid("bits", "too many").severity(),
+            ErrorSeverity::Fatal
+        );
+        assert!(!AfeError::invalid("bits", "too many").is_recoverable());
+        let clipped = AfeError::RangeExceeded {
+            block: "tia",
+            detail: "rail".to_string(),
+        };
+        assert_eq!(clipped.severity(), ErrorSeverity::Degraded);
+        assert!(clipped.is_recoverable());
     }
 }

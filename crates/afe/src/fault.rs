@@ -1,0 +1,537 @@
+//! Seeded fault injection for the readout chain.
+//!
+//! Real multi-electrode platforms fail in characteristic ways: working
+//! electrodes detach or short, enzyme membranes foul progressively, the
+//! reference electrode drifts, the analog mux sticks or couples switching
+//! charge into neighbours, and the TIA/ADC saturate or drop codes. A
+//! [`FaultPlan`] describes such faults — each with an onset time and a
+//! severity in `[0, 1]` — per working electrode, and the chain applies
+//! them *inside* [`acquire`](crate::ReadoutChain::acquire) so every
+//! downstream layer sees exactly what a damaged front end would produce.
+//!
+//! Two invariants make the model usable for robustness benchmarks:
+//!
+//! * **Bit-reproducibility** — every stochastic choice derives from the
+//!   plan seed and the sample index through a counter-based hash, never
+//!   from shared-stream RNG state, so the same seed yields the same
+//!   corrupted traces regardless of evaluation order.
+//! * **Severity 0 is an exact no-op** — a fault with zero severity leaves
+//!   every sample bit-identical to the fault-free chain, which pins down
+//!   the no-op threshold for silent-corruption accounting.
+
+use crate::error::AfeError;
+use bios_units::{Amps, Seconds, Volts};
+
+/// What kind of physical failure a fault models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Working electrode losing contact: the faradaic current scales by
+    /// `1 − severity` (fully open at severity 1, leaving only noise).
+    ElectrodeOpen,
+    /// Working electrode shorting toward a supply: a parasitic current of
+    /// `severity × 10 ×` full scale is added, pinning the chain at a rail.
+    ElectrodeShort,
+    /// Progressive membrane fouling: sensitivity decays exponentially
+    /// after onset with time constant `30 s ÷ severity`.
+    Fouling,
+    /// Reference-electrode drift: a slowly growing square-root-of-time
+    /// offset current, reaching `severity ×` full scale after 100 s.
+    ReferenceDrift,
+    /// Analog mux stuck on a stale channel: from onset the chain replays
+    /// the current sampled at onset instead of the live electrode.
+    MuxStuck,
+    /// Mux cross-talk: periodic charge-injection spikes of amplitude
+    /// `severity ×` half full scale every second after onset.
+    CrosstalkSpike,
+    /// TIA output compliance collapsing: the available voltage swing
+    /// shrinks by up to 90% at severity 1, clipping large signals.
+    TiaSaturation,
+    /// ADC stuck code: every ⌈1/severity⌉-th sample's code is replaced by
+    /// a constant code derived from the plan seed.
+    AdcStuckCode,
+    /// Random transient spikes: each sample is hit with probability
+    /// `severity ÷ 20` by a full-scale spike of hash-derived sign.
+    TransientSpike,
+    /// Sample dropouts: each sample is zeroed (code 0) with probability
+    /// `severity ÷ 20`, as if the acquisition briefly lost the chain.
+    Dropout,
+}
+
+impl FaultKind {
+    /// All modeled kinds, in a stable order (used by sweep benches).
+    pub const ALL: [FaultKind; 10] = [
+        FaultKind::ElectrodeOpen,
+        FaultKind::ElectrodeShort,
+        FaultKind::Fouling,
+        FaultKind::ReferenceDrift,
+        FaultKind::MuxStuck,
+        FaultKind::CrosstalkSpike,
+        FaultKind::TiaSaturation,
+        FaultKind::AdcStuckCode,
+        FaultKind::TransientSpike,
+        FaultKind::Dropout,
+    ];
+
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ElectrodeOpen => "electrode-open",
+            FaultKind::ElectrodeShort => "electrode-short",
+            FaultKind::Fouling => "fouling",
+            FaultKind::ReferenceDrift => "reference-drift",
+            FaultKind::MuxStuck => "mux-stuck",
+            FaultKind::CrosstalkSpike => "crosstalk-spike",
+            FaultKind::TiaSaturation => "tia-saturation",
+            FaultKind::AdcStuckCode => "adc-stuck-code",
+            FaultKind::TransientSpike => "transient-spike",
+            FaultKind::Dropout => "dropout",
+        }
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One parameterized fault: a kind, when it starts, and how bad it is.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fault {
+    /// The failure mechanism.
+    pub kind: FaultKind,
+    /// Time after which the fault is active.
+    pub onset: Seconds,
+    /// Severity in `[0, 1]`; 0 is an exact no-op, 1 the worst modeled case.
+    pub severity: f64,
+}
+
+impl Fault {
+    /// A fault active from `t = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AfeError::InvalidParameter`] for severity outside
+    /// `[0, 1]` or NaN.
+    pub fn immediate(kind: FaultKind, severity: f64) -> Result<Self, AfeError> {
+        Self::new(kind, Seconds::ZERO, severity)
+    }
+
+    /// A fault activating at `onset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AfeError::InvalidParameter`] for severity outside
+    /// `[0, 1]`, NaN severity, or negative/non-finite onset.
+    pub fn new(kind: FaultKind, onset: Seconds, severity: f64) -> Result<Self, AfeError> {
+        if !(0.0..=1.0).contains(&severity) {
+            return Err(AfeError::invalid("severity", "must lie in [0, 1]"));
+        }
+        if !onset.value().is_finite() || onset.value() < 0.0 {
+            return Err(AfeError::invalid(
+                "onset",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(Self {
+            kind,
+            onset,
+            severity,
+        })
+    }
+
+    fn active(&self, t: Seconds) -> bool {
+        self.severity > 0.0 && t.value() >= self.onset.value()
+    }
+}
+
+/// A seeded, per-electrode fault schedule for a whole platform.
+///
+/// # Example
+///
+/// ```
+/// use bios_afe::{Fault, FaultKind, FaultPlan};
+/// use bios_units::Seconds;
+///
+/// # fn main() -> Result<(), bios_afe::AfeError> {
+/// let plan = FaultPlan::new(42)
+///     .with_fault(0, Fault::immediate(FaultKind::Fouling, 0.5)?)
+///     .with_fault(2, Fault::new(FaultKind::ElectrodeOpen, Seconds::new(30.0), 1.0)?);
+/// assert_eq!(plan.faults_for(0).len(), 1);
+/// assert!(plan.faults_for(1).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<(usize, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose stochastic faults derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a fault on working electrode `we`.
+    pub fn with_fault(mut self, we: usize, fault: Fault) -> Self {
+        self.entries.push((we, fault));
+        self
+    }
+
+    /// All scheduled `(electrode, fault)` pairs.
+    pub fn entries(&self) -> &[(usize, Fault)] {
+        &self.entries
+    }
+
+    /// The faults scheduled on electrode `we`, in insertion order.
+    pub fn faults_for(&self, we: usize) -> Vec<Fault> {
+        self.entries
+            .iter()
+            .filter(|(w, _)| *w == we)
+            .map(|(_, f)| *f)
+            .collect()
+    }
+
+    /// A randomized plan: each of `working_electrodes` draws one fault
+    /// with probability ½, of hash-derived kind, onset and severity. The
+    /// same `(seed, working_electrodes)` always yields the same plan.
+    pub fn randomized(seed: u64, working_electrodes: usize) -> Self {
+        let mut plan = Self::new(seed);
+        for we in 0..working_electrodes {
+            let h = mix(seed, we as u64, 0xfa017);
+            if h & 1 == 0 {
+                continue;
+            }
+            let kind = FaultKind::ALL[((h >> 8) % FaultKind::ALL.len() as u64) as usize];
+            let severity = 0.25 + 0.75 * unit_f64(mix(seed, we as u64, 0xfa018));
+            let onset = Seconds::new(30.0 * unit_f64(mix(seed, we as u64, 0xfa019)));
+            plan.entries.push((
+                we,
+                Fault {
+                    kind,
+                    onset,
+                    severity,
+                },
+            ));
+        }
+        plan
+    }
+
+    /// The seed the chain on electrode `we` should use for hash-derived
+    /// fault randomness.
+    pub fn chain_seed(&self, we: usize) -> u64 {
+        mix(self.seed, we as u64, 0xc4a1)
+    }
+}
+
+/// SplitMix64-style counter hash: all per-sample fault randomness flows
+/// through this, keeping injection independent of evaluation order.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(b.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from a hash word.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Per-acquisition fault applicator, constructed by the chain at the top
+/// of `acquire` and stepped once per sample.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultRuntime {
+    faults: Vec<Fault>,
+    seed: u64,
+    full_scale: Amps,
+    /// `MuxStuck` sample-and-hold state.
+    held: Option<Amps>,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(faults: &[Fault], seed: u64, full_scale: Amps) -> Self {
+        Self {
+            faults: faults.to_vec(),
+            seed,
+            full_scale,
+            held: None,
+        }
+    }
+
+    /// Whether any fault can perturb anything at all.
+    pub(crate) fn is_noop(&self) -> bool {
+        self.faults.iter().all(|f| f.severity <= 0.0)
+    }
+
+    /// Applies current-domain faults (electrode, mux, drift, spikes).
+    pub(crate) fn apply_current(&mut self, k: usize, t: Seconds, i: Amps) -> Amps {
+        let fs = self.full_scale.value();
+        let mut out = i.value();
+        for f in &self.faults {
+            if !f.active(t) {
+                continue;
+            }
+            let dt = t.value() - f.onset.value();
+            match f.kind {
+                FaultKind::ElectrodeOpen => out *= 1.0 - f.severity,
+                FaultKind::ElectrodeShort => out += f.severity * 10.0 * fs,
+                FaultKind::Fouling => out *= (-f.severity * dt / 30.0).exp(),
+                FaultKind::ReferenceDrift => out += f.severity * fs * (dt / 100.0).sqrt(),
+                FaultKind::CrosstalkSpike => {
+                    // Charge-injection spike at each whole second, decaying
+                    // over ~50 ms.
+                    let phase = dt - dt.floor();
+                    out += f.severity * 0.5 * fs * (-phase / 0.05).exp();
+                }
+                FaultKind::TransientSpike => {
+                    let h = mix(self.seed, k as u64, 0x59143);
+                    if unit_f64(h) < f.severity / 20.0 {
+                        let sign = if h & 4 == 0 { 1.0 } else { -1.0 };
+                        out += sign * fs;
+                    }
+                }
+                FaultKind::MuxStuck
+                | FaultKind::TiaSaturation
+                | FaultKind::AdcStuckCode
+                | FaultKind::Dropout => {}
+            }
+        }
+        // Mux stuck applies last: with probability `severity` the switch
+        // fails to advance for a sample and the chain replays whatever it
+        // captured at onset, including other faults' contributions. At
+        // severity 1 the channel freezes outright. Stale samples replace —
+        // rather than attenuate — the signal, the way a digital switch
+        // actually fails, which also keeps the fault detectable from the
+        // measurement alone.
+        if let Some(f) = self
+            .faults
+            .iter()
+            .find(|f| f.kind == FaultKind::MuxStuck && f.active(t))
+        {
+            match self.held {
+                Some(h) => {
+                    if f.severity >= 1.0 || unit_f64(mix(self.seed, k as u64, 0x5caf)) < f.severity
+                    {
+                        out = h.value();
+                    }
+                }
+                None => self.held = Some(Amps::new(out)),
+            }
+        }
+        Amps::new(out)
+    }
+
+    /// Applies voltage-domain faults (TIA compliance collapse).
+    pub(crate) fn apply_voltage(&self, t: Seconds, v: Volts, rail: Volts) -> Volts {
+        let mut out = v.value();
+        for f in &self.faults {
+            if f.kind == FaultKind::TiaSaturation && f.active(t) {
+                let limit = rail.value() * (1.0 - 0.9 * f.severity);
+                out = out.clamp(-limit, limit);
+            }
+        }
+        Volts::new(out)
+    }
+
+    /// Applies code-domain faults (stuck codes, dropouts). Returns the
+    /// possibly-replaced code.
+    pub(crate) fn apply_code(&self, k: usize, t: Seconds, code: i32, max_code: i32) -> i32 {
+        let mut out = code;
+        for f in &self.faults {
+            if !f.active(t) {
+                continue;
+            }
+            match f.kind {
+                FaultKind::AdcStuckCode => {
+                    let stride = (1.0 / f.severity).ceil() as usize;
+                    if k.is_multiple_of(stride) {
+                        // A constant mid-range-ish code derived from the seed.
+                        out = (mix(self.seed, 0, 0xadc) % (max_code as u64 + 1)) as i32;
+                    }
+                }
+                FaultKind::Dropout
+                    if unit_f64(mix(self.seed, k as u64, 0xd209)) < f.severity / 20.0 =>
+                {
+                    out = 0;
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_validated() {
+        assert!(Fault::immediate(FaultKind::Fouling, 0.0).is_ok());
+        assert!(Fault::immediate(FaultKind::Fouling, 1.0).is_ok());
+        assert!(Fault::immediate(FaultKind::Fouling, -0.1).is_err());
+        assert!(Fault::immediate(FaultKind::Fouling, 1.1).is_err());
+        assert!(Fault::immediate(FaultKind::Fouling, f64::NAN).is_err());
+        assert!(Fault::new(FaultKind::Fouling, Seconds::new(-1.0), 0.5).is_err());
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible() {
+        let a = FaultPlan::randomized(77, 8);
+        let b = FaultPlan::randomized(77, 8);
+        assert_eq!(a, b);
+        let c = FaultPlan::randomized(78, 8);
+        assert_ne!(a, c);
+        for (_, f) in a.entries() {
+            assert!((0.0..=1.0).contains(&f.severity));
+            assert!(f.onset.value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn faults_for_filters_by_electrode() {
+        let plan = FaultPlan::new(1)
+            .with_fault(0, Fault::immediate(FaultKind::Fouling, 0.5).expect("fault"))
+            .with_fault(2, Fault::immediate(FaultKind::Dropout, 0.3).expect("fault"))
+            .with_fault(
+                0,
+                Fault::immediate(FaultKind::MuxStuck, 1.0).expect("fault"),
+            );
+        assert_eq!(plan.faults_for(0).len(), 2);
+        assert_eq!(plan.faults_for(1).len(), 0);
+        assert_eq!(plan.faults_for(2).len(), 1);
+    }
+
+    #[test]
+    fn zero_severity_is_identity_everywhere() {
+        let faults: Vec<Fault> = FaultKind::ALL
+            .iter()
+            .map(|&k| Fault::immediate(k, 0.0).expect("fault"))
+            .collect();
+        let mut rt = FaultRuntime::new(&faults, 99, Amps::from_microamps(1.0));
+        assert!(rt.is_noop());
+        for k in 0..50 {
+            let t = Seconds::new(k as f64 * 0.1);
+            let i = Amps::from_nanoamps(120.0 + k as f64);
+            assert_eq!(rt.apply_current(k, t, i), i);
+            let v = Volts::new(0.3);
+            assert_eq!(rt.apply_voltage(t, v, Volts::new(1.65)), v);
+            assert_eq!(rt.apply_code(k, t, 1234, 32767), 1234);
+        }
+    }
+
+    #[test]
+    fn open_kills_and_short_rails_the_current() {
+        let fs = Amps::from_microamps(1.0);
+        let open = [Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("fault")];
+        let mut rt = FaultRuntime::new(&open, 5, fs);
+        let out = rt.apply_current(0, Seconds::new(1.0), Amps::from_nanoamps(300.0));
+        assert_eq!(out, Amps::ZERO);
+
+        let short = [Fault::immediate(FaultKind::ElectrodeShort, 1.0).expect("fault")];
+        let mut rt = FaultRuntime::new(&short, 5, fs);
+        let out = rt.apply_current(0, Seconds::new(1.0), Amps::ZERO);
+        assert!(out.value() >= 10.0 * fs.value());
+    }
+
+    #[test]
+    fn fouling_decays_progressively() {
+        let faults = [Fault::immediate(FaultKind::Fouling, 1.0).expect("fault")];
+        let mut rt = FaultRuntime::new(&faults, 5, Amps::from_microamps(1.0));
+        let i = Amps::from_nanoamps(100.0);
+        let early = rt.apply_current(0, Seconds::new(1.0), i).value();
+        let late = rt.apply_current(100, Seconds::new(60.0), i).value();
+        assert!(early > 0.9 * i.value());
+        assert!(late < 0.2 * i.value());
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn mux_stuck_replays_onset_value() {
+        let faults = [Fault::new(FaultKind::MuxStuck, Seconds::new(1.0), 1.0).expect("fault")];
+        let mut rt = FaultRuntime::new(&faults, 5, Amps::from_microamps(1.0));
+        // Before onset: passthrough.
+        let a = rt.apply_current(0, Seconds::new(0.5), Amps::from_nanoamps(100.0));
+        assert_eq!(a, Amps::from_nanoamps(100.0));
+        // At onset the value is captured...
+        let b = rt.apply_current(1, Seconds::new(1.0), Amps::from_nanoamps(200.0));
+        assert_eq!(b, Amps::from_nanoamps(200.0));
+        // ...and replayed afterwards regardless of the live current.
+        let c = rt.apply_current(2, Seconds::new(2.0), Amps::from_nanoamps(900.0));
+        assert_eq!(c, Amps::from_nanoamps(200.0));
+    }
+
+    #[test]
+    fn partial_mux_stuck_is_intermittent_not_attenuating() {
+        let faults = [Fault::immediate(FaultKind::MuxStuck, 0.5).expect("fault")];
+        let mut rt = FaultRuntime::new(&faults, 9, Amps::from_microamps(1.0));
+        let held = rt.apply_current(0, Seconds::ZERO, Amps::from_nanoamps(10.0));
+        assert_eq!(held, Amps::from_nanoamps(10.0));
+        let live = Amps::from_nanoamps(500.0);
+        let outs: Vec<f64> = (1..=400)
+            .map(|k| {
+                rt.apply_current(k, Seconds::new(k as f64 * 0.1), live)
+                    .value()
+            })
+            .collect();
+        // Every sample is either live or the held value — never a blend.
+        for v in &outs {
+            assert!(
+                (v - 10e-9).abs() < 1e-15 || (v - 500e-9).abs() < 1e-15,
+                "blended sample {v}"
+            );
+        }
+        let stale = outs.iter().filter(|&&v| (v - 10e-9).abs() < 1e-15).count();
+        let frac = stale as f64 / outs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1, "stale fraction {frac}");
+    }
+
+    #[test]
+    fn stuck_code_stride_matches_severity() {
+        let faults = [Fault::immediate(FaultKind::AdcStuckCode, 0.25).expect("fault")];
+        let rt = FaultRuntime::new(&faults, 5, Amps::from_microamps(1.0));
+        let stuck: Vec<bool> = (0..12)
+            .map(|k| rt.apply_code(k, Seconds::new(k as f64), 7, 32767) != 7)
+            .collect();
+        // Stride ⌈1/0.25⌉ = 4: samples 0, 4, 8 are replaced.
+        assert_eq!(
+            stuck,
+            [true, false, false, false, true, false, false, false, true, false, false, false]
+        );
+    }
+
+    #[test]
+    fn runtime_is_order_independent() {
+        // Hash-based randomness: evaluating sample k alone gives the same
+        // perturbation as evaluating it inside a sweep.
+        let faults = [Fault::immediate(FaultKind::TransientSpike, 1.0).expect("fault")];
+        let mut sweep = FaultRuntime::new(&faults, 13, Amps::from_microamps(1.0));
+        let i = Amps::from_nanoamps(50.0);
+        let full: Vec<f64> = (0..200)
+            .map(|k| {
+                sweep
+                    .apply_current(k, Seconds::new(k as f64 * 0.1), i)
+                    .value()
+            })
+            .collect();
+        let mut solo = FaultRuntime::new(&faults, 13, Amps::from_microamps(1.0));
+        let one = solo.apply_current(137, Seconds::new(13.7), i).value();
+        assert_eq!(one, full[137]);
+        // And severity 1 actually produces spikes somewhere.
+        assert!(full.iter().any(|&v| (v - i.value()).abs() > 1e-9));
+    }
+}

@@ -12,7 +12,8 @@
 //! * [`Adc`] / [`VoltageGenerator`] — data converters,
 //! * [`AnalogMux`] — sharing one chain across working electrodes,
 //! * [`CurrentRange`] — the paper's ±10 µA/10 nA and ±100 µA/100 nA classes,
-//! * [`ReadoutChain`] — the composed Fig. 2 chain, and
+//! * [`ReadoutChain`] — the composed Fig. 2 chain,
+//! * [`FaultPlan`] — seeded electrode/mux/converter fault injection, and
 //! * [`CostBudget`] — power/area cost models for design-space exploration.
 //!
 //! # Example: digitize a fake sensor current
@@ -43,6 +44,7 @@ mod cds;
 mod chain;
 mod current_range;
 mod error;
+mod fault;
 mod mux;
 mod noise;
 mod potentiostat;
@@ -56,6 +58,7 @@ pub use cds::{CorrelatedDoubleSampler, MatchingQuality};
 pub use chain::{ChainConfig, ReadoutChain, Sample, CHOPPER_SUPPRESSION};
 pub use current_range::CurrentRange;
 pub use error::AfeError;
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use mux::AnalogMux;
 pub use noise::{NoiseConfig, NoiseSource};
 pub use potentiostat::{Potentiostat, PotentiostatStream};

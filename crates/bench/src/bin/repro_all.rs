@@ -30,4 +30,9 @@ fn main() {
         m.false_positives(),
         m.worst_cross_response() * 100.0
     );
+    bios_bench::banner("Fault matrix — detection / recovery / silent-corruption rates");
+    print!(
+        "{}",
+        bios_bench::fault_matrix::render(&bios_bench::fault_matrix::run(&[2011, 7, 42]))
+    );
 }

@@ -1,0 +1,11 @@
+//! Sweeps every fault kind × severity against the Fig. 4 platform and
+//! reports detection/recovery/silent-corruption rates. Exits nonzero if
+//! any silent corruption occurs — the acceptance target is zero.
+fn main() {
+    bios_bench::banner("Fault matrix — detection / recovery / silent-corruption rates");
+    let report = bios_bench::fault_matrix::run(&[2011, 7, 42]);
+    print!("{}", bios_bench::fault_matrix::render(&report));
+    if report.silent_corruptions() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Fault-matrix characterization: every [`FaultKind`] at severities
+//! 0–1 injected into the Fig. 4 platform's glucose electrode, each run
+//! compared against a same-seed fault-free baseline.
+//!
+//! Per cell the platform must do one of two acceptable things: *recover*
+//! (the merged reading matches the baseline within tolerance) or *detect*
+//! (the reading is flagged Suspect/Fail, retried, or the electrode is
+//! quarantined — degradation with provenance). The one unacceptable
+//! outcome is *silent corruption*: a materially wrong value presented as
+//! trustworthy. The acceptance target is zero silent corruptions over the
+//! whole matrix.
+
+use bios_afe::{Fault, FaultKind, FaultPlan};
+use bios_biochem::Analyte;
+use bios_instrument::{QcClass, QcGate};
+use bios_platform::{Platform, SessionOptions, SessionReport};
+use bios_units::Molar;
+
+/// The severity grid swept per fault kind.
+pub const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Relative response deviation beyond which a reading counts as
+/// materially corrupted.
+pub const TOLERANCE: f64 = 0.30;
+
+/// How one faulted session compared against its fault-free twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The merged reading matched the baseline within tolerance — the
+    /// fault was absorbed (or was a no-op).
+    Recovered,
+    /// The reading was materially wrong but flagged: QC class, retries,
+    /// quarantine or a failed target recorded the degradation.
+    Detected,
+    /// The reading was materially wrong and presented as trustworthy.
+    SilentCorruption,
+}
+
+/// One (kind, severity) cell of the matrix, over all seeds.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// The injected fault kind.
+    pub kind: FaultKind,
+    /// The injected severity.
+    pub severity: f64,
+    /// Per-seed outcomes.
+    pub outcomes: Vec<Outcome>,
+    /// Retry slots spent across the cell's runs.
+    pub retries: usize,
+    /// Electrodes quarantined across the cell's runs.
+    pub quarantines: usize,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// All cells, kind-major.
+    pub cells: Vec<MatrixCell>,
+    /// Seeds per cell.
+    pub runs_per_cell: usize,
+}
+
+impl MatrixReport {
+    /// Total runs with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.outcomes.iter().filter(|&&o| o == outcome).count())
+            .sum()
+    }
+
+    /// Runs that ended in silent corruption — the number that must be 0.
+    pub fn silent_corruptions(&self) -> usize {
+        self.count(Outcome::SilentCorruption)
+    }
+
+    /// Fraction of all runs that recovered.
+    pub fn recovery_rate(&self) -> f64 {
+        self.count(Outcome::Recovered) as f64 / self.total_runs() as f64
+    }
+
+    /// Fraction of non-recovered runs that were detected.
+    pub fn detection_rate(&self) -> f64 {
+        let detected = self.count(Outcome::Detected);
+        let corrupted = detected + self.silent_corruptions();
+        if corrupted == 0 {
+            1.0
+        } else {
+            detected as f64 / corrupted as f64
+        }
+    }
+
+    fn total_runs(&self) -> usize {
+        self.cells.iter().map(|c| c.outcomes.len()).sum()
+    }
+}
+
+/// Runs the full matrix: every fault kind × [`SEVERITIES`], one faulted
+/// session per seed, each judged against the same-seed fault-free
+/// baseline.
+pub fn run(seeds: &[u64]) -> MatrixReport {
+    let platform = crate::fig4::build_platform();
+    let sample = crate::fig4::reference_sample();
+    let target = Analyte::Glucose;
+    let we = target_we(&platform, target);
+    // All panel targets are present in the reference sample, so the full
+    // gate (minimum-response check included) applies.
+    let clean = SessionOptions::default().with_qc(QcGate::default());
+    let baselines: Vec<SessionReport> = seeds
+        .iter()
+        .map(|&s| {
+            platform
+                .run_session_with(&sample, s, &clean)
+                .expect("baseline session")
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for kind in FaultKind::ALL {
+        for severity in SEVERITIES {
+            let mut outcomes = Vec::new();
+            let mut retries = 0;
+            let mut quarantines = 0;
+            for (i, &seed) in seeds.iter().enumerate() {
+                let plan = FaultPlan::new(seed ^ 0xfa_0172)
+                    .with_fault(we, Fault::immediate(kind, severity).expect("valid fault"));
+                let options = clean.clone().with_fault_plan(plan);
+                let report = platform
+                    .run_session_with(&sample, seed, &options)
+                    .expect("faulted sessions degrade, not error");
+                retries += report.degradation().retries;
+                quarantines += report.degradation().quarantined.len();
+                outcomes.push(classify(&baselines[i], &report, target));
+            }
+            cells.push(MatrixCell {
+                kind,
+                severity,
+                outcomes,
+                retries,
+                quarantines,
+            });
+        }
+    }
+    MatrixReport {
+        cells,
+        runs_per_cell: seeds.len(),
+    }
+}
+
+/// The working electrode carrying `target` in the Fig. 4 panel.
+fn target_we(platform: &Platform, target: Analyte) -> usize {
+    platform
+        .assignments()
+        .iter()
+        .find(|a| a.targets().contains(&target))
+        .expect("target on panel")
+        .index()
+}
+
+fn classify(baseline: &SessionReport, faulted: &SessionReport, target: Analyte) -> Outcome {
+    let b = baseline.reading_for(target).expect("on panel");
+    let f = faulted.reading_for(target).expect("on panel");
+    let deviation =
+        (f.response.value() - b.response.value()).abs() / b.response.value().abs().max(1e-15);
+    let value_intact = deviation <= TOLERANCE
+        && f.identified == b.identified
+        && f.estimated.is_some() == b.estimated.is_some();
+    if value_intact {
+        return Outcome::Recovered;
+    }
+    let flagged = faulted
+        .quality_for(target)
+        .is_some_and(|q| q.class != QcClass::Pass);
+    if flagged || faulted.is_degraded() {
+        Outcome::Detected
+    } else {
+        Outcome::SilentCorruption
+    }
+}
+
+/// Renders the matrix: one row per kind, one column per severity, with
+/// `R`/`D`/`S!` letters (worst outcome across seeds) and summary rates.
+pub fn render(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<18}", "fault \\ severity"));
+    for s in SEVERITIES {
+        out.push_str(&format!("{s:>7.2}"));
+    }
+    out.push('\n');
+    for kind in FaultKind::ALL {
+        out.push_str(&format!("{:<18}", kind.name()));
+        for severity in SEVERITIES {
+            let cell = report
+                .cells
+                .iter()
+                .find(|c| c.kind == kind && c.severity == severity)
+                .expect("cell present");
+            let letter = if cell.outcomes.contains(&Outcome::SilentCorruption) {
+                "S!"
+            } else if cell.outcomes.contains(&Outcome::Detected) {
+                "D"
+            } else {
+                "R"
+            };
+            out.push_str(&format!("{letter:>7}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\n{} runs ({} per cell): {:.0}% recovered, {:.0}% of corruptions detected, {} silent corruption(s) [target: 0]\n",
+        report.total_runs(),
+        report.runs_per_cell,
+        report.recovery_rate() * 100.0,
+        report.detection_rate() * 100.0,
+        report.silent_corruptions(),
+    ));
+    out
+}
+
+/// A concentration helper kept for parity with other experiment modules.
+pub fn glucose_truth() -> Molar {
+    Molar::from_millimolar(3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_zero_silent_corruptions() {
+        let report = run(&[2011, 7]);
+        assert_eq!(
+            report.cells.len(),
+            FaultKind::ALL.len() * SEVERITIES.len(),
+            "full sweep"
+        );
+        let silent: Vec<String> = report
+            .cells
+            .iter()
+            .filter(|c| c.outcomes.contains(&Outcome::SilentCorruption))
+            .map(|c| format!("{} @ {}", c.kind, c.severity))
+            .collect();
+        assert!(silent.is_empty(), "silent corruption in: {silent:?}");
+    }
+
+    #[test]
+    fn severity_zero_column_is_bit_identical_to_baseline() {
+        let platform = crate::fig4::build_platform();
+        let sample = crate::fig4::reference_sample();
+        let clean = SessionOptions::default().with_qc(QcGate::default());
+        let baseline = platform
+            .run_session_with(&sample, 2011, &clean)
+            .expect("session");
+        // A plan carrying only zero-severity faults on every electrode
+        // must be an exact no-op.
+        let mut plan = FaultPlan::new(1);
+        for we in 0..platform.assignments().len() {
+            for kind in FaultKind::ALL {
+                plan = plan.with_fault(we, Fault::immediate(kind, 0.0).expect("valid"));
+            }
+        }
+        let zeroed = platform
+            .run_session_with(&sample, 2011, &clean.clone().with_fault_plan(plan))
+            .expect("session");
+        assert_eq!(baseline, zeroed, "severity 0 must be an exact no-op");
+    }
+
+    #[test]
+    fn hard_faults_are_detected_not_absorbed() {
+        let report = run(&[3]);
+        for kind in [
+            FaultKind::ElectrodeOpen,
+            FaultKind::ElectrodeShort,
+            FaultKind::MuxStuck,
+        ] {
+            let cell = report
+                .cells
+                .iter()
+                .find(|c| c.kind == kind && c.severity == 1.0)
+                .expect("cell");
+            assert!(
+                cell.outcomes.iter().all(|&o| o == Outcome::Detected),
+                "{kind} @ 1.0 must be detected: {:?}",
+                cell.outcomes
+            );
+            assert!(cell.quarantines > 0, "{kind} @ 1.0 must quarantine");
+        }
+    }
+}

@@ -1,9 +1,11 @@
 //! Error type for the platform layer.
 
 use bios_biochem::Analyte;
+use bios_units::ErrorSeverity;
 
 /// Errors produced while assembling or running a biosensing platform.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PlatformError {
     /// A configuration parameter was out of its valid domain.
     InvalidParameter {
@@ -35,6 +37,29 @@ impl PlatformError {
             name,
             reason: reason.into(),
         }
+    }
+
+    /// How badly this error compromises the session.
+    ///
+    /// Structural defects (bad parameters, empty panels, infeasible
+    /// designs, missing probes) are [`ErrorSeverity::Fatal`]; wrapped
+    /// lower-layer errors report the inner severity so the scheduler's
+    /// retry decision is uniform across layers.
+    pub fn severity(&self) -> ErrorSeverity {
+        match self {
+            Self::InvalidParameter { .. }
+            | Self::NoProbeFor(_)
+            | Self::EmptyPanel
+            | Self::Infeasible { .. } => ErrorSeverity::Fatal,
+            Self::Instrument(e) => e.severity(),
+            Self::Afe(e) => e.severity(),
+            Self::Biochem(_) => ErrorSeverity::Fatal,
+        }
+    }
+
+    /// Whether an automatic retry is worthwhile.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity().is_recoverable()
     }
 }
 
@@ -102,6 +127,25 @@ mod tests {
             requirement: "LOD 1 µM for glucose".to_string(),
         };
         assert!(i.to_string().contains("LOD"));
+    }
+
+    #[test]
+    fn severity_propagates_from_inner_layers() {
+        assert_eq!(PlatformError::EmptyPanel.severity(), ErrorSeverity::Fatal);
+        let degraded: PlatformError = bios_afe::AfeError::RangeExceeded {
+            block: "tia",
+            detail: "rail".to_string(),
+        }
+        .into();
+        assert_eq!(degraded.severity(), ErrorSeverity::Degraded);
+        assert!(degraded.is_recoverable());
+        let fatal: PlatformError = bios_instrument::InstrumentError::InvalidParameter {
+            name: "dt",
+            reason: "must be positive".to_string(),
+        }
+        .into();
+        assert_eq!(fatal.severity(), ErrorSeverity::Fatal);
+        assert!(!fatal.is_recoverable());
     }
 
     #[test]

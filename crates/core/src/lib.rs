@@ -14,6 +14,11 @@
 //! * [`Platform`] — the runnable Fig. 4-style instance: multiplexed
 //!   [`Schedule`], full-session simulation
 //!   ([`Platform::run_session`]) and a [`PlatformCost`] summary;
+//! * [`SessionOptions`] / [`Platform::run_session_with`] — graceful
+//!   degradation: seeded fault injection
+//!   ([`FaultPlan`](bios_afe::FaultPlan)), per-acquisition QC gating,
+//!   bounded retries with quarantine, and a [`DegradationSummary`] so
+//!   faulted sessions return partial results with provenance;
 //! * [`explore`] / [`DesignSpace`] — design-space exploration with
 //!   analytic LOD prediction ([`predict_lod`]) and Pareto filtering
 //!   ([`pareto_front`]).
@@ -45,6 +50,7 @@ mod explore;
 mod platform;
 mod report;
 mod requirements;
+mod robustness;
 mod schedule;
 mod selectivity;
 mod structure;
@@ -59,6 +65,7 @@ pub use explore::{
 };
 pub use platform::{Platform, SensorModel, SessionReport, TargetReading, WeAssignment};
 pub use requirements::{PanelSpec, TargetSpec};
+pub use robustness::{DegradationSummary, RetryPolicy, SessionOptions, TargetQuality};
 pub use schedule::{Schedule, ScheduleSlot};
 pub use selectivity::SelectivityMatrix;
 pub use structure::SensorStructure;

@@ -3,6 +3,7 @@
 
 use crate::cost::{electronics_budget, PlatformCost, ReadoutSharing};
 use crate::error::PlatformError;
+use crate::robustness::{DegradationSummary, SessionOptions, TargetQuality};
 use crate::schedule::Schedule;
 use crate::structure::SensorStructure;
 use bios_afe::{AnalogMux, ReadoutChain};
@@ -11,9 +12,19 @@ use bios_biochem::{Analyte, CypSensor, MichaelisMenten, OxidaseSensor, Probe, Te
 use bios_electrochem::{Electrode, PotentialProgram};
 use bios_instrument::{
     calibrate_chrono, calibrate_cv, run_chrono_with_interferents, run_cv, ChronoProtocol,
-    CvProtocol, PerformanceReport,
+    CvProtocol, PerformanceReport, QcClass, QcReason, QcVerdict,
 };
 use bios_units::{Amps, Molar, Seconds};
+
+/// Fixed seed of the commissioning dry run the QC gate's quiet-channel
+/// check references — a stored calibration record, not per-session noise.
+const NOISE_REFERENCE_SEED: u64 = 0xCA11_B45E;
+
+/// Fixed seed, sample interval and window of the built-in self-test that
+/// compares each chain's live gain against its commissioning gain.
+const SELF_TEST_SEED: u64 = 0x1B15_7AA5;
+const SELF_TEST_DT: Seconds = Seconds::new(0.1);
+const SELF_TEST_WINDOW: Seconds = Seconds::new(2.0);
 
 /// The sensing model behind one working electrode.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +115,8 @@ pub struct TargetReading {
 pub struct SessionReport {
     readings: Vec<TargetReading>,
     schedule: Schedule,
+    qualities: Vec<TargetQuality>,
+    degradation: DegradationSummary,
 }
 
 impl SessionReport {
@@ -120,6 +133,32 @@ impl SessionReport {
     /// The executed schedule.
     pub fn schedule(&self) -> &Schedule {
         &self.schedule
+    }
+
+    /// Per-electrode, per-target QC provenance for every raw reading
+    /// (one record per replicate, before merging).
+    pub fn qualities(&self) -> &[TargetQuality] {
+        &self.qualities
+    }
+
+    /// The best (lowest-class) quality record among an analyte's
+    /// replicates — the trust level of the merged reading.
+    pub fn quality_for(&self, analyte: Analyte) -> Option<&TargetQuality> {
+        self.qualities
+            .iter()
+            .filter(|q| q.analyte == analyte)
+            .min_by_key(|q| q.class)
+    }
+
+    /// What the session lost to faults: retries, quarantines and targets
+    /// without a usable reading.
+    pub fn degradation(&self) -> &DegradationSummary {
+        &self.degradation
+    }
+
+    /// True when any retry, quarantine or target loss occurred.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradation.is_clean()
     }
 
     /// Total session duration.
@@ -258,6 +297,37 @@ impl Platform {
         sample: &[(Analyte, Molar)],
         seed: u64,
     ) -> Result<SessionReport, PlatformError> {
+        self.run_session_with(sample, seed, &SessionOptions::default())
+    }
+
+    /// Runs one full measurement session under an explicit robustness
+    /// policy: optional fault injection, per-acquisition QC gating,
+    /// bounded retries with fresh seeds, and electrode quarantine.
+    ///
+    /// Every acquisition is screened by `options.qc`. A `Fail` verdict
+    /// triggers a retry with a derived seed
+    /// (`we_seed + attempt · reseed_stride`) and a retry slot appended to
+    /// the schedule; after `max_retries` retries the reading is kept but
+    /// stripped of its estimate and identification — flagged data never
+    /// masquerades as results. Electrodes failing `quarantine_after`
+    /// consecutive attempts are quarantined and reported in the
+    /// [`DegradationSummary`]. Replicate merging uses usable readings
+    /// only.
+    ///
+    /// Identical `(sample, seed, options)` produce an identical
+    /// [`SessionReport`], bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlatformError`] only for non-recoverable (configuration)
+    /// failures; recoverable measurement errors are degraded into flagged
+    /// readings instead.
+    pub fn run_session_with(
+        &self,
+        sample: &[(Analyte, Molar)],
+        seed: u64,
+        options: &SessionOptions,
+    ) -> Result<SessionReport, PlatformError> {
         // Electroactive species in the sample interfere with the anodic
         // (oxidase) readouts; the cathodic CYP window sits below their
         // onset potentials.
@@ -265,95 +335,192 @@ impl Platform {
             .iter()
             .filter_map(|(a, c)| Interferent::of(*a).map(|i| (i, *c)))
             .collect();
-        let mut readings = Vec::new();
+        let mut schedule = self.schedule();
+        let gap = self.mux.acquisition_delay();
+        let mut raw: Vec<(TargetReading, QcClass)> = Vec::new();
+        let mut qualities: Vec<TargetQuality> = Vec::new();
+        let mut retries = 0usize;
+        let mut quarantined: Vec<usize> = Vec::new();
+
         for assignment in &self.assignments {
-            let we_seed = seed.wrapping_add(17 * (assignment.index as u64 + 1));
-            match &assignment.sensor {
-                SensorModel::Oxidase(sensor) => {
-                    let analyte = assignment.targets[0];
-                    let c = concentration_of(sample, analyte);
-                    let m = run_chrono_with_interferents(
-                        sensor,
-                        &assignment.electrode,
-                        &self.chrono_chain,
-                        c,
-                        &interferents,
-                        &self.chrono_protocol,
-                        we_seed,
-                    )?;
-                    let response = m.delta();
-                    let area = assignment.electrode.geometric_area().value();
-                    let threshold = 3.0 * sensor.blank_sd().value() * area;
-                    let estimated = invert_mm(
-                        response.value(),
-                        area,
-                        sensor.sensitivity_si(),
-                        sensor.kinetics(),
-                    );
-                    readings.push(TargetReading {
-                        analyte,
-                        we: assignment.index,
-                        response,
-                        estimated,
-                        identified: response.value() > threshold,
-                    });
-                }
-                SensorModel::Cytochrome(sensor) => {
-                    let concs: Vec<(Analyte, Molar)> = assignment
-                        .targets
-                        .iter()
-                        .map(|a| (*a, concentration_of(sample, *a)))
-                        .collect();
-                    let m = run_cv(
-                        sensor,
-                        &assignment.electrode,
-                        &self.cv_chain,
-                        &concs,
-                        &self.cv_protocol,
-                        we_seed,
-                    )?;
-                    let area = assignment.electrode.geometric_area().value();
-                    for analyte in &assignment.targets {
-                        let height = m.peak_height(*analyte);
-                        let response = height.unwrap_or(Amps::ZERO);
-                        let threshold = 3.0
-                            * sensor
-                                .blank_sd(*analyte)
-                                .expect("assigned targets are registered")
-                                .value()
-                            * area;
-                        let kinetics = sensor
-                            .kinetics(*analyte)
-                            .expect("assigned targets are registered");
-                        let s_si = sensor
-                            .sensitivity_si(*analyte)
-                            .expect("assigned targets are registered");
-                        let estimated =
-                            height.and_then(|h| invert_mm(h.value(), area, s_si, kinetics));
-                        readings.push(TargetReading {
-                            analyte: *analyte,
-                            we: assignment.index,
-                            response,
-                            estimated,
-                            identified: height.is_some() && response.value() > threshold,
-                        });
+            let we = assignment.index;
+            let we_seed = seed.wrapping_add(17 * (we as u64 + 1));
+            let base = match &assignment.sensor {
+                SensorModel::Oxidase(_) => &self.chrono_chain,
+                SensorModel::Cytochrome(_) => &self.cv_chain,
+            };
+            // A fault plan turns this electrode's chain into its faulted
+            // twin; the fault realization is fixed across retries — a
+            // broken electrode stays broken, only the noise is fresh.
+            let faulted;
+            let chain = match options.fault_plan.as_ref() {
+                Some(plan) => {
+                    let faults = plan.faults_for(we);
+                    if faults.is_empty() {
+                        base
+                    } else {
+                        faulted = base.clone().with_faults(faults, plan.chain_seed(we));
+                        &faulted
                     }
                 }
+                None => base,
+            };
+            let is_faulted = !chain.faults().is_empty();
+            // Built-in self-test: a known half-scale test current through
+            // the live chain, graded against the fault-free chain's
+            // commissioning response. Gain faults that hide below one ADC
+            // code at quiescent input cannot hide under a test signal.
+            let bist = if is_faulted {
+                let live = chain.self_test_response(SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+                let commissioned =
+                    base.self_test_response(SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+                match (live, commissioned) {
+                    (Ok(m), Ok(e)) => options.qc.check_self_test(m, e),
+                    _ => QcVerdict {
+                        class: QcClass::Pass,
+                        reasons: Vec::new(),
+                    },
+                }
+            } else {
+                QcVerdict {
+                    class: QcClass::Pass,
+                    reasons: Vec::new(),
+                }
+            };
+            // The QC gate compares live baselines against the chain's
+            // commissioning self-noise — always taken from the fault-free
+            // base chain, the way a stored calibration record would be.
+            let reference_noise = match &assignment.sensor {
+                SensorModel::Oxidase(_) => base
+                    .baseline_noise_reference(
+                        self.chrono_protocol.dt,
+                        self.chrono_protocol.settle,
+                        NOISE_REFERENCE_SEED,
+                    )
+                    .ok(),
+                SensorModel::Cytochrome(_) => None,
+            };
+
+            let mut attempts = 0usize;
+            let mut last_error: Option<String> = None;
+            let outcome = loop {
+                let attempt_seed = we_seed
+                    .wrapping_add((attempts as u64).wrapping_mul(options.retry.reseed_stride));
+                attempts += 1;
+                let exhausted = attempts > options.retry.max_retries;
+                match self.measure_assignment(
+                    assignment,
+                    sample,
+                    &interferents,
+                    chain,
+                    options,
+                    reference_noise,
+                    attempt_seed,
+                ) {
+                    Ok((readings, mut verdict)) => {
+                        verdict.merge(bist.clone());
+                        if verdict.class != QcClass::Fail || exhausted {
+                            break Some((readings, verdict));
+                        }
+                    }
+                    Err(e) => {
+                        if !e.severity().is_recoverable() {
+                            return Err(e);
+                        }
+                        last_error = Some(e.to_string());
+                        if exhausted {
+                            break None;
+                        }
+                    }
+                }
+                retries += 1;
+                schedule.append_retry(
+                    we,
+                    assignment.technique(),
+                    self.measurement_duration(assignment),
+                    gap,
+                );
+            };
+
+            let (mut readings, verdict) = match outcome {
+                Some(o) => o,
+                None => {
+                    // Every attempt errored out: emit flagged placeholder
+                    // readings so the panel stays complete.
+                    let placeholders = assignment
+                        .targets
+                        .iter()
+                        .map(|a| TargetReading {
+                            analyte: *a,
+                            we,
+                            response: Amps::ZERO,
+                            estimated: None,
+                            identified: false,
+                        })
+                        .collect();
+                    let verdict = QcVerdict {
+                        class: QcClass::Fail,
+                        reasons: vec![QcReason::Aborted {
+                            detail: last_error.unwrap_or_default(),
+                        }],
+                    };
+                    (placeholders, verdict)
+                }
+            };
+
+            let failed = verdict.class == QcClass::Fail;
+            let quarantine_now = failed && attempts >= options.retry.quarantine_after;
+            if failed {
+                // Never let a rejected acquisition masquerade as data.
+                for r in &mut readings {
+                    r.estimated = None;
+                    r.identified = false;
+                }
+                if quarantine_now && !quarantined.contains(&we) {
+                    quarantined.push(we);
+                }
             }
+            for r in &readings {
+                qualities.push(TargetQuality {
+                    analyte: r.analyte,
+                    we,
+                    class: verdict.class,
+                    attempts,
+                    reasons: verdict.reasons.clone(),
+                    quarantined: quarantine_now,
+                });
+            }
+            raw.extend(readings.into_iter().map(|r| (r, verdict.class)));
         }
+
         // Merge replicate readings of the same analyte (redundant WEs):
         // responses average (uncorrelated noise shrinks by √n), a majority
         // of replicates must agree for identification, and the estimate is
-        // re-derived from the averaged response.
+        // re-derived from the averaged response. Only QC-usable readings
+        // participate; an analyte with no usable replicate keeps a flagged
+        // placeholder and is reported as failed.
         let mut merged: Vec<TargetReading> = Vec::new();
-        for r in &readings {
+        let mut failed_targets: Vec<Analyte> = Vec::new();
+        for (r, _) in &raw {
             if merged.iter().any(|m| m.analyte == r.analyte) {
                 continue;
             }
-            let group: Vec<&TargetReading> =
-                readings.iter().filter(|x| x.analyte == r.analyte).collect();
+            let group: Vec<&TargetReading> = raw
+                .iter()
+                .filter(|(x, c)| x.analyte == r.analyte && *c != QcClass::Fail)
+                .map(|(x, _)| x)
+                .collect();
+            if group.is_empty() {
+                failed_targets.push(r.analyte);
+                merged.push(TargetReading {
+                    estimated: None,
+                    identified: false,
+                    ..*r
+                });
+                continue;
+            }
             if group.len() == 1 {
-                merged.push(*r);
+                merged.push(*group[0]);
                 continue;
             }
             let mean_response = Amps::new(
@@ -375,8 +542,111 @@ impl Platform {
         }
         Ok(SessionReport {
             readings: merged,
-            schedule: self.schedule(),
+            schedule,
+            qualities,
+            degradation: DegradationSummary {
+                retries,
+                quarantined,
+                failed_targets,
+            },
         })
+    }
+
+    /// One acquisition on one assignment: runs the protocol against the
+    /// (possibly faulted) chain and screens the measurement through the
+    /// session's QC gate.
+    #[allow(clippy::too_many_arguments)]
+    fn measure_assignment(
+        &self,
+        assignment: &WeAssignment,
+        sample: &[(Analyte, Molar)],
+        interferents: &[(Interferent, Molar)],
+        chain: &ReadoutChain,
+        options: &SessionOptions,
+        reference_noise: Option<Amps>,
+        seed: u64,
+    ) -> Result<(Vec<TargetReading>, QcVerdict), PlatformError> {
+        let full_scale = chain.config().full_scale_current();
+        match &assignment.sensor {
+            SensorModel::Oxidase(sensor) => {
+                let analyte = assignment.targets[0];
+                let c = concentration_of(sample, analyte);
+                let m = run_chrono_with_interferents(
+                    sensor,
+                    &assignment.electrode,
+                    chain,
+                    c,
+                    interferents,
+                    &self.chrono_protocol,
+                    seed,
+                )?;
+                let verdict = options
+                    .qc
+                    .check_chrono_referenced(&m, full_scale, reference_noise);
+                let response = m.delta();
+                let area = assignment.electrode.geometric_area().value();
+                let threshold = 3.0 * sensor.blank_sd().value() * area;
+                let estimated = invert_mm(
+                    response.value(),
+                    area,
+                    sensor.sensitivity_si(),
+                    sensor.kinetics(),
+                );
+                Ok((
+                    vec![TargetReading {
+                        analyte,
+                        we: assignment.index,
+                        response,
+                        estimated,
+                        identified: response.value() > threshold,
+                    }],
+                    verdict,
+                ))
+            }
+            SensorModel::Cytochrome(sensor) => {
+                let concs: Vec<(Analyte, Molar)> = assignment
+                    .targets
+                    .iter()
+                    .map(|a| (*a, concentration_of(sample, *a)))
+                    .collect();
+                let m = run_cv(
+                    sensor,
+                    &assignment.electrode,
+                    chain,
+                    &concs,
+                    &self.cv_protocol,
+                    seed,
+                )?;
+                let verdict = options.qc.check_cv(&m, full_scale);
+                let area = assignment.electrode.geometric_area().value();
+                let mut readings = Vec::with_capacity(assignment.targets.len());
+                for analyte in &assignment.targets {
+                    let height = m.peak_height(*analyte);
+                    let response = height.unwrap_or(Amps::ZERO);
+                    let threshold = 3.0
+                        * sensor
+                            .blank_sd(*analyte)
+                            .expect("assigned targets are registered")
+                            .value()
+                        * area;
+                    let kinetics = sensor
+                        .kinetics(*analyte)
+                        .expect("assigned targets are registered");
+                    let s_si = sensor
+                        .sensitivity_si(*analyte)
+                        .expect("assigned targets are registered");
+                    let estimated = height.and_then(|h| invert_mm(h.value(), area, s_si, kinetics));
+                    readings.push(TargetReading {
+                        analyte: *analyte,
+                        we: assignment.index,
+                        response,
+                        estimated,
+                        identified: height.is_some() && response.value() > threshold,
+                    });
+                }
+                Ok((readings, verdict))
+            }
+        }
     }
 
     /// Self-characterizes every working electrode with a full calibration
@@ -635,7 +905,7 @@ mod tests {
         // shrink by roughly √3.
         let sample = [(Analyte::Glucose, Molar::from_millimolar(2.0))];
         let scatter = |p: &Platform, base: u64| {
-            let vals: Vec<f64> = (0..12)
+            let vals: Vec<f64> = (0..32)
                 .map(|k| {
                     p.run_session(&sample, base + k)
                         .expect("session")
@@ -725,6 +995,122 @@ mod tests {
             (corrected - clean_cds).abs() < 5e-9,
             "cds residual {}",
             corrected - clean_cds
+        );
+    }
+
+    #[test]
+    fn open_electrode_is_flagged_quarantined_and_never_silently_reported() {
+        use bios_afe::{Fault, FaultKind, FaultPlan};
+        use bios_instrument::QcGate;
+
+        let p = fig4();
+        let glucose_we = p
+            .assignments()
+            .iter()
+            .find(|a| a.targets().contains(&Analyte::Glucose))
+            .expect("on panel")
+            .index();
+        let plan = FaultPlan::new(77).with_fault(
+            glucose_we,
+            Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+        );
+        let options = SessionOptions::default()
+            .with_fault_plan(plan)
+            .with_qc(QcGate::default());
+        let report = p
+            .run_session_with(&fig4_sample(), 42, &options)
+            .expect("session degrades, not errors");
+
+        // Panel stays complete, but the dead electrode's reading is
+        // stripped: no estimate, not identified.
+        assert_eq!(report.readings().len(), 6);
+        let glucose = report.reading_for(Analyte::Glucose).expect("on panel");
+        assert!(!glucose.identified);
+        assert!(glucose.estimated.is_none());
+
+        // Provenance: final class Fail after all attempts, quarantined.
+        let q = report.quality_for(Analyte::Glucose).expect("recorded");
+        assert_eq!(q.class, QcClass::Fail);
+        assert_eq!(q.attempts, 3, "default policy = 1 try + 2 retries");
+        assert!(q.quarantined);
+        assert!(!q.reasons.is_empty());
+
+        let d = report.degradation();
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.quarantined, vec![glucose_we]);
+        assert_eq!(d.failed_targets, vec![Analyte::Glucose]);
+        assert!(report.is_degraded());
+
+        // Retry slots extend the schedule without overlap.
+        assert_eq!(report.schedule().slots().len(), 7);
+        assert!(!report.schedule().has_overlap());
+
+        // The other five targets are untouched.
+        for r in report.readings() {
+            if r.analyte != Analyte::Glucose {
+                assert!(r.identified, "{} should survive", r.analyte);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_sessions_are_reproducible_under_one_seed() {
+        use bios_afe::FaultPlan;
+        use bios_instrument::QcGate;
+
+        let p = fig4();
+        let options = SessionOptions::default()
+            .with_fault_plan(FaultPlan::randomized(901, 5))
+            .with_qc(QcGate::default());
+        let a = p
+            .run_session_with(&fig4_sample(), 13, &options)
+            .expect("session");
+        let b = p
+            .run_session_with(&fig4_sample(), 13, &options)
+            .expect("session");
+        assert_eq!(a, b, "same seed and options ⇒ identical report");
+    }
+
+    #[test]
+    fn redundancy_rescues_a_faulted_replicate() {
+        use bios_afe::{Fault, FaultKind, FaultPlan};
+        use bios_instrument::QcGate;
+
+        let mut panel = PanelSpec::new();
+        panel.push(TargetSpec::typical(Analyte::Glucose));
+        let triple = PlatformBuilder::new(panel)
+            .with_redundancy(3)
+            .build()
+            .expect("build");
+        let plan = FaultPlan::new(5).with_fault(
+            0,
+            Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+        );
+        let options = SessionOptions::default()
+            .with_fault_plan(plan)
+            .with_qc(QcGate::default());
+        let sample = [(Analyte::Glucose, Molar::from_millimolar(3.0))];
+        let report = triple
+            .run_session_with(&sample, 21, &options)
+            .expect("session");
+
+        // The two healthy replicates outvote the dead one.
+        let glucose = report.reading_for(Analyte::Glucose).expect("on panel");
+        assert!(glucose.identified, "healthy replicates carry the target");
+        assert!(glucose.estimated.is_some());
+        let d = report.degradation();
+        assert_eq!(d.quarantined, vec![0]);
+        assert!(
+            d.failed_targets.is_empty(),
+            "redundancy kept the target alive"
+        );
+        // Best replicate quality is a clean pass.
+        assert_eq!(
+            report
+                .quality_for(Analyte::Glucose)
+                .expect("recorded")
+                .class,
+            QcClass::Pass
         );
     }
 

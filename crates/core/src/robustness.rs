@@ -1,0 +1,200 @@
+//! Graceful-degradation policy for full sessions: fault injection,
+//! per-measurement QC gating, bounded retries and electrode quarantine.
+//!
+//! The contract is the one a clinical instrument needs: a session returns
+//! *partial results with provenance* — every reading carries its QC class
+//! and retry history, rejected acquisitions never contribute to estimates,
+//! and the [`DegradationSummary`] states exactly what was lost. Silent
+//! corruption (a faulted value presented as trustworthy) is the failure
+//! mode this module exists to prevent.
+
+use bios_afe::FaultPlan;
+use bios_biochem::Analyte;
+use bios_instrument::{QcClass, QcGate, QcReason};
+
+/// Bounded-retry and quarantine policy applied by
+/// [`Platform::run_session_with`](crate::Platform::run_session_with).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetryPolicy {
+    /// Retries allowed per working electrode after a failed acquisition
+    /// (total attempts = `max_retries + 1`).
+    pub max_retries: usize,
+    /// Consecutive failed attempts after which the electrode is
+    /// quarantined and reported in the degradation summary.
+    pub quarantine_after: usize,
+    /// Seed stride between attempts: attempt `k` measures with
+    /// `we_seed + k * reseed_stride`, so every retry sees fresh noise
+    /// while the whole session stays bit-reproducible under one seed.
+    pub reseed_stride: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            quarantine_after: 3,
+            reseed_stride: 0x9e37_79b9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, immediate quarantine).
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            quarantine_after: 1,
+            reseed_stride: 0x9e37_79b9,
+        }
+    }
+}
+
+/// Knobs for a robustness-aware session run.
+///
+/// `Default` reproduces the plain [`run_session`](crate::Platform::run_session)
+/// contract: no injected faults, and a QC gate with the response-magnitude
+/// check disabled — a sample legitimately lacking an analyte must read as
+/// "not identified", not as a hardware failure. Enable the full gate (via
+/// [`with_qc`](Self::with_qc) and [`QcGate::default`]) when every scheduled
+/// target is known to be present, e.g. in fault-matrix characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOptions {
+    /// Seeded faults to inject into the per-electrode readout chains.
+    pub fault_plan: Option<FaultPlan>,
+    /// The QC gate screening every acquisition.
+    pub qc: QcGate,
+    /// Retry and quarantine policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        Self {
+            fault_plan: None,
+            qc: QcGate::default().without_min_delta(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Injects a fault plan into the session's readout chains.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Replaces the QC gate.
+    pub fn with_qc(mut self, qc: QcGate) -> Self {
+        self.qc = qc;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+/// Per-target measurement provenance: how one raw reading earned (or
+/// lost) its place in the session report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TargetQuality {
+    /// The analyte this quality record describes.
+    pub analyte: Analyte,
+    /// The working electrode that produced the reading.
+    pub we: usize,
+    /// Final QC class after all retries.
+    pub class: QcClass,
+    /// Acquisition attempts spent on this electrode (1 = clean first try).
+    pub attempts: usize,
+    /// Machine-readable reasons from the final attempt's QC verdict.
+    pub reasons: Vec<QcReason>,
+    /// Whether the electrode was quarantined after this measurement.
+    pub quarantined: bool,
+}
+
+impl TargetQuality {
+    /// Whether the reading behind this record may be used.
+    pub fn is_usable(&self) -> bool {
+        self.class != QcClass::Fail
+    }
+}
+
+/// What a session lost to faults: the aggregate side of "partial results
+/// with provenance".
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DegradationSummary {
+    /// Total retry slots appended to the schedule.
+    pub retries: usize,
+    /// Working electrodes quarantined after consecutive failures.
+    pub quarantined: Vec<usize>,
+    /// Analytes left without a single usable reading.
+    pub failed_targets: Vec<Analyte>,
+}
+
+impl DegradationSummary {
+    /// True when the session ran without any retry, quarantine or loss.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.quarantined.is_empty() && self.failed_targets.is_empty()
+    }
+}
+
+impl core::fmt::Display for DegradationSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "clean");
+        }
+        write!(
+            f,
+            "{} retries, {} quarantined WE(s), {} failed target(s)",
+            self.retries,
+            self.quarantined.len(),
+            self.failed_targets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_mirror_the_plain_session_contract() {
+        let opts = SessionOptions::default();
+        assert!(opts.fault_plan.is_none());
+        assert_eq!(opts.qc.min_delta, bios_units::Amps::ZERO);
+        assert_eq!(opts.retry.max_retries, 2);
+        assert!(RetryPolicy::none().max_retries == 0);
+    }
+
+    #[test]
+    fn degradation_summary_reports_cleanliness() {
+        let mut d = DegradationSummary::default();
+        assert!(d.is_clean());
+        assert_eq!(d.to_string(), "clean");
+        d.retries = 1;
+        d.quarantined.push(2);
+        assert!(!d.is_clean());
+        assert!(d.to_string().contains("1 retries"));
+    }
+
+    #[test]
+    fn quality_usability_follows_class() {
+        let q = TargetQuality {
+            analyte: Analyte::Glucose,
+            we: 0,
+            class: QcClass::Suspect,
+            attempts: 2,
+            reasons: Vec::new(),
+            quarantined: false,
+        };
+        assert!(q.is_usable());
+        let f = TargetQuality {
+            class: QcClass::Fail,
+            ..q
+        };
+        assert!(!f.is_usable());
+    }
+}

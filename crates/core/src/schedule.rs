@@ -77,6 +77,32 @@ impl Schedule {
         Self { slots, total }
     }
 
+    /// Appends a retry slot at the end of the schedule, separated from
+    /// everything already scheduled by `gap`. Because the new slot starts
+    /// after the current total duration, the no-overlap invariant is
+    /// preserved by construction — even on parallel schedules, where the
+    /// retry begins once the longest original slot has finished.
+    pub fn append_retry(
+        &mut self,
+        we: usize,
+        technique: Technique,
+        duration: Seconds,
+        gap: Seconds,
+    ) {
+        let start = if self.slots.is_empty() {
+            self.total
+        } else {
+            self.total + gap
+        };
+        self.slots.push(ScheduleSlot {
+            we,
+            start,
+            duration,
+            technique,
+        });
+        self.total = start + duration;
+    }
+
     /// The slots in execution order.
     pub fn slots(&self) -> &[ScheduleSlot] {
         &self.slots
@@ -146,6 +172,42 @@ mod tests {
         let seq = Schedule::sequential(&fig4_measurements(), &mux());
         let par = Schedule::parallel(&fig4_measurements());
         assert!(seq.total_duration().value() > 4.0 * par.total_duration().value());
+    }
+
+    #[test]
+    fn retry_slots_never_overlap() {
+        let m = mux();
+        let mut seq = Schedule::sequential(&fig4_measurements(), &m);
+        let before = seq.total_duration();
+        seq.append_retry(
+            3,
+            Technique::CyclicVoltammetry,
+            Seconds::new(55.0),
+            m.acquisition_delay(),
+        );
+        seq.append_retry(
+            0,
+            Technique::Chronoamperometry,
+            Seconds::new(70.0),
+            m.acquisition_delay(),
+        );
+        assert_eq!(seq.slots().len(), 7);
+        assert!(!seq.has_overlap());
+        assert!(seq.total_duration().value() > before.value() + 125.0 - 1e-9);
+
+        // Even on a parallel schedule the retry waits for the longest slot.
+        let mut par = Schedule::parallel(&fig4_measurements());
+        par.append_retry(
+            1,
+            Technique::Chronoamperometry,
+            Seconds::new(70.0),
+            m.acquisition_delay(),
+        );
+        let retry = *par.slots().last().expect("appended");
+        assert!(retry.start.value() >= 70.0);
+        for slot in &par.slots()[..par.slots().len() - 1] {
+            assert!(slot.end().value() <= retry.start.value() + 1e-12);
+        }
     }
 
     #[test]

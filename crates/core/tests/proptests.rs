@@ -141,4 +141,50 @@ proptest! {
         prop_assert!((par.total_duration().value() - max).abs() < 1e-9);
         prop_assert!(!seq.has_overlap());
     }
+
+    /// Retry slots appended by the robustness runtime never overlap any
+    /// existing slot, for arbitrary retry sequences on both sequential and
+    /// parallel base schedules.
+    #[test]
+    fn retry_appends_never_overlap(
+        base in prop::collection::vec(1.0f64..120.0, 1..6),
+        retries in prop::collection::vec((0usize..6, 0.5f64..90.0, 0.0f64..15.0), 1..10),
+        parallel_sel in 0usize..2,
+    ) {
+        let parallel_base = parallel_sel == 1;
+        let mux = bios_afe::AnalogMux::typical_cmos(base.len()).expect("valid");
+        let ms: Vec<(usize, bios_biochem::Technique, Seconds)> = base
+            .iter()
+            .enumerate()
+            .map(|(k, d)| (k, bios_biochem::Technique::Chronoamperometry, Seconds::new(*d)))
+            .collect();
+        let mut s = if parallel_base {
+            Schedule::parallel(&ms)
+        } else {
+            Schedule::sequential(&ms, &mux)
+        };
+        // Parallel bases overlap by design (dedicated chains); sequential
+        // ones must not, and must stay overlap-free through every retry.
+        if !parallel_base {
+            prop_assert!(!s.has_overlap());
+        }
+        for (we, dur, gap) in &retries {
+            let before = s.total_duration();
+            s.append_retry(
+                *we,
+                bios_biochem::Technique::Chronoamperometry,
+                Seconds::new(*dur),
+                Seconds::new(*gap),
+            );
+            let retry = *s.slots().last().expect("appended slot");
+            // The retry starts only after everything already scheduled
+            // has finished — it can never collide with an earlier slot.
+            prop_assert!(retry.start.value() >= before.value());
+            if !parallel_base {
+                prop_assert!(!s.has_overlap());
+            }
+            prop_assert!(s.total_duration().value() >= before.value() + *dur);
+        }
+        prop_assert_eq!(s.slots().len(), base.len() + retries.len());
+    }
 }

@@ -55,8 +55,10 @@ impl LinearFit {
 ///
 /// # Errors
 ///
-/// Returns [`InstrumentError::InsufficientData`] for fewer than 2 points
-/// and [`InstrumentError::FitFailed`] when all concentrations coincide.
+/// Returns [`InstrumentError::InsufficientData`] for fewer than 2 points,
+/// [`InstrumentError::NonFiniteData`] if any coordinate is NaN or
+/// infinite, and [`InstrumentError::FitFailed`] when all concentrations
+/// coincide.
 pub fn fit_line(points: &[CalibrationPoint]) -> Result<LinearFit, InstrumentError> {
     if points.len() < 2 {
         return Err(InstrumentError::InsufficientData {
@@ -64,6 +66,7 @@ pub fn fit_line(points: &[CalibrationPoint]) -> Result<LinearFit, InstrumentErro
             got: points.len(),
         });
     }
+    ensure_finite(points, "line fit")?;
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|p| p.concentration.value()).sum();
     let sy: f64 = points.iter().map(|p| p.response).sum();
@@ -101,6 +104,21 @@ pub fn fit_line(points: &[CalibrationPoint]) -> Result<LinearFit, InstrumentErro
     })
 }
 
+/// Rejects point sets containing NaN or infinite coordinates with a
+/// typed error, so downstream sorts and fits never see them.
+fn ensure_finite(
+    points: &[CalibrationPoint],
+    context: &'static str,
+) -> Result<(), InstrumentError> {
+    if points
+        .iter()
+        .any(|p| !p.concentration.value().is_finite() || !p.response.is_finite())
+    {
+        return Err(InstrumentError::non_finite(context));
+    }
+    Ok(())
+}
+
 /// The paper's eq. 7 maximum nonlinearity of a point set against the
 /// average sensitivity through the reference (first) point, normalized by
 /// the response span:
@@ -108,7 +126,8 @@ pub fn fit_line(points: &[CalibrationPoint]) -> Result<LinearFit, InstrumentErro
 ///
 /// # Errors
 ///
-/// Returns [`InstrumentError::InsufficientData`] for fewer than 3 points
+/// Returns [`InstrumentError::InsufficientData`] for fewer than 3 points,
+/// [`InstrumentError::NonFiniteData`] for NaN or infinite coordinates,
 /// and [`InstrumentError::FitFailed`] for a zero response span.
 pub fn max_nonlinearity(points: &[CalibrationPoint]) -> Result<f64, InstrumentError> {
     if points.len() < 3 {
@@ -117,6 +136,7 @@ pub fn max_nonlinearity(points: &[CalibrationPoint]) -> Result<f64, InstrumentEr
             got: points.len(),
         });
     }
+    ensure_finite(points, "nonlinearity analysis")?;
     let first = points[0];
     let last = points[points.len() - 1];
     let dc = last.concentration.value() - first.concentration.value();
@@ -167,7 +187,7 @@ pub struct CalibrationOutcome {
 /// # Errors
 ///
 /// Returns [`InstrumentError`] for insufficient blanks (<2) or points (<3),
-/// or degenerate fits.
+/// NaN or infinite blanks or points, or degenerate fits.
 ///
 /// # Example
 ///
@@ -199,6 +219,9 @@ pub fn analyze_calibration(
             "must lie strictly between 0 and 1",
         ));
     }
+    if blanks.iter().any(|b| !b.is_finite()) {
+        return Err(InstrumentError::non_finite("blank statistics"));
+    }
     let blank_stats = ReplicateStats::from_samples(blanks)?;
     if points.len() < 3 {
         return Err(InstrumentError::InsufficientData {
@@ -206,13 +229,9 @@ pub fn analyze_calibration(
             got: points.len(),
         });
     }
+    ensure_finite(points, "calibration analysis")?;
     let mut sorted = points.to_vec();
-    sorted.sort_by(|a, b| {
-        a.concentration
-            .value()
-            .partial_cmp(&b.concentration.value())
-            .expect("concentrations are finite")
-    });
+    sorted.sort_by(|a, b| a.concentration.value().total_cmp(&b.concentration.value()));
 
     // Grow the linear window from the bottom: anchor the sensitivity on the
     // three lowest concentrations (the paper's slope is the *initial* slope
@@ -368,6 +387,46 @@ mod tests {
         let quiet = analyze_calibration(&[0.0, 1e-9, -1e-9], &points, 0.1).expect("analysis");
         let noisy = analyze_calibration(&[0.0, 1e-7, -1e-7], &points, 0.1).expect("analysis");
         assert!(noisy.lod.value() > 50.0 * quiet.lod.value());
+    }
+
+    #[test]
+    fn non_finite_inputs_are_typed_errors() {
+        let mut points: Vec<CalibrationPoint> = (1..6)
+            .map(|k| CalibrationPoint {
+                concentration: mm(k as f64),
+                response: 1e-3 * k as f64,
+            })
+            .collect();
+        points[2].response = f64::NAN;
+        assert!(matches!(
+            fit_line(&points),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
+        assert!(matches!(
+            max_nonlinearity(&points),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
+        assert!(matches!(
+            analyze_calibration(&[0.0, 1e-9], &points, 0.1),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
+        points[2].response = 3e-3;
+        points[4].concentration = Molar::new(f64::INFINITY);
+        assert!(matches!(
+            fit_line(&points),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
+        // NaN blanks are caught before replicate statistics.
+        let good: Vec<CalibrationPoint> = (1..6)
+            .map(|k| CalibrationPoint {
+                concentration: mm(k as f64),
+                response: 1e-3 * k as f64,
+            })
+            .collect();
+        assert!(matches!(
+            analyze_calibration(&[0.0, f64::NAN], &good, 0.1),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
     }
 
     #[test]

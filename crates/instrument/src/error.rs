@@ -1,7 +1,10 @@
 //! Error type for the measurement-science layer.
 
+use bios_units::ErrorSeverity;
+
 /// Errors produced while running protocols or analyzing data.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum InstrumentError {
     /// A protocol parameter was out of its valid domain.
     InvalidParameter {
@@ -19,6 +22,11 @@ pub enum InstrumentError {
     },
     /// A numerical fit failed (degenerate input).
     FitFailed(String),
+    /// Input data contained NaN or infinite values.
+    NonFiniteData {
+        /// Which analysis rejected the data.
+        context: &'static str,
+    },
     /// The underlying AFE rejected the measurement.
     Afe(bios_afe::AfeError),
     /// The underlying biochemistry model rejected the configuration.
@@ -32,6 +40,33 @@ impl InstrumentError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn non_finite(context: &'static str) -> Self {
+        Self::NonFiniteData { context }
+    }
+
+    /// How badly this error compromises the measurement.
+    ///
+    /// Configuration defects are [`ErrorSeverity::Fatal`]; degenerate or
+    /// corrupted data ([`Self::InsufficientData`], [`Self::FitFailed`],
+    /// [`Self::NonFiniteData`]) is [`ErrorSeverity::Degraded`] — a retry
+    /// under a fresh seed or on a different electrode can succeed.
+    /// Wrapped lower-layer errors report the inner severity.
+    pub fn severity(&self) -> ErrorSeverity {
+        match self {
+            Self::InvalidParameter { .. } => ErrorSeverity::Fatal,
+            Self::InsufficientData { .. } | Self::FitFailed(_) | Self::NonFiniteData { .. } => {
+                ErrorSeverity::Degraded
+            }
+            Self::Afe(e) => e.severity(),
+            Self::Biochem(_) => ErrorSeverity::Fatal,
+        }
+    }
+
+    /// Whether an automatic retry is worthwhile.
+    pub fn is_recoverable(&self) -> bool {
+        self.severity().is_recoverable()
+    }
 }
 
 impl core::fmt::Display for InstrumentError {
@@ -44,6 +79,9 @@ impl core::fmt::Display for InstrumentError {
                 write!(f, "insufficient data: needed {needed} points, got {got}")
             }
             Self::FitFailed(why) => write!(f, "fit failed: {why}"),
+            Self::NonFiniteData { context } => {
+                write!(f, "non-finite data rejected by {context}")
+            }
             Self::Afe(e) => write!(f, "afe error: {e}"),
             Self::Biochem(e) => write!(f, "biochemistry error: {e}"),
         }
@@ -94,5 +132,25 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_traits<T: Send + Sync + std::error::Error>() {}
         assert_traits::<InstrumentError>();
+    }
+
+    #[test]
+    fn severity_taxonomy() {
+        assert_eq!(
+            InstrumentError::invalid("dt", "must be positive").severity(),
+            ErrorSeverity::Fatal
+        );
+        assert_eq!(
+            InstrumentError::non_finite("peak detection").severity(),
+            ErrorSeverity::Degraded
+        );
+        assert!(InstrumentError::non_finite("peak detection").is_recoverable());
+        // Wrapped AFE errors surface the inner severity.
+        let wrapped: InstrumentError = bios_afe::AfeError::BadChannel {
+            requested: 9,
+            available: 5,
+        }
+        .into();
+        assert_eq!(wrapped.severity(), ErrorSeverity::Fatal);
     }
 }

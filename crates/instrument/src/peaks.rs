@@ -45,7 +45,9 @@ impl Default for PeakOptions {
 ///
 /// # Errors
 ///
-/// Returns [`InstrumentError::InsufficientData`] for fewer than 5 samples.
+/// Returns [`InstrumentError::InsufficientData`] for fewer than 5 samples
+/// and [`InstrumentError::NonFiniteData`] if any current in the sweep is
+/// NaN or infinite.
 ///
 /// # Example
 ///
@@ -77,6 +79,12 @@ pub fn detect_cathodic_peaks(
             needed: 5,
             got: sweep.len(),
         });
+    }
+    if sweep
+        .iter()
+        .any(|(e, i)| !e.value().is_finite() || !i.value().is_finite())
+    {
+        return Err(InstrumentError::non_finite("peak detection"));
     }
     // Work on the negated signal so peaks are maxima.
     let raw: Vec<f64> = sweep.iter().map(|(_, i)| -i.value()).collect();
@@ -112,13 +120,9 @@ pub fn detect_cathodic_peaks(
             });
         }
     }
-    // Most prominent first.
-    peaks.sort_by(|a, b| {
-        b.height
-            .value()
-            .partial_cmp(&a.height.value())
-            .expect("heights are finite")
-    });
+    // Most prominent first. Total order is safe: non-finite inputs were
+    // rejected above, so every prominence is finite.
+    peaks.sort_by(|a, b| b.height.value().total_cmp(&a.height.value()));
     Ok(peaks)
 }
 
@@ -252,6 +256,22 @@ mod tests {
             .collect();
         let peaks = detect_cathodic_peaks(&sweep, PeakOptions::default()).expect("enough data");
         assert!(peaks.is_empty(), "{peaks:?}");
+    }
+
+    #[test]
+    fn non_finite_samples_are_a_typed_error() {
+        let mut sweep = gaussian_sweep(&[(-0.4, 2e-9)]);
+        sweep[17].1 = Amps::new(f64::NAN);
+        assert!(matches!(
+            detect_cathodic_peaks(&sweep, PeakOptions::default()),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
+        let mut sweep = gaussian_sweep(&[(-0.4, 2e-9)]);
+        sweep[30].1 = Amps::new(f64::INFINITY);
+        assert!(matches!(
+            detect_anodic_peaks(&sweep, PeakOptions::default()),
+            Err(InstrumentError::NonFiniteData { .. })
+        ));
     }
 
     #[test]

@@ -1,4 +1,41 @@
-//! Error types for quantity parsing and range construction.
+//! Error types for quantity parsing and range construction, plus the
+//! workspace-wide [`ErrorSeverity`] taxonomy.
+
+/// How badly an error compromises a measurement campaign.
+///
+/// Every layer's error type (`AfeError`, `InstrumentError`,
+/// `PlatformError`) maps its variants onto this shared scale so the
+/// platform scheduler can decide uniformly whether to retry a slot,
+/// quarantine an electrode, or abort the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorSeverity {
+    /// A transient condition; retrying the same operation (possibly with
+    /// a fresh noise seed) is expected to succeed.
+    Transient,
+    /// The operation produced partial or degraded output; results may be
+    /// usable with reduced confidence, and retrying may help.
+    Degraded,
+    /// A configuration or structural defect; retrying without operator
+    /// intervention cannot succeed.
+    Fatal,
+}
+
+impl ErrorSeverity {
+    /// Whether an automatic retry is worthwhile for this severity.
+    pub fn is_recoverable(self) -> bool {
+        !matches!(self, ErrorSeverity::Fatal)
+    }
+}
+
+impl core::fmt::Display for ErrorSeverity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ErrorSeverity::Transient => write!(f, "transient"),
+            ErrorSeverity::Degraded => write!(f, "degraded"),
+            ErrorSeverity::Fatal => write!(f, "fatal"),
+        }
+    }
+}
 
 /// Error returned when parsing a quantity string fails.
 ///

@@ -47,7 +47,7 @@ pub use consts::{
     nernst_slope, thermal_voltage, AVOGADRO, BOLTZMANN, ELEMENTARY_CHARGE, FARADAY, GAS_CONSTANT,
     T_BODY, T_ROOM,
 };
-pub use error::{ParseQuantityError, RangeError};
+pub use error::{ErrorSeverity, ParseQuantityError, RangeError};
 pub use prefix::{format_si, Prefix};
 pub use quantity::Quantity;
 pub use range::QRange;

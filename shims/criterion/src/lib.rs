@@ -1,0 +1,139 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal wall-clock harness with the same macro and builder surface
+//! the benches use: [`criterion_group!`]/[`criterion_main!`],
+//! `Criterion::default().sample_size(n)`, `bench_function`, and
+//! `Bencher::iter`. Results print mean/min/max per-iteration times; there
+//! is no statistical analysis, plotting, or CLI argument handling.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark harness handle passed to every group target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a named benchmark and prints per-iteration timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let s = &bencher.samples;
+        if s.is_empty() {
+            println!("{name}: no samples collected");
+        } else {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = s.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{name}: mean {} min {} max {} ({} samples)",
+                format_ns(mean),
+                format_ns(min),
+                format_ns(max),
+                s.len()
+            );
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, recording per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Groups benchmark targets under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group!(
+        name = probe;
+        config = Criterion::default().sample_size(3);
+        targets = tiny_bench
+    );
+
+    #[test]
+    fn group_runs() {
+        probe();
+    }
+}

@@ -1,0 +1,260 @@
+//! Hermetic stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it uses: the [`proptest!`] macro, numeric range
+//! strategies, `prop::num::f64::NORMAL`, `prop::collection::vec`,
+//! `prop_map`/`prop_filter`, and the `prop_assert*` macros. Cases are
+//! generated from a seed derived from the test name, so every run is
+//! deterministic; there is no shrinking — the failing inputs are printed
+//! instead.
+
+#![forbid(unsafe_code)]
+
+use rand::{rngs::StdRng, SeedableRng};
+
+pub mod strategy;
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed or rejected property case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (kept for upstream API parity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Stable FNV-1a hash of the test name: the per-test seed.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives `cases` iterations of a property body. Called by [`proptest!`];
+/// panics (failing the enclosing `#[test]`) on the first failed case.
+pub fn run_cases<F>(name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        match body(&mut rng) {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed at case {case}/{cases}: {msg}");
+            }
+        }
+    }
+}
+
+/// Declares property-based tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// Doubling is monotone.
+///     fn doubling_monotone(x in 0.0f64..1.0) {
+///         prop_assert!(2.0 * x >= x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), __config.cases, |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    let mut __case = || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts two values are not equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l != __r, "assertion failed: `{:?} != {:?}`", __l, __r);
+    }};
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Numeric strategies.
+    pub mod num {
+        /// `f64` strategies.
+        pub mod f64 {
+            /// Strategy over all normal (finite, non-subnormal, non-zero)
+            /// `f64` values of either sign.
+            pub const NORMAL: crate::strategy::NormalF64 = crate::strategy::NormalF64;
+            /// Strategy over arbitrary `f64` values, including zero,
+            /// subnormals, infinities and NaN.
+            pub const ANY: crate::strategy::AnyF64 = crate::strategy::AnyF64;
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A strategy for `Vec`s of `element` with length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Range strategies stay within bounds.
+        fn ranges_in_bounds(x in 0.0f64..1.0, n in 3u8..9) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        /// Filters and maps compose.
+        fn filter_map_compose(v in (1usize..10).prop_map(|n| n * 2).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!((2..20).contains(&v));
+        }
+
+        /// NORMAL yields only normal floats.
+        fn normal_is_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal());
+        }
+
+        /// Vec strategy honours the length range.
+        fn vec_lengths(v in prop::collection::vec(0.0f64..1.0, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn same_name_same_cases() {
+        let mut first = Vec::new();
+        crate::run_cases("determinism-probe", 16, |rng| {
+            first.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("determinism-probe", 16, |rng| {
+            second.push(crate::strategy::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,194 @@
+//! Strategy trait and combinators for the proptest stand-in.
+
+use core::ops::Range;
+use rand::{rngs::StdRng, Rng};
+
+/// How many times a filter may reject before the case aborts. Matches the
+/// spirit of upstream proptest's global rejection cap.
+const MAX_FILTER_TRIES: usize = 1_000;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// A strategy applying `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy discarding values for which `pred` is false,
+    /// regenerating until one passes (bounded by an internal retry cap).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.start as f64..self.end as f64) as f32
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_FILTER_TRIES {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected {MAX_FILTER_TRIES} consecutive inputs",
+            self.reason
+        );
+    }
+}
+
+/// Strategy over all normal `f64` values; see `prop::num::f64::NORMAL`.
+#[derive(Debug, Clone, Copy)]
+pub struct NormalF64;
+
+impl Strategy for NormalF64 {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        loop {
+            // Uniform sign and mantissa with an exponent biased toward
+            // human-scale magnitudes, then reject anything non-normal.
+            let sign = if rng.gen_range(0u8..2) == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            let exp = rng.gen_range(-300i32..300);
+            let mantissa = rng.gen_range(1.0f64..2.0);
+            let v = sign * mantissa * 10f64.powi(exp);
+            if v.is_normal() {
+                return v;
+            }
+        }
+    }
+}
+
+/// Strategy over arbitrary `f64` values; see `prop::num::f64::ANY`.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyF64;
+
+impl Strategy for AnyF64 {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        // Mix raw bit patterns (hitting NaN/inf/subnormals) with
+        // human-scale normals so both regimes are exercised.
+        match rng.gen_range(0u8..4) {
+            0 => f64::from_bits(rng.next_u64()),
+            1 => {
+                const SPECIALS: [f64; 7] = [
+                    0.0,
+                    -0.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                    f64::MIN_POSITIVE,
+                    f64::MAX,
+                ];
+                SPECIALS[rng.gen_range(0usize..SPECIALS.len())]
+            }
+            _ => NormalF64.generate(rng),
+        }
+    }
+}
+
+/// See [`crate::prop::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

@@ -1,0 +1,474 @@
+//! `#[derive(Serialize, Deserialize)]` for the hermetic serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The parser covers the shapes the
+//! workspace actually derives: named/tuple/unit structs, enums with
+//! unit/newtype/tuple/struct variants, simple type generics, and the
+//! `#[serde(transparent)]` marker (inert beyond newtypes, which already
+//! serialize transparently).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes (docs, derives already stripped, #[serde(...)]).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2; // '#' + [...] group
+    }
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generic parameters: collect type-parameter idents, skip bounds.
+    let mut generics = Vec::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    _ => {}
+                },
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    generics.push(id.to_string());
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    let kind = if keyword == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        }
+    } else if keyword == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        panic!("derive supports only structs and enums, found {keyword}");
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Field names from a named-fields brace body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip ':' and the type, up to the next top-level comma. Generic
+        // arguments contribute '<'/'>' puncts; commas inside them are not
+        // field separators.
+        let mut angle = 0isize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant paren body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0isize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    fields += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        fields -= 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to the next top-level comma (covers discriminants).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+impl Item {
+    /// `Name` or `Name<A, B>`.
+    fn self_ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    fn ser_impl_header(&self) -> String {
+        if self.generics.is_empty() {
+            format!("impl ::serde::Serialize for {}", self.name)
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: ::serde::Serialize"))
+                .collect();
+            format!(
+                "impl<{}> ::serde::Serialize for {}",
+                params.join(", "),
+                self.self_ty()
+            )
+        }
+    }
+
+    fn de_impl_header(&self) -> String {
+        if self.generics.is_empty() {
+            format!("impl<'de> ::serde::Deserialize<'de> for {}", self.name)
+        } else {
+            let params: Vec<String> = self
+                .generics
+                .iter()
+                .map(|g| format!("{g}: ::serde::Deserialize<'de>"))
+                .collect();
+            format!(
+                "impl<'de, {}> ::serde::Deserialize<'de> for {}",
+                params.join(", "),
+                self.self_ty()
+            )
+        }
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new(); {} ::serde::Value::Map(m)",
+                pushes.join(" ")
+            )
+        }
+        // Newtypes serialize transparently, matching upstream serde.
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_variant_ser_arm(&item.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        item.ser_impl_header(),
+        body
+    )
+}
+
+fn gen_variant_ser_arm(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VariantShape::Unit => {
+            format!("{enum_name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),")
+        }
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Map(vec![(String::from(\"{vname}\"), {inner})]),",
+                binds.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("m.push((String::from(\"{f}\"), ::serde::Serialize::to_value({f})));")
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {binds} }} => {{ \
+                   let mut m: Vec<(String, ::serde::Value)> = Vec::new(); {} \
+                   ::serde::Value::Map(vec![(String::from(\"{vname}\"), ::serde::Value::Map(m))]) }},",
+                pushes.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\"))?")
+                })
+                .collect();
+            format!(
+                "let m = value.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?; \
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = value.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?; \
+                 if s.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}\")); }} \
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("Ok({name})"),
+        ItemKind::Enum(variants) => gen_enum_de(name, variants),
+    };
+    format!(
+        "{} {{ fn from_value(value: &::serde::Value) -> Result<Self, ::serde::Error> {{ {} }} }}",
+        item.de_impl_header(),
+        body
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let build = match &v.shape {
+                VariantShape::Unit => return None,
+                VariantShape::Tuple(1) => format!(
+                    "Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?))"
+                ),
+                VariantShape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&s[{k}])?"))
+                        .collect();
+                    format!(
+                        "let s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vname}\"))?; \
+                         if s.len() != {n} {{ return Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }} \
+                         Ok({name}::{vname}({}))",
+                        inits.join(", ")
+                    )
+                }
+                VariantShape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(m, \"{f}\"))?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let m = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{vname}\"))?; \
+                         Ok({name}::{vname} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{vname}\" => {{ {build} }}"))
+        })
+        .collect();
+    format!(
+        "match value {{ \
+           ::serde::Value::Str(s) => match s.as_str() {{ \
+             {} \
+             other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))), \
+           }}, \
+           ::serde::Value::Map(m) if m.len() == 1 => {{ \
+             let (tag, inner) = &m[0]; \
+             match tag.as_str() {{ \
+               {} \
+               other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))), \
+             }} \
+           }}, \
+           _ => Err(::serde::Error::custom(\"expected variant tag for {name}\")), \
+         }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}

@@ -170,8 +170,15 @@ fn chamber_separation_when_crosstalk_demands_it() {
 #[test]
 fn prelude_covers_the_quickstart_path() {
     use advdiag::prelude::*;
-    let platform = PlatformBuilder::new(PanelSpec::paper_fig4()).build().expect("build");
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
     let sample = [(Analyte::Glucose, Molar::from_millimolar(3.0))];
     let report: SessionReport = platform.run_session(&sample, 1).expect("session");
-    assert!(report.reading_for(Analyte::Glucose).expect("on panel").identified);
+    assert!(
+        report
+            .reading_for(Analyte::Glucose)
+            .expect("on panel")
+            .identified
+    );
 }

@@ -161,3 +161,39 @@ fn seeds_isolate_runs_completely() {
     // But both land near the same truth.
     assert!((ra.value() - rb.value()).abs() < 0.3 * ra.value().abs());
 }
+
+#[test]
+fn faulted_sessions_are_bit_deterministic_per_seed() {
+    // Acceptance: the same seed yields the same fault schedule and the
+    // same SessionReport, bit for bit — including retries, quarantines
+    // and degradation bookkeeping under an adversarial fault plan.
+    use advdiag::afe::FaultPlan;
+    use advdiag::instrument::QcGate;
+    use advdiag::platform::SessionOptions;
+
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    let sample = [
+        (Analyte::Glucose, Molar::from_millimolar(4.0)),
+        (Analyte::Lactate, Molar::from_millimolar(1.0)),
+    ];
+    let plan = FaultPlan::randomized(314, platform.assignments().len());
+    let opts = SessionOptions::default()
+        .with_fault_plan(plan)
+        .with_qc(QcGate::default());
+    let a = platform
+        .run_session_with(&sample, 2011, &opts)
+        .expect("session");
+    let b = platform
+        .run_session_with(&sample, 2011, &opts)
+        .expect("session");
+    assert_eq!(a.schedule(), b.schedule(), "fault schedules must match");
+    assert_eq!(a, b, "same seed must reproduce the report bit for bit");
+    // A fresh seed reseeds the measurement noise: the reports diverge at
+    // f64 precision even though the platform and plan are unchanged.
+    let c = platform
+        .run_session_with(&sample, 2012, &opts)
+        .expect("session");
+    assert_ne!(a, c, "different seeds must differ");
+}
