@@ -168,6 +168,26 @@ impl ReadoutChain {
         &self.faults
     }
 
+    /// A stable content hash of everything that determines this chain's
+    /// response to a given `(program, dt, seed)`: the full block
+    /// configuration, the injected faults and the fault seed.
+    ///
+    /// Two chains with equal hashes produce bit-identical acquisitions for
+    /// identical inputs, which is what makes the platform layer's trace
+    /// memoization sound. Rust's `Debug` float formatting is
+    /// shortest-roundtrip (lossless), so distinct configurations cannot
+    /// collide through formatting.
+    pub fn content_hash(&self) -> u64 {
+        let repr = format!("{:?}|{:?}|{}", self.config, self.faults, self.fault_seed);
+        // FNV-1a over the canonical representation.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Measures the chain's own input-referred baseline noise: a dry
     /// acquisition with grounded inputs held at 0 V over `window`,
     /// returning the standard deviation of the recorded current.
@@ -308,20 +328,39 @@ impl ReadoutChain {
         let inject = !fault_rt.is_noop();
         let max_code = (1i32 << (self.config.adc.bits() - 1)) - 1;
 
+        // Hoisted loop invariants: a Hold program's DAC setpoint is the
+        // same at every sample (realize = quantize(potential), independent
+        // of t), and the CDS residual fraction never changes mid-run.
+        // Both used to be recomputed per step.
+        let hold_setpoint = match program {
+            PotentialProgram::Hold { .. } => {
+                Some(self.config.vgen.realize(program, Seconds::ZERO)?)
+            }
+            _ => None,
+        };
+        let cds_residual = self
+            .config
+            .cds
+            .as_ref()
+            .map(|c| c.residual_drift_fraction());
+
         let duration = program.duration();
         let steps = (duration.value() / dt.value()).round() as usize;
         let mut out = Vec::with_capacity(steps + 1);
         for k in 0..=steps {
             let t = Seconds::new((k as f64 * dt.value()).min(duration.value()));
-            let setpoint = self.config.vgen.realize(program, t)?;
+            let setpoint = match hold_setpoint {
+                Some(v) => v,
+                None => self.config.vgen.realize(program, t)?,
+            };
             let applied = pstat.step(setpoint, dt);
             let drift_now = drift.sample(dt);
             let i_active = active(t, applied) + amp_active.sample(dt);
-            let i_meas = match &self.config.cds {
-                Some(cds) => {
+            let i_meas = match cds_residual {
+                Some(residual) => {
                     let i_blank = blank(t, applied) + amp_blank.sample(dt);
                     // Shared drift attenuates by the matching rejection.
-                    i_active - i_blank + drift_now * cds.residual_drift_fraction()
+                    i_active - i_blank + drift_now * residual
                 }
                 None => i_active + drift_now,
             };

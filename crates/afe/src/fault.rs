@@ -264,8 +264,16 @@ pub(crate) struct FaultRuntime {
 
 impl FaultRuntime {
     pub(crate) fn new(faults: &[Fault], seed: u64, full_scale: Amps) -> Self {
+        // Severity-0 faults are exact no-ops by contract, so drop them here
+        // instead of re-testing them in every per-sample apply loop. This
+        // also pins the contract down for `AdcStuckCode`, whose stride
+        // formula degenerates at zero severity.
         Self {
-            faults: faults.to_vec(),
+            faults: faults
+                .iter()
+                .filter(|f| f.severity > 0.0)
+                .copied()
+                .collect(),
             seed,
             full_scale,
             held: None,
@@ -274,7 +282,7 @@ impl FaultRuntime {
 
     /// Whether any fault can perturb anything at all.
     pub(crate) fn is_noop(&self) -> bool {
-        self.faults.iter().all(|f| f.severity <= 0.0)
+        self.faults.is_empty()
     }
 
     /// Applies current-domain faults (electrode, mux, drift, spikes).

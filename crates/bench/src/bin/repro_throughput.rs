@@ -1,12 +1,32 @@
-//! §II-B sample throughput: repeated sample/wash cycles on the glucose WE.
+//! Throughput reproduction, two layers:
+//!
+//! 1. §II-B sample throughput — repeated sample/wash cycles on the
+//!    glucose WE (the paper's samples-per-hour figure);
+//! 2. execution-engine throughput — the perf harness in
+//!    [`bios_bench::perf`]: session batches, design-space exploration and
+//!    the fault matrix timed sequentially vs in parallel, with
+//!    byte-identity digest checks and solver/memo cache statistics.
+//!
+//! Flags:
+//!
+//! * `--json <path>` — write the perf report (default `BENCH_2.json`);
+//! * `--min-speedup <x>` — exit nonzero if any workload's parallel
+//!   speedup falls below `x` (skipped automatically on 1-core hosts,
+//!   where no speedup is possible);
+//! * `--skip-sample-throughput` — perf harness only (what CI runs).
+//!
+//! Digest equality between sequential and parallel runs is always
+//! enforced — a mismatch is a correctness bug, not a perf miss.
+
 use bios_afe::{ChainConfig, CurrentRange, ReadoutChain};
 use bios_biochem::{Oxidase, OxidaseSensor};
 use bios_electrochem::Electrode;
 use bios_instrument::{run_injection_series, InjectionSchedule};
+use bios_platform::ExecPolicy;
 use bios_units::{Molar, Seconds};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    bios_bench::banner("Sample throughput — glucose WE, sample/wash cycles");
+fn sample_throughput() -> Result<(), Box<dyn std::error::Error>> {
+    bios_bench::banner("Sample throughput — glucose WE, sample/wash cycles (§II-B)");
     let sensor = OxidaseSensor::from_registry(Oxidase::Glucose)?;
     let chain = ReadoutChain::new(ChainConfig::for_range(CurrentRange::oxidase())?);
     let schedule = InjectionSchedule::sample_wash_cycles(
@@ -41,6 +61,91 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     if let Some(tph) = result.throughput_per_hour {
         println!("sample throughput: {tph:.0} samples/hour");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path = String::from("BENCH_2.json");
+    let mut min_speedup: Option<f64> = None;
+    let mut skip_sample = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).ok_or("--json needs a path")?.clone();
+            }
+            "--min-speedup" => {
+                i += 1;
+                min_speedup = Some(args.get(i).ok_or("--min-speedup needs a value")?.parse()?);
+            }
+            "--skip-sample-throughput" => skip_sample = true,
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+        i += 1;
+    }
+
+    if !skip_sample {
+        sample_throughput()?;
+    }
+
+    bios_bench::banner("Execution-engine throughput — sequential vs parallel");
+    let report = bios_bench::perf::run(ExecPolicy::Auto);
+    println!(
+        "host threads: {}   parallel policy resolved to: {}",
+        report.host_threads, report.parallel_threads
+    );
+    for w in &report.workloads {
+        println!(
+            "{:<14} {:>3} units   seq {:>8.3} s   par {:>8.3} s   speedup {:>5.2}x   digests {}",
+            w.name,
+            w.units,
+            w.sequential_s,
+            w.parallel_s,
+            w.speedup(),
+            if w.digests_match() {
+                "match"
+            } else {
+                "MISMATCH"
+            },
+        );
+    }
+    println!(
+        "diffusion kernel: {} steps/run, {:.0} steps/s cold, {:.0} steps/s warm ({} cache hits / {} misses)",
+        report.kernel.steps,
+        report.kernel.cold_steps_per_s,
+        report.kernel.warm_steps_per_s,
+        report.kernel.cache_hits,
+        report.kernel.cache_misses,
+    );
+    println!(
+        "memo caches over repeated faulted sessions: {} hits / {} misses",
+        report.memo_hits, report.memo_misses
+    );
+
+    std::fs::write(&json_path, bios_bench::perf::to_json(&report))?;
+    println!("wrote {json_path}");
+
+    if !report.all_digests_match() {
+        return Err("parallel output diverged from sequential (digest mismatch)".into());
+    }
+    if let Some(floor) = min_speedup {
+        if report.host_threads < 2 {
+            println!("min-speedup gate skipped: single-core host");
+        } else if report.min_speedup() < floor {
+            return Err(format!(
+                "speedup gate failed: min {:.2}x < required {floor:.2}x",
+                report.min_speedup()
+            )
+            .into());
+        } else {
+            println!(
+                "speedup gate passed: min {:.2}x >= {floor:.2}x",
+                report.min_speedup()
+            );
+        }
     }
     Ok(())
 }

@@ -13,7 +13,7 @@
 use bios_afe::{Fault, FaultKind, FaultPlan};
 use bios_biochem::Analyte;
 use bios_instrument::{QcClass, QcGate};
-use bios_platform::{Platform, SessionOptions, SessionReport};
+use bios_platform::{par_map, ExecPolicy, Platform, SessionOptions, SessionReport};
 use bios_units::Molar;
 
 /// The severity grid swept per fault kind.
@@ -99,48 +99,59 @@ impl MatrixReport {
 /// session per seed, each judged against the same-seed fault-free
 /// baseline.
 pub fn run(seeds: &[u64]) -> MatrixReport {
+    run_with(seeds, ExecPolicy::Auto)
+}
+
+/// [`run`] with an explicit execution policy. Every `(kind, severity)`
+/// cell — and every baseline session — is independent, so they fan out
+/// across the engine; cells merge back kind-major, making the report
+/// identical to [`ExecPolicy::Sequential`] for any thread count. Sessions
+/// inside a cell stay sequential: the matrix-level fan-out already
+/// saturates the workers, and nested fan-out would only add scheduling
+/// overhead (the *results* would be identical either way).
+pub fn run_with(seeds: &[u64], policy: ExecPolicy) -> MatrixReport {
     let platform = crate::fig4::build_platform();
     let sample = crate::fig4::reference_sample();
     let target = Analyte::Glucose;
     let we = target_we(&platform, target);
     // All panel targets are present in the reference sample, so the full
     // gate (minimum-response check included) applies.
-    let clean = SessionOptions::default().with_qc(QcGate::default());
-    let baselines: Vec<SessionReport> = seeds
-        .iter()
-        .map(|&s| {
-            platform
-                .run_session_with(&sample, s, &clean)
-                .expect("baseline session")
-        })
-        .collect();
+    let clean = SessionOptions::default()
+        .with_qc(QcGate::default())
+        .with_exec(ExecPolicy::Sequential);
+    let baselines: Vec<SessionReport> = par_map(policy, seeds, |_, &s| {
+        platform
+            .run_session_with(&sample, s, &clean)
+            .expect("baseline session")
+    });
 
-    let mut cells = Vec::new();
-    for kind in FaultKind::ALL {
-        for severity in SEVERITIES {
-            let mut outcomes = Vec::new();
-            let mut retries = 0;
-            let mut quarantines = 0;
-            for (i, &seed) in seeds.iter().enumerate() {
-                let plan = FaultPlan::new(seed ^ 0xfa_0172)
-                    .with_fault(we, Fault::immediate(kind, severity).expect("valid fault"));
-                let options = clean.clone().with_fault_plan(plan);
-                let report = platform
-                    .run_session_with(&sample, seed, &options)
-                    .expect("faulted sessions degrade, not error");
-                retries += report.degradation().retries;
-                quarantines += report.degradation().quarantined.len();
-                outcomes.push(classify(&baselines[i], &report, target));
-            }
-            cells.push(MatrixCell {
-                kind,
-                severity,
-                outcomes,
-                retries,
-                quarantines,
-            });
+    let grid: Vec<(FaultKind, f64)> = FaultKind::ALL
+        .iter()
+        .flat_map(|&kind| SEVERITIES.iter().map(move |&severity| (kind, severity)))
+        .collect();
+    let cells = par_map(policy, &grid, |_, &(kind, severity)| {
+        let mut outcomes = Vec::new();
+        let mut retries = 0;
+        let mut quarantines = 0;
+        for (i, &seed) in seeds.iter().enumerate() {
+            let plan = FaultPlan::new(seed ^ 0xfa_0172)
+                .with_fault(we, Fault::immediate(kind, severity).expect("valid fault"));
+            let options = clean.clone().with_fault_plan(plan);
+            let report = platform
+                .run_session_with(&sample, seed, &options)
+                .expect("faulted sessions degrade, not error");
+            retries += report.degradation().retries;
+            quarantines += report.degradation().quarantined.len();
+            outcomes.push(classify(&baselines[i], &report, target));
         }
-    }
+        MatrixCell {
+            kind,
+            severity,
+            outcomes,
+            retries,
+            quarantines,
+        }
+    });
     MatrixReport {
         cells,
         runs_per_cell: seeds.len(),

@@ -1,0 +1,35 @@
+//! Fault-matrix determinism: the parallel fan-out over matrix cells must
+//! reproduce the sequential report byte-for-byte.
+
+use bios_bench::fault_matrix;
+use bios_platform::ExecPolicy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// Random seed and thread count: `run_with(Threads(n))` produces the
+    /// same report (via its full `Debug` rendering — every float, count
+    /// and verdict) as `run_with(Sequential)`.
+    fn parallel_fault_matrix_matches_sequential(
+        seed in 0u64..100_000,
+        threads in 2usize..7,
+    ) {
+        let seeds = [seed];
+        let seq = fault_matrix::run_with(&seeds, ExecPolicy::Sequential);
+        let par = fault_matrix::run_with(&seeds, ExecPolicy::Threads(threads));
+        prop_assert_eq!(
+            format!("{seq:?}"), format!("{par:?}"),
+            "seed {} threads {}", seed, threads
+        );
+    }
+}
+
+/// The public `run` entry point (policy `Auto`) also matches sequential,
+/// whatever the host's core count resolves `Auto` to.
+#[test]
+fn auto_fault_matrix_matches_sequential() {
+    let seeds = [2011u64];
+    let auto = fault_matrix::run(&seeds);
+    let seq = fault_matrix::run_with(&seeds, ExecPolicy::Sequential);
+    assert_eq!(format!("{auto:?}"), format!("{seq:?}"));
+}

@@ -1,0 +1,195 @@
+//! Deterministic parallel execution engine.
+//!
+//! Multi-channel acquisition is inherently parallel across electrodes, and
+//! design-space exploration across design points — but the robustness
+//! guarantees of this platform (identical `(input, seed)` ⇒ bit-identical
+//! output) must survive the fan-out. The engine here provides exactly one
+//! primitive, [`par_map`], with one contract: the result vector is the same,
+//! element for element and bit for bit, as the sequential
+//! `items.iter().map(f).collect()`, regardless of thread count or OS
+//! scheduling.
+//!
+//! How the contract is kept:
+//!
+//! * work units are *independent* — every seed in this codebase is derived
+//!   per-unit (per electrode, per design point, per matrix cell), never
+//!   drawn from a shared RNG stream;
+//! * workers claim unit indices from an atomic counter and tag each result
+//!   with its index; the results are merged *by index* after all workers
+//!   join, so scheduling can reorder execution but never output;
+//! * no worker mutates shared state — reductions happen on the caller's
+//!   thread after the merge.
+//!
+//! Thread count resolves from [`ExecPolicy`]; the `ADVDIAG_THREADS`
+//! environment variable forces a global override (`1` = sequential), which
+//! CI uses to digest-compare parallel against sequential runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How a parallelizable operation should execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ExecPolicy {
+    /// Run on the calling thread, in index order. The reference behavior.
+    Sequential,
+    /// Fan out over exactly `threads` workers (clamped to ≥ 1).
+    Threads(usize),
+    /// Resolve from `ADVDIAG_THREADS` if set, else the machine's available
+    /// parallelism. The default everywhere.
+    #[default]
+    Auto,
+}
+
+/// `ADVDIAG_THREADS`, parsed once per process (0/unset ⇒ no override).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("ADVDIAG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+impl ExecPolicy {
+    /// The worker count this policy resolves to for `items` work units.
+    /// Never exceeds the number of units; never below 1.
+    pub fn threads_for(self, items: usize) -> usize {
+        let raw = match self {
+            ExecPolicy::Sequential => 1,
+            ExecPolicy::Threads(n) => n.max(1),
+            ExecPolicy::Auto => env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+        };
+        raw.min(items.max(1))
+    }
+}
+
+/// Maps `f` over `items`, possibly in parallel, returning results in item
+/// order. Guaranteed bit-identical to the sequential map for any thread
+/// count (see module docs). `f` receives `(index, &item)` so callers can
+/// derive per-unit seeds or labels without capturing extra state.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first observed worker panic).
+pub fn par_map<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = policy.threads_for(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Merge by index: scheduling order is irrelevant to the output.
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// [`par_map`] over fallible work: stops at nothing (all units run), then
+/// returns the first error *by item index* — the same error the sequential
+/// loop would have surfaced first.
+///
+/// # Errors
+///
+/// The lowest-index `Err` produced by `f`, if any.
+pub fn try_par_map<T, R, E, F>(policy: ExecPolicy, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(policy, items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let f = |i: usize, x: &u64| (i as u64).wrapping_mul(0x9e3779b9) ^ (x * 3);
+        let reference: Vec<u64> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map(ExecPolicy::Threads(threads), &items, f);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+        assert_eq!(par_map(ExecPolicy::Sequential, &items, f), reference);
+        assert_eq!(par_map(ExecPolicy::Auto, &items, f), reference);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(ExecPolicy::Threads(4), &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(ExecPolicy::Threads(4), &[7u32], |_, x| x + 1), [8]);
+    }
+
+    #[test]
+    fn threads_resolve_sanely() {
+        assert_eq!(ExecPolicy::Sequential.threads_for(100), 1);
+        assert_eq!(ExecPolicy::Threads(4).threads_for(100), 4);
+        assert_eq!(ExecPolicy::Threads(0).threads_for(100), 1);
+        // Never more workers than work.
+        assert_eq!(ExecPolicy::Threads(64).threads_for(3), 3);
+        assert!(ExecPolicy::Auto.threads_for(100) >= 1);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<i32> = (0..50).collect();
+        let out: Result<Vec<i32>, usize> = try_par_map(ExecPolicy::Threads(8), &items, |i, x| {
+            if *x == 13 || *x == 31 {
+                Err(i)
+            } else {
+                Ok(*x)
+            }
+        });
+        assert_eq!(out, Err(13), "sequential semantics: first error wins");
+        let ok: Result<Vec<i32>, usize> =
+            try_par_map(ExecPolicy::Threads(8), &items, |_, x| Ok::<_, usize>(*x));
+        assert_eq!(ok.expect("no errors"), items);
+    }
+}

@@ -12,6 +12,7 @@
 use crate::builder::{PlatformBuilder, ProbePreference};
 use crate::cost::{electronics_budget, PlatformCost, ReadoutSharing};
 use crate::error::PlatformError;
+use crate::exec::{try_par_map, ExecPolicy};
 use crate::requirements::PanelSpec;
 use bios_afe::{CurrentRange, MatchingQuality, CHOPPER_SUPPRESSION};
 use bios_biochem::{tables::performance_of, Analyte, Probe, Technique};
@@ -19,7 +20,10 @@ use bios_electrochem::Nanostructure;
 use bios_units::Molar;
 
 /// One coordinate of the design space.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+///
+/// All axes are discrete, so the point is `Eq + Hash` and can key caches
+/// (see [`crate::memo`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct DesignPoint {
     /// Working-electrode nanostructuring.
     pub nanostructure: Nanostructure,
@@ -70,30 +74,39 @@ impl DesignSpace {
         }
     }
 
+    /// Lazily enumerates all design points, in the same (row-major) order
+    /// as [`DesignSpace::points`]. Nothing is materialized until the
+    /// iterator is driven, so callers that stop early (feasibility probes,
+    /// `take(n)` sampling) pay only for what they consume.
+    pub fn points_iter(&self) -> impl Iterator<Item = DesignPoint> + '_ {
+        self.nanostructures
+            .iter()
+            .copied()
+            .flat_map(move |nanostructure| {
+                self.sharing.iter().copied().flat_map(move |sharing| {
+                    self.chopper.iter().copied().flat_map(move |chopper| {
+                        self.cds.iter().copied().flat_map(move |cds| {
+                            self.adc_bits.iter().copied().flat_map(move |adc_bits| {
+                                self.preferences.iter().copied().map(move |preference| {
+                                    DesignPoint {
+                                        nanostructure,
+                                        sharing,
+                                        chopper,
+                                        cds,
+                                        adc_bits,
+                                        preference,
+                                    }
+                                })
+                            })
+                        })
+                    })
+                })
+            })
+    }
+
     /// Enumerates all design points.
     pub fn points(&self) -> Vec<DesignPoint> {
-        let mut out = Vec::new();
-        for &nanostructure in &self.nanostructures {
-            for &sharing in &self.sharing {
-                for &chopper in &self.chopper {
-                    for &cds in &self.cds {
-                        for &adc_bits in &self.adc_bits {
-                            for &preference in &self.preferences {
-                                out.push(DesignPoint {
-                                    nanostructure,
-                                    sharing,
-                                    chopper,
-                                    cds,
-                                    adc_bits,
-                                    preference,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
+        self.points_iter().collect()
     }
 
     /// Number of design points.
@@ -147,6 +160,12 @@ const AMP_FLICKER_FRACTION: f64 = 0.5;
 /// and the ADC quantization term; sensitivity scales with the
 /// nanostructure's roughness relative to the registry's CNT reference.
 pub fn predict_lod(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
+    crate::memo::predict_lod_cached(target, point, || predict_lod_uncached(target, point))
+}
+
+/// The analytic model behind [`predict_lod`] — a pure function of its
+/// arguments, which is what makes the memoized wrapper exact.
+fn predict_lod_uncached(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
     let row = performance_of(target).ok_or(PlatformError::NoProbeFor(target))?;
     let s_registry = row.sensitivity_si(); // A/(M·cm²) on CNT electrodes
     let gain =
@@ -193,14 +212,30 @@ pub fn explore(
     panel: &PanelSpec,
     space: &DesignSpace,
 ) -> Result<Vec<EvaluatedDesign>, PlatformError> {
+    explore_with(panel, space, ExecPolicy::Auto)
+}
+
+/// [`explore`] with an explicit [`ExecPolicy`]. Design points are
+/// independent, so they fan out across the execution engine; results are
+/// merged by point index, making the output bit-identical to
+/// [`ExecPolicy::Sequential`] for any thread count.
+///
+/// # Errors
+///
+/// Returns [`PlatformError`] for invalid panels or an empty design space;
+/// with multiple failing points, the error is the one the sequential loop
+/// would have hit first.
+pub fn explore_with(
+    panel: &PanelSpec,
+    space: &DesignSpace,
+    policy: ExecPolicy,
+) -> Result<Vec<EvaluatedDesign>, PlatformError> {
     panel.validate()?;
     if space.is_empty() {
         return Err(PlatformError::invalid("space", "design space is empty"));
     }
-    let mut out = Vec::with_capacity(space.len());
-    for point in space.points() {
-        out.push(evaluate(panel, &point)?);
-    }
+    let points: Vec<DesignPoint> = space.points_iter().collect();
+    let mut out = try_par_map(policy, &points, |_, point| evaluate(panel, point))?;
     pareto_front(&mut out);
     Ok(out)
 }
@@ -338,6 +373,27 @@ mod tests {
         assert_eq!(s.len(), 96);
         assert_eq!(s.points().len(), 96);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn points_iter_matches_points_order() {
+        let s = DesignSpace::paper_default();
+        let lazy: Vec<DesignPoint> = s.points_iter().collect();
+        assert_eq!(lazy, s.points());
+        // Partial consumption sees the same prefix.
+        let head: Vec<DesignPoint> = s.points_iter().take(5).collect();
+        assert_eq!(head, &s.points()[..5]);
+    }
+
+    #[test]
+    fn parallel_explore_bit_identical_to_sequential() {
+        let panel = PanelSpec::paper_fig4();
+        let space = DesignSpace::paper_default();
+        let seq = explore_with(&panel, &space, ExecPolicy::Sequential).expect("sequential");
+        for threads in [2, 4] {
+            let par = explore_with(&panel, &space, ExecPolicy::Threads(threads)).expect("parallel");
+            assert_eq!(par, seq, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -46,7 +46,9 @@ mod builder;
 mod chamber;
 mod cost;
 mod error;
+mod exec;
 mod explore;
+mod memo;
 mod platform;
 mod report;
 mod requirements;
@@ -59,10 +61,12 @@ pub use builder::{PlatformBuilder, ProbePreference};
 pub use chamber::{crosstalk_fraction, minimum_pitch, needs_chambers, CAPTURE_EFFICIENCY, D_H2O2};
 pub use cost::{electronics_budget, PlatformCost, ReadoutSharing};
 pub use error::PlatformError;
+pub use exec::{par_map, try_par_map, ExecPolicy};
 pub use explore::{
-    evaluate, explore, pareto_front, predict_lod, probes_for_point, DesignPoint, DesignSpace,
-    EvaluatedDesign,
+    evaluate, explore, explore_with, pareto_front, predict_lod, probes_for_point, DesignPoint,
+    DesignSpace, EvaluatedDesign,
 };
+pub use memo::{clear_memo_caches, memo_stats};
 pub use platform::{Platform, SensorModel, SessionReport, TargetReading, WeAssignment};
 pub use requirements::{PanelSpec, TargetSpec};
 pub use robustness::{DegradationSummary, RetryPolicy, SessionOptions, TargetQuality};

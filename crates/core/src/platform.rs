@@ -3,6 +3,8 @@
 
 use crate::cost::{electronics_budget, PlatformCost, ReadoutSharing};
 use crate::error::PlatformError;
+use crate::exec::try_par_map;
+use crate::memo;
 use crate::robustness::{DegradationSummary, SessionOptions, TargetQuality};
 use crate::schedule::Schedule;
 use crate::structure::SensorStructure;
@@ -185,6 +187,16 @@ impl SessionReport {
     }
 }
 
+/// One electrode's independently-computed contribution to a session:
+/// what [`Platform::run_session_with`]'s merge phase folds back together
+/// in assignment order.
+struct WeOutcome {
+    readings: Vec<(TargetReading, QcClass)>,
+    qualities: Vec<TargetQuality>,
+    retry_slots: usize,
+    quarantined: bool,
+}
+
 /// A fully assembled multi-target biosensing platform.
 ///
 /// Built by [`PlatformBuilder`](crate::PlatformBuilder); see there for an
@@ -315,7 +327,9 @@ impl Platform {
     /// only.
     ///
     /// Identical `(sample, seed, options)` produce an identical
-    /// [`SessionReport`], bit for bit.
+    /// [`SessionReport`], bit for bit — including under any
+    /// [`ExecPolicy`](crate::ExecPolicy): electrodes fan out across the
+    /// execution engine and merge back in assignment order.
     ///
     /// # Errors
     ///
@@ -335,6 +349,16 @@ impl Platform {
             .iter()
             .filter_map(|(a, c)| Interferent::of(*a).map(|i| (i, *c)))
             .collect();
+
+        // Every electrode's work — chain selection, BIST, acquisition,
+        // retries — depends only on `(assignment, sample, seed, options)`,
+        // so the engine can run them in any order; the merge below replays
+        // the outcomes in assignment order, which makes the report
+        // bit-identical to the sequential loop.
+        let outcomes = try_par_map(options.exec, &self.assignments, |_, assignment| {
+            self.run_assignment(assignment, sample, &interferents, seed, options)
+        })?;
+
         let mut schedule = self.schedule();
         let gap = self.mux.acquisition_delay();
         let mut raw: Vec<(TargetReading, QcClass)> = Vec::new();
@@ -342,155 +366,22 @@ impl Platform {
         let mut retries = 0usize;
         let mut quarantined: Vec<usize> = Vec::new();
 
-        for assignment in &self.assignments {
+        for (assignment, outcome) in self.assignments.iter().zip(outcomes) {
             let we = assignment.index;
-            let we_seed = seed.wrapping_add(17 * (we as u64 + 1));
-            let base = match &assignment.sensor {
-                SensorModel::Oxidase(_) => &self.chrono_chain,
-                SensorModel::Cytochrome(_) => &self.cv_chain,
-            };
-            // A fault plan turns this electrode's chain into its faulted
-            // twin; the fault realization is fixed across retries — a
-            // broken electrode stays broken, only the noise is fresh.
-            let faulted;
-            let chain = match options.fault_plan.as_ref() {
-                Some(plan) => {
-                    let faults = plan.faults_for(we);
-                    if faults.is_empty() {
-                        base
-                    } else {
-                        faulted = base.clone().with_faults(faults, plan.chain_seed(we));
-                        &faulted
-                    }
-                }
-                None => base,
-            };
-            let is_faulted = !chain.faults().is_empty();
-            // Built-in self-test: a known half-scale test current through
-            // the live chain, graded against the fault-free chain's
-            // commissioning response. Gain faults that hide below one ADC
-            // code at quiescent input cannot hide under a test signal.
-            let bist = if is_faulted {
-                let live = chain.self_test_response(SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
-                let commissioned =
-                    base.self_test_response(SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
-                match (live, commissioned) {
-                    (Ok(m), Ok(e)) => options.qc.check_self_test(m, e),
-                    _ => QcVerdict {
-                        class: QcClass::Pass,
-                        reasons: Vec::new(),
-                    },
-                }
-            } else {
-                QcVerdict {
-                    class: QcClass::Pass,
-                    reasons: Vec::new(),
-                }
-            };
-            // The QC gate compares live baselines against the chain's
-            // commissioning self-noise — always taken from the fault-free
-            // base chain, the way a stored calibration record would be.
-            let reference_noise = match &assignment.sensor {
-                SensorModel::Oxidase(_) => base
-                    .baseline_noise_reference(
-                        self.chrono_protocol.dt,
-                        self.chrono_protocol.settle,
-                        NOISE_REFERENCE_SEED,
-                    )
-                    .ok(),
-                SensorModel::Cytochrome(_) => None,
-            };
-
-            let mut attempts = 0usize;
-            let mut last_error: Option<String> = None;
-            let outcome = loop {
-                let attempt_seed = we_seed
-                    .wrapping_add((attempts as u64).wrapping_mul(options.retry.reseed_stride));
-                attempts += 1;
-                let exhausted = attempts > options.retry.max_retries;
-                match self.measure_assignment(
-                    assignment,
-                    sample,
-                    &interferents,
-                    chain,
-                    options,
-                    reference_noise,
-                    attempt_seed,
-                ) {
-                    Ok((readings, mut verdict)) => {
-                        verdict.merge(bist.clone());
-                        if verdict.class != QcClass::Fail || exhausted {
-                            break Some((readings, verdict));
-                        }
-                    }
-                    Err(e) => {
-                        if !e.severity().is_recoverable() {
-                            return Err(e);
-                        }
-                        last_error = Some(e.to_string());
-                        if exhausted {
-                            break None;
-                        }
-                    }
-                }
-                retries += 1;
+            for _ in 0..outcome.retry_slots {
                 schedule.append_retry(
                     we,
                     assignment.technique(),
                     self.measurement_duration(assignment),
                     gap,
                 );
-            };
-
-            let (mut readings, verdict) = match outcome {
-                Some(o) => o,
-                None => {
-                    // Every attempt errored out: emit flagged placeholder
-                    // readings so the panel stays complete.
-                    let placeholders = assignment
-                        .targets
-                        .iter()
-                        .map(|a| TargetReading {
-                            analyte: *a,
-                            we,
-                            response: Amps::ZERO,
-                            estimated: None,
-                            identified: false,
-                        })
-                        .collect();
-                    let verdict = QcVerdict {
-                        class: QcClass::Fail,
-                        reasons: vec![QcReason::Aborted {
-                            detail: last_error.unwrap_or_default(),
-                        }],
-                    };
-                    (placeholders, verdict)
-                }
-            };
-
-            let failed = verdict.class == QcClass::Fail;
-            let quarantine_now = failed && attempts >= options.retry.quarantine_after;
-            if failed {
-                // Never let a rejected acquisition masquerade as data.
-                for r in &mut readings {
-                    r.estimated = None;
-                    r.identified = false;
-                }
-                if quarantine_now && !quarantined.contains(&we) {
-                    quarantined.push(we);
-                }
             }
-            for r in &readings {
-                qualities.push(TargetQuality {
-                    analyte: r.analyte,
-                    we,
-                    class: verdict.class,
-                    attempts,
-                    reasons: verdict.reasons.clone(),
-                    quarantined: quarantine_now,
-                });
+            retries += outcome.retry_slots;
+            if outcome.quarantined && !quarantined.contains(&we) {
+                quarantined.push(we);
             }
-            raw.extend(readings.into_iter().map(|r| (r, verdict.class)));
+            qualities.extend(outcome.qualities);
+            raw.extend(outcome.readings);
         }
 
         // Merge replicate readings of the same analyte (redundant WEs):
@@ -549,6 +440,168 @@ impl Platform {
                 quarantined,
                 failed_targets,
             },
+        })
+    }
+
+    /// Everything one electrode contributes to a session, computed without
+    /// touching any other electrode's state so the execution engine can
+    /// fan assignments out. `retry_slots` counts the schedule slots the
+    /// merge phase must replay (in assignment order) for this electrode.
+    fn run_assignment(
+        &self,
+        assignment: &WeAssignment,
+        sample: &[(Analyte, Molar)],
+        interferents: &[(Interferent, Molar)],
+        seed: u64,
+        options: &SessionOptions,
+    ) -> Result<WeOutcome, PlatformError> {
+        let we = assignment.index;
+        let we_seed = seed.wrapping_add(17 * (we as u64 + 1));
+        let base = match &assignment.sensor {
+            SensorModel::Oxidase(_) => &self.chrono_chain,
+            SensorModel::Cytochrome(_) => &self.cv_chain,
+        };
+        // A fault plan turns this electrode's chain into its faulted
+        // twin; the fault realization is fixed across retries — a
+        // broken electrode stays broken, only the noise is fresh.
+        let faulted;
+        let chain = match options.fault_plan.as_ref() {
+            Some(plan) => {
+                let faults = plan.faults_for(we);
+                if faults.is_empty() {
+                    base
+                } else {
+                    faulted = base.clone().with_faults(faults, plan.chain_seed(we));
+                    &faulted
+                }
+            }
+            None => base,
+        };
+        let is_faulted = !chain.faults().is_empty();
+        // Built-in self-test: a known half-scale test current through
+        // the live chain, graded against the fault-free chain's
+        // commissioning response. Gain faults that hide below one ADC
+        // code at quiescent input cannot hide under a test signal.
+        // Both traces run under fixed seeds, so they memoize.
+        let bist = if is_faulted {
+            let live =
+                memo::self_test_response(chain, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+            let commissioned =
+                memo::self_test_response(base, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+            match (live, commissioned) {
+                (Ok(m), Ok(e)) => options.qc.check_self_test(m, e),
+                _ => QcVerdict {
+                    class: QcClass::Pass,
+                    reasons: Vec::new(),
+                },
+            }
+        } else {
+            QcVerdict {
+                class: QcClass::Pass,
+                reasons: Vec::new(),
+            }
+        };
+        // The QC gate compares live baselines against the chain's
+        // commissioning self-noise — always taken from the fault-free
+        // base chain, the way a stored calibration record would be.
+        let reference_noise = match &assignment.sensor {
+            SensorModel::Oxidase(_) => memo::baseline_noise_reference(
+                base,
+                self.chrono_protocol.dt,
+                self.chrono_protocol.settle,
+                NOISE_REFERENCE_SEED,
+            )
+            .ok(),
+            SensorModel::Cytochrome(_) => None,
+        };
+
+        let mut retry_slots = 0usize;
+        let mut attempts = 0usize;
+        let mut last_error: Option<String> = None;
+        let outcome = loop {
+            let attempt_seed =
+                we_seed.wrapping_add((attempts as u64).wrapping_mul(options.retry.reseed_stride));
+            attempts += 1;
+            let exhausted = attempts > options.retry.max_retries;
+            match self.measure_assignment(
+                assignment,
+                sample,
+                interferents,
+                chain,
+                options,
+                reference_noise,
+                attempt_seed,
+            ) {
+                Ok((readings, mut verdict)) => {
+                    verdict.merge(bist.clone());
+                    if verdict.class != QcClass::Fail || exhausted {
+                        break Some((readings, verdict));
+                    }
+                }
+                Err(e) => {
+                    if !e.severity().is_recoverable() {
+                        return Err(e);
+                    }
+                    last_error = Some(e.to_string());
+                    if exhausted {
+                        break None;
+                    }
+                }
+            }
+            retry_slots += 1;
+        };
+
+        let (mut readings, verdict) = match outcome {
+            Some(o) => o,
+            None => {
+                // Every attempt errored out: emit flagged placeholder
+                // readings so the panel stays complete.
+                let placeholders = assignment
+                    .targets
+                    .iter()
+                    .map(|a| TargetReading {
+                        analyte: *a,
+                        we,
+                        response: Amps::ZERO,
+                        estimated: None,
+                        identified: false,
+                    })
+                    .collect();
+                let verdict = QcVerdict {
+                    class: QcClass::Fail,
+                    reasons: vec![QcReason::Aborted {
+                        detail: last_error.unwrap_or_default(),
+                    }],
+                };
+                (placeholders, verdict)
+            }
+        };
+
+        let failed = verdict.class == QcClass::Fail;
+        let quarantine_now = failed && attempts >= options.retry.quarantine_after;
+        if failed {
+            // Never let a rejected acquisition masquerade as data.
+            for r in &mut readings {
+                r.estimated = None;
+                r.identified = false;
+            }
+        }
+        let qualities = readings
+            .iter()
+            .map(|r| TargetQuality {
+                analyte: r.analyte,
+                we,
+                class: verdict.class,
+                attempts,
+                reasons: verdict.reasons.clone(),
+                quarantined: quarantine_now,
+            })
+            .collect();
+        Ok(WeOutcome {
+            readings: readings.into_iter().map(|r| (r, verdict.class)).collect(),
+            qualities,
+            retry_slots,
+            quarantined: quarantine_now,
         })
     }
 
@@ -1049,6 +1102,42 @@ mod tests {
         for r in report.readings() {
             if r.analyte != Analyte::Glucose {
                 assert!(r.identified, "{} should survive", r.analyte);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_session_bit_identical_to_sequential() {
+        use crate::exec::ExecPolicy;
+        use bios_afe::FaultPlan;
+        use bios_instrument::QcGate;
+
+        let p = fig4();
+        let sample = fig4_sample();
+        // Once clean, once with faults and retries in play.
+        let option_sets = [
+            SessionOptions::default(),
+            SessionOptions::default()
+                .with_fault_plan(FaultPlan::randomized(901, 5))
+                .with_qc(QcGate::default()),
+        ];
+        for options in option_sets {
+            let seq = p
+                .run_session_with(
+                    &sample,
+                    42,
+                    &options.clone().with_exec(ExecPolicy::Sequential),
+                )
+                .expect("sequential");
+            for threads in [2, 4] {
+                let par = p
+                    .run_session_with(
+                        &sample,
+                        42,
+                        &options.clone().with_exec(ExecPolicy::Threads(threads)),
+                    )
+                    .expect("parallel");
+                assert_eq!(par, seq, "threads = {threads}");
             }
         }
     }

@@ -8,6 +8,7 @@
 //! corruption (a faulted value presented as trustworthy) is the failure
 //! mode this module exists to prevent.
 
+use crate::exec::ExecPolicy;
 use bios_afe::FaultPlan;
 use bios_biochem::Analyte;
 use bios_instrument::{QcClass, QcGate, QcReason};
@@ -65,6 +66,9 @@ pub struct SessionOptions {
     pub qc: QcGate,
     /// Retry and quarantine policy.
     pub retry: RetryPolicy,
+    /// How the per-electrode work fans out (the output is bit-identical
+    /// for every policy; see [`crate::par_map`]).
+    pub exec: ExecPolicy,
 }
 
 impl Default for SessionOptions {
@@ -73,6 +77,7 @@ impl Default for SessionOptions {
             fault_plan: None,
             qc: QcGate::default().without_min_delta(),
             retry: RetryPolicy::default(),
+            exec: ExecPolicy::Auto,
         }
     }
 }
@@ -93,6 +98,12 @@ impl SessionOptions {
     /// Replaces the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Replaces the execution policy.
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
         self
     }
 }

@@ -15,17 +15,18 @@
 
 use crate::error::ElectrochemError;
 use crate::grid::Grid;
-use crate::tridiag::Tridiagonal;
+use crate::solver_cache::{self, Prefactorized};
 use bios_units::{DiffusionCoefficient, MolesPerCm3, Seconds};
+use std::sync::Arc;
 
-/// One diffusing species on a grid.
+/// One diffusing species on a grid. The per-`(grid, dt, D)` invariants —
+/// factorized operator, unit-flux response, control widths — are shared
+/// through the [`solver_cache`]; only the concentration field and the RHS
+/// scratch buffer are owned per instance.
 #[derive(Debug, Clone)]
 struct SpeciesField {
     conc: Vec<f64>, // mol/cm³
-    sys: Tridiagonal,
-    /// Response of the concentration field to a unit surface flux
-    /// (1 mol/(cm²·s) consumed at the electrode) over one time step.
-    unit_flux_response: Vec<f64>,
+    pre: Arc<Prefactorized>,
     scratch: Vec<f64>,
 }
 
@@ -49,50 +50,30 @@ impl SpeciesField {
                 "must be positive and finite",
             ));
         }
+        let pre = solver_cache::prefactorized(grid, d, dt)?;
         let n = grid.len();
-        let mut lower = vec![0.0; n - 1];
-        let mut main = vec![0.0; n];
-        let mut upper = vec![0.0; n - 1];
-        // Interior nodes: w_i/dt·c_i - D/h_{i-1}·c_{i-1} - D/h_i·c_{i+1}
-        //                 + (D/h_{i-1} + D/h_i)·c_i = w_i/dt·c_i_old
-        for i in 1..n - 1 {
-            let a = d / grid.spacing(i - 1);
-            let g = d / grid.spacing(i);
-            let w = grid.control_width(i);
-            lower[i - 1] = -a;
-            upper[i] = -g;
-            main[i] = w / dt + a + g;
-        }
-        // Surface node 0: flux boundary (flux enters the RHS).
-        let g0 = d / grid.spacing(0);
-        main[0] = grid.control_width(0) / dt + g0;
-        upper[0] = -g0;
-        // Far node: Dirichlet at bulk concentration.
-        main[n - 1] = 1.0;
-        lower[n - 2] = 0.0;
-        let sys = Tridiagonal::new(lower, main, upper)?;
-        // Unit-flux response: RHS = -1 at node 0 (consumption), 0 elsewhere,
-        // homogeneous far boundary.
-        let mut rhs = vec![0.0; n];
-        rhs[0] = -1.0;
-        let unit_flux_response = sys.solve(&rhs)?;
         Ok(Self {
             conc: vec![bulk; n],
-            sys,
-            unit_flux_response,
+            pre,
             scratch: vec![0.0; n],
         })
     }
 
     /// Assembles the zero-flux RHS into `scratch` and solves in place,
-    /// leaving the zero-flux solution in `scratch`.
-    fn solve_base(&mut self, grid: &Grid, dt: f64, bulk: f64) {
-        let n = grid.len();
-        for i in 0..n - 1 {
-            self.scratch[i] = self.conc[i] * grid.control_width(i) / dt;
+    /// leaving the zero-flux solution in `scratch`. The control widths come
+    /// from the prefactorization (one multiply per node, no grid lookups);
+    /// the arithmetic matches the pre-cache assembly bit for bit.
+    fn solve_base(&mut self, dt: f64, bulk: f64) {
+        let n = self.scratch.len();
+        for ((s, c), w) in self.scratch[..n - 1]
+            .iter_mut()
+            .zip(&self.conc)
+            .zip(&self.pre.widths)
+        {
+            *s = c * w / dt;
         }
         self.scratch[n - 1] = bulk;
-        self.sys.solve_in_place(&mut self.scratch);
+        self.pre.sys.solve_in_place(&mut self.scratch);
     }
 
     /// Commits `base + flux·response` as the new concentration field.
@@ -100,7 +81,7 @@ impl SpeciesField {
         for (c, (b, r)) in self
             .conc
             .iter_mut()
-            .zip(self.scratch.iter().zip(self.unit_flux_response.iter()))
+            .zip(self.scratch.iter().zip(self.pre.unit_flux_response.iter()))
         {
             *c = b + flux * r;
         }
@@ -199,12 +180,12 @@ impl DiffusionSim {
     /// Returns the reaction flux in mol/(cm²·s); positive = `O` consumed
     /// (net reduction).
     pub fn step_with_rate_constants(&mut self, kf: f64, kb: f64) -> f64 {
-        self.ox.solve_base(&self.grid, self.dt, self.bulk_ox);
-        self.red.solve_base(&self.grid, self.dt, self.bulk_red);
+        self.ox.solve_base(self.dt, self.bulk_ox);
+        self.red.solve_base(self.dt, self.bulk_red);
         let base_o0 = self.ox.scratch[0];
         let base_r0 = self.red.scratch[0];
-        let s_o0 = self.ox.unit_flux_response[0]; // ≤ 0: consumption lowers [O]₀
-        let s_r0 = self.red.unit_flux_response[0];
+        let s_o0 = self.ox.pre.unit_flux_response[0]; // ≤ 0: consumption lowers [O]₀
+        let s_r0 = self.red.pre.unit_flux_response[0];
         // J = kf([O]base + J·s_o0) − kb([R]base − J·s_r0)
         let denom = 1.0 - kf * s_o0 - kb * s_r0;
         let flux = (kf * base_o0 - kb * base_r0) / denom;
@@ -218,8 +199,8 @@ impl DiffusionSim {
     /// (positive = `O` consumed, `R` produced). Used for enzyme-generated
     /// product streams where the chemistry, not the electrode, sets the rate.
     pub fn step_with_flux(&mut self, flux: f64) {
-        self.ox.solve_base(&self.grid, self.dt, self.bulk_ox);
-        self.red.solve_base(&self.grid, self.dt, self.bulk_red);
+        self.ox.solve_base(self.dt, self.bulk_ox);
+        self.red.solve_base(self.dt, self.bulk_red);
         self.ox.commit(flux);
         self.red.commit(-flux);
         self.consumed_ox += flux * self.dt;

@@ -1,0 +1,198 @@
+//! Process-wide prefactorization cache for the implicit diffusion solver.
+//!
+//! The backward-Euler tridiagonal system of a [`SpeciesField`] depends only
+//! on `(grid, dt, D)` — not on concentrations — so its Thomas
+//! forward-elimination coefficients, unit-flux response and finite-volume
+//! control widths are constant across timesteps *and* across simulations.
+//! Protocol drivers rebuild a [`DiffusionSim`](crate::DiffusionSim) per
+//! measurement (every session, every retry, every calibration point), which
+//! used to re-assemble and re-factorize the same few systems thousands of
+//! times. This cache shares one immutable [`Prefactorized`] per exact
+//! `(grid, dt, D)` triple behind an [`Arc`].
+//!
+//! Keys compare the *bit patterns* of every node position, `dt` and `D`, so
+//! a hit is only possible for inputs that would have produced a bit-identical
+//! factorization — the cache can never change a simulation result, only skip
+//! recomputing it. The map is bounded ([`CACHE_CAP`] entries) and clears
+//! wholesale when full; hit/miss counters feed the perf harness.
+//!
+//! [`SpeciesField`]: crate::diffusion::DiffusionSim
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::ElectrochemError;
+use crate::grid::Grid;
+use crate::tridiag::Tridiagonal;
+
+/// Everything about a species field that is invariant across timesteps and
+/// concentrations: the factorized system, its unit-flux response, and the
+/// grid's control widths (hoisted out of the per-step RHS assembly).
+#[derive(Debug)]
+pub(crate) struct Prefactorized {
+    /// The factorized backward-Euler operator.
+    pub sys: Tridiagonal,
+    /// Response of the field to a unit surface flux over one step.
+    pub unit_flux_response: Vec<f64>,
+    /// `Grid::control_width(i)` for every node.
+    pub widths: Vec<f64>,
+}
+
+impl Prefactorized {
+    /// Assembles and factorizes the system — the code that used to live in
+    /// `SpeciesField::new`, unchanged operation for operation.
+    fn build(grid: &Grid, d: f64, dt: f64) -> Result<Self, ElectrochemError> {
+        let n = grid.len();
+        let mut lower = vec![0.0; n - 1];
+        let mut main = vec![0.0; n];
+        let mut upper = vec![0.0; n - 1];
+        // Interior nodes: w_i/dt·c_i - D/h_{i-1}·c_{i-1} - D/h_i·c_{i+1}
+        //                 + (D/h_{i-1} + D/h_i)·c_i = w_i/dt·c_i_old
+        for i in 1..n - 1 {
+            let a = d / grid.spacing(i - 1);
+            let g = d / grid.spacing(i);
+            let w = grid.control_width(i);
+            lower[i - 1] = -a;
+            upper[i] = -g;
+            main[i] = w / dt + a + g;
+        }
+        // Surface node 0: flux boundary (flux enters the RHS).
+        let g0 = d / grid.spacing(0);
+        main[0] = grid.control_width(0) / dt + g0;
+        upper[0] = -g0;
+        // Far node: Dirichlet at bulk concentration.
+        main[n - 1] = 1.0;
+        lower[n - 2] = 0.0;
+        let sys = Tridiagonal::new(lower, main, upper)?;
+        // Unit-flux response: RHS = -1 at node 0 (consumption), 0 elsewhere,
+        // homogeneous far boundary.
+        let mut rhs = vec![0.0; n];
+        rhs[0] = -1.0;
+        let unit_flux_response = sys.solve(&rhs)?;
+        let widths = (0..n).map(|i| grid.control_width(i)).collect();
+        Ok(Self {
+            sys,
+            unit_flux_response,
+            widths,
+        })
+    }
+}
+
+/// Exact cache key: the bit patterns of every quantity the factorization
+/// depends on. No hashing shortcut — two keys are equal iff the assembled
+/// systems would be bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    positions: Vec<u64>,
+    d_bits: u64,
+    dt_bits: u64,
+}
+
+impl Key {
+    fn new(grid: &Grid, d: f64, dt: f64) -> Self {
+        Self {
+            positions: grid.positions().iter().map(|x| x.to_bits()).collect(),
+            d_bits: d.to_bits(),
+            dt_bits: dt.to_bits(),
+        }
+    }
+}
+
+/// Bound on distinct factorizations kept alive; a platform session uses a
+/// handful, so eviction is a wholesale clear rather than LRU bookkeeping.
+const CACHE_CAP: usize = 256;
+
+static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Prefactorized>>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<Prefactorized>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the shared factorization for `(grid, d, dt)`, building it on the
+/// first request.
+pub(crate) fn prefactorized(
+    grid: &Grid,
+    d: f64,
+    dt: f64,
+) -> Result<Arc<Prefactorized>, ElectrochemError> {
+    let key = Key::new(grid, d, dt);
+    if let Some(hit) = cache().lock().expect("solver cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let built = Arc::new(Prefactorized::build(grid, d, dt)?);
+    let mut map = cache().lock().expect("solver cache poisoned");
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    // Two threads may race to build the same key; keep the first insert so
+    // every caller shares one allocation.
+    let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+    Ok(Arc::clone(entry))
+}
+
+/// Empties the cache and resets the hit/miss counters (perf-harness use:
+/// timing a cold run after a warm one).
+pub fn clear_solver_cache() {
+    cache().lock().expect("solver cache poisoned").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// `(hits, misses)` since process start or the last
+/// [`clear_solver_cache`].
+pub fn solver_cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bios_units::{DiffusionCoefficient, Seconds};
+
+    #[test]
+    fn identical_inputs_share_one_factorization() {
+        clear_solver_cache();
+        let grid = Grid::for_experiment(
+            DiffusionCoefficient::new(1e-5),
+            Seconds::new(1.0),
+            Seconds::new(0.01),
+        )
+        .expect("grid");
+        let a = prefactorized(&grid, 1e-5, 0.01).expect("build");
+        let b = prefactorized(&grid, 1e-5, 0.01).expect("build");
+        assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+        let (hits, misses) = solver_cache_stats();
+        assert!(hits >= 1 && misses >= 1, "hits {hits} misses {misses}");
+    }
+
+    #[test]
+    fn distinct_inputs_do_not_collide() {
+        let grid = Grid::for_experiment(
+            DiffusionCoefficient::new(1e-5),
+            Seconds::new(1.0),
+            Seconds::new(0.01),
+        )
+        .expect("grid");
+        let a = prefactorized(&grid, 1e-5, 0.01).expect("build");
+        let b = prefactorized(&grid, 2e-5, 0.01).expect("build");
+        let c = prefactorized(&grid, 1e-5, 0.02).expect("build");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_ne!(a.sys, b.sys);
+    }
+
+    #[test]
+    fn cached_factorization_matches_fresh_build() {
+        let grid = Grid::expanding(1e-4, 1.1, 0.05).expect("grid");
+        let cached = prefactorized(&grid, 7.6e-6, 0.005).expect("build");
+        let fresh = Prefactorized::build(&grid, 7.6e-6, 0.005).expect("build");
+        assert_eq!(cached.sys, fresh.sys);
+        assert_eq!(cached.unit_flux_response, fresh.unit_flux_response);
+        assert_eq!(cached.widths, fresh.widths);
+    }
+}

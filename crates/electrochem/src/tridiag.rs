@@ -121,12 +121,27 @@ impl Tridiagonal {
     pub fn solve_in_place(&self, d: &mut [f64]) {
         let n = self.len();
         assert_eq!(d.len(), n, "right-hand side length mismatch");
-        for i in 1..n {
-            d[i] -= self.factor_lower[i - 1] * d[i - 1];
+        // Forward elimination with the precomputed multipliers. The running
+        // `prev` value and lockstep iterators let the optimizer elide every
+        // per-element bounds check on this hot path; the arithmetic (and
+        // therefore the result, bit for bit) is unchanged.
+        let mut prev = d[0];
+        for (di, m) in d[1..].iter_mut().zip(&self.factor_lower) {
+            *di -= m * prev;
+            prev = *di;
         }
-        d[n - 1] /= self.factor_main[n - 1];
-        for i in (0..n - 1).rev() {
-            d[i] = (d[i] - self.upper[i] * d[i + 1]) / self.factor_main[i];
+        // Back substitution, same treatment.
+        let (head, last) = d.split_at_mut(n - 1);
+        last[0] /= self.factor_main[n - 1];
+        let mut next = last[0];
+        for ((di, u), fm) in head
+            .iter_mut()
+            .rev()
+            .zip(self.upper.iter().rev())
+            .zip(self.factor_main[..n - 1].iter().rev())
+        {
+            *di = (*di - u * next) / fm;
+            next = *di;
         }
     }
 

@@ -32,29 +32,91 @@ impl Criterion {
     }
 
     /// Runs `f` as a named benchmark and prints per-iteration timing.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_stats(name, f);
+        self
+    }
+
+    /// Like [`bench_function`](Self::bench_function), but also returns the
+    /// collected statistics so callers (perf harnesses, regression gates)
+    /// can act on the numbers instead of scraping stdout.
+    pub fn bench_stats<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> BenchStats {
         let mut bencher = Bencher {
             samples: Vec::with_capacity(self.sample_size),
             sample_size: self.sample_size,
         };
         f(&mut bencher);
-        let s = &bencher.samples;
-        if s.is_empty() {
+        let stats = BenchStats::from_samples(&bencher.samples);
+        if stats.samples == 0 {
             println!("{name}: no samples collected");
         } else {
-            let mean = s.iter().sum::<f64>() / s.len() as f64;
-            let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = s.iter().cloned().fold(0.0f64, f64::max);
             println!(
                 "{name}: mean {} min {} max {} ({} samples)",
-                format_ns(mean),
-                format_ns(min),
-                format_ns(max),
-                s.len()
+                format_ns(stats.mean_ns),
+                format_ns(stats.min_ns),
+                format_ns(stats.max_ns),
+                stats.samples
             );
         }
-        self
+        stats
     }
+}
+
+/// Summary statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchStats {
+    fn from_samples(s: &[f64]) -> Self {
+        if s.is_empty() {
+            return Self {
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                max_ns: 0.0,
+                samples: 0,
+            };
+        }
+        Self {
+            mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+            min_ns: s.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_ns: s.iter().cloned().fold(0.0f64, f64::max),
+            samples: s.len(),
+        }
+    }
+
+    /// Mean per-iteration time in seconds.
+    pub fn mean_s(&self) -> f64 {
+        self.mean_ns / 1e9
+    }
+
+    /// Fastest iteration in seconds — the usual basis for speedup ratios,
+    /// being the least scheduler-noise-contaminated sample.
+    pub fn min_s(&self) -> f64 {
+        self.min_ns / 1e9
+    }
+}
+
+/// Times `routine` directly: one warm-up call, then `samples` timed
+/// iterations. The free-function twin of [`Criterion::bench_stats`] for
+/// harnesses that don't want the builder or the printing.
+pub fn measure<O>(samples: usize, mut routine: impl FnMut() -> O) -> BenchStats {
+    let mut collected = Vec::with_capacity(samples.max(1));
+    black_box(routine());
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        black_box(routine());
+        collected.push(start.elapsed().as_nanos() as f64);
+    }
+    BenchStats::from_samples(&collected)
 }
 
 fn format_ns(ns: f64) -> String {
@@ -135,5 +197,21 @@ mod tests {
     #[test]
     fn group_runs() {
         probe();
+    }
+
+    #[test]
+    fn measure_returns_populated_stats() {
+        let stats = measure(4, || (0..1000u64).sum::<u64>());
+        assert_eq!(stats.samples, 4);
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.min_ns <= stats.mean_ns && stats.mean_ns <= stats.max_ns);
+        assert!((stats.mean_s() - stats.mean_ns / 1e9).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn bench_stats_matches_sample_size() {
+        let mut c = Criterion::default().sample_size(3);
+        let stats = c.bench_stats("stats-probe", |b| b.iter(|| (0..100u64).product::<u64>()));
+        assert_eq!(stats.samples, 3);
     }
 }
