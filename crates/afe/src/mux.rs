@@ -101,6 +101,7 @@ impl AnalogMux {
     /// The transient artifact current a time `t` after a switch event:
     /// the injected charge discharging through the settle time constant.
     pub fn switching_artifact(&self, t: Seconds) -> Amps {
+        // advdiag::allow(F1, exact sentinel: zero settle tau models an ideal switch with no artifact)
         if t.value() < 0.0 || self.settle_tau.value() == 0.0 {
             return Amps::ZERO;
         }

@@ -71,7 +71,7 @@ impl VoltageGenerator {
     pub fn paper_default() -> Result<Self, AfeError> {
         Self::new(
             12,
-            QRange::new(Volts::new(-1.0), Volts::new(1.0)).expect("constant range"),
+            QRange::between(Volts::new(-1.0), Volts::new(1.0)),
             VoltsPerSecond::new(1.0),
         )
     }

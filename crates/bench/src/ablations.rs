@@ -305,10 +305,15 @@ pub fn grid_ablation() -> Vec<GridRow> {
         .iter()
         .enumerate()
         .map(|(level, &(coarse, gamma))| {
-            let expanding = Grid::expanding(first_dx * coarse, gamma, length).expect("grid");
+            let expanding = Grid::expanding(
+                Centimeters::new(first_dx * coarse),
+                gamma,
+                Centimeters::new(length),
+            )
+            .expect("grid");
             let expanding_nodes = expanding.len();
             // A uniform grid with the same node count.
-            let uniform = Grid::uniform(length, expanding_nodes).expect("grid");
+            let uniform = Grid::uniform(Centimeters::new(length), expanding_nodes).expect("grid");
             GridRow {
                 level,
                 uniform_nodes: uniform.len(),

@@ -1,0 +1,222 @@
+//! Self-test for the invariant lint engine (DESIGN.md §6).
+//!
+//! Seeds one violation per shipped rule into a synthetic source file,
+//! asserts the rule fires, then asserts an inline
+//! `// advdiag::allow(ID, reason)` suppresses it. Also exercises the
+//! crate-applicability exemptions (the bench harness and
+//! `bios-platform::exec`) and finishes by linting the live workspace
+//! against the checked-in baseline, which must leave zero new findings.
+
+use std::path::Path;
+
+use bios_lint::{lint_source, lint_workspace, Baseline, FileContext, RULE_IDS};
+
+/// A seeded violation: where it lives, the offending code, and the rule it
+/// must trigger.
+struct Seed {
+    rule: &'static str,
+    crate_name: &'static str,
+    rel_path: &'static str,
+    code: &'static str,
+    /// 0-based index of the line the finding must land on (the line the
+    /// suppression comment is attached to).
+    hot_line: usize,
+}
+
+const SEEDS: &[Seed] = &[
+    Seed {
+        rule: "D1",
+        crate_name: "bios-platform",
+        rel_path: "crates/core/src/seeded.rs",
+        code: "use std::collections::BTreeMap;\npub fn f() -> std::collections::HashMap<u32, u32> {\n    unreachable_stub()\n}\n",
+        hot_line: 1,
+    },
+    Seed {
+        rule: "D2",
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/seeded.rs",
+        code: "pub fn f() -> u64 {\n    std::time::Instant::now().elapsed().as_nanos() as u64\n}\n",
+        hot_line: 1,
+    },
+    Seed {
+        rule: "P1",
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/seeded.rs",
+        code: "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        hot_line: 1,
+    },
+    Seed {
+        rule: "U1",
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/seeded.rs",
+        code: "pub fn set_length(length_cm: f64) -> f64 {\n    length_cm\n}\n",
+        hot_line: 0,
+    },
+    Seed {
+        rule: "S1",
+        crate_name: "bios-units",
+        rel_path: "crates/units/src/seeded.rs",
+        code: "pub fn f(p: *const u8) -> u8 {\n    unsafe { p.read() }\n}\n",
+        hot_line: 1,
+    },
+    Seed {
+        rule: "F1",
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/seeded.rs",
+        code: "pub fn f(x: f64) -> bool {\n    x == 0.25\n}\n",
+        hot_line: 1,
+    },
+];
+
+fn findings_for(seed: &Seed, code: &str) -> Vec<&'static str> {
+    let ctx = FileContext {
+        crate_name: seed.crate_name,
+        rel_path: seed.rel_path,
+    };
+    lint_source(&ctx, code).iter().map(|f| f.rule).collect()
+}
+
+/// Inserts `// advdiag::allow(rule, reason)` on its own line directly above
+/// the hot line.
+fn suppressed(seed: &Seed) -> String {
+    let mut lines: Vec<&str> = seed.code.lines().collect();
+    let allow = format!("// advdiag::allow({}, seeded self-test)", seed.rule);
+    lines.insert(seed.hot_line, &allow);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+fn main() {
+    bios_bench::banner("repro_lint — invariant lint engine self-test");
+    let mut failures = 0u32;
+    let mut check = |name: &str, ok: bool| {
+        println!("  {} {}", if ok { "PASS" } else { "FAIL" }, name);
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // 1. Every rule fires on its seeded violation, and only on its own
+    //    hot line.
+    for seed in SEEDS {
+        let fired = findings_for(seed, seed.code);
+        check(
+            &format!("{} fires on seeded violation", seed.rule),
+            fired.contains(&seed.rule),
+        );
+    }
+
+    // 2. An inline allow with a reason silences exactly that finding.
+    for seed in SEEDS {
+        let fired = findings_for(seed, &suppressed(seed));
+        check(
+            &format!("{} honours advdiag::allow", seed.rule),
+            !fired.contains(&seed.rule),
+        );
+    }
+
+    // 3. An allow *without* a reason does not suppress (the reason is
+    //    mandatory).
+    {
+        let seed = &SEEDS[2]; // P1
+        let bare = seed.code.replace(
+            "    x.unwrap()",
+            "    // advdiag::allow(P1)\n    x.unwrap()",
+        );
+        check(
+            "allow without a reason is rejected",
+            findings_for(seed, &bare).contains(&"P1"),
+        );
+    }
+
+    // 4. Applicability exemptions: the bench harness may unwrap; the
+    //    parallel engine may spawn threads; test regions are skipped.
+    check(
+        "bench harness is exempt from P1",
+        !lint_source(
+            &FileContext {
+                crate_name: "bios-bench",
+                rel_path: "crates/bench/src/seeded.rs",
+            },
+            SEEDS[2].code,
+        )
+        .iter()
+        .any(|f| f.rule == "P1"),
+    );
+    check(
+        "core exec module is exempt from D2",
+        !lint_source(
+            &FileContext {
+                crate_name: "bios-platform",
+                rel_path: "crates/core/src/exec.rs",
+            },
+            "pub fn f() { std::thread::spawn(|| ()); }\n",
+        )
+        .iter()
+        .any(|f| f.rule == "D2"),
+    );
+    check(
+        "cfg(test) regions are skipped by P1",
+        lint_source(
+            &FileContext {
+                crate_name: "bios-electrochem",
+                rel_path: "crates/electrochem/src/seeded.rs",
+            },
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u8).unwrap(); }\n}\n",
+        )
+        .is_empty(),
+    );
+
+    // 5. The baseline machinery grandfathers exactly what it is told to.
+    {
+        let seed = &SEEDS[0];
+        let ctx = FileContext {
+            crate_name: seed.crate_name,
+            rel_path: seed.rel_path,
+        };
+        let found = lint_source(&ctx, seed.code);
+        let baseline = Baseline::from_findings(&found);
+        let reparsed = Baseline::parse(&baseline.to_json()).expect("round-trip");
+        let (grandfathered, fresh) = reparsed.partition(&found);
+        check(
+            "baseline grandfathers recorded findings",
+            fresh.is_empty() && grandfathered.len() == found.len(),
+        );
+        let (_, fresh) = Baseline::default().partition(&found);
+        check(
+            "empty baseline leaves findings new",
+            fresh.len() == found.len(),
+        );
+    }
+
+    // 6. The live workspace is clean against the checked-in baseline.
+    {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("workspace root");
+        let findings = lint_workspace(root).expect("workspace lints");
+        let baseline_path = root.join("lint-baseline.json");
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text).expect("baseline parses"),
+            Err(_) => Baseline::default(),
+        };
+        let (_, fresh) = baseline.partition(&findings);
+        for f in &fresh {
+            println!("    new finding: {}:{} [{}]", f.file, f.line, f.rule);
+        }
+        check("workspace has zero unbaselined findings", fresh.is_empty());
+    }
+
+    println!(
+        "\n{} rule(s) exercised: {}",
+        RULE_IDS.len(),
+        RULE_IDS.join(", ")
+    );
+    if failures > 0 {
+        println!("{failures} check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all checks passed");
+}

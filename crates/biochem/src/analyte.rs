@@ -5,7 +5,9 @@ use bios_units::{Molar, QRange};
 /// Whether the molecule is produced by the body or administered to it —
 /// the paper's two sensing families (oxidases vs cytochromes P450) split
 /// along this line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum AnalyteKind {
     /// Endogenous metabolite (glucose, lactate, …) — §I-A.
     Endogenous,
@@ -17,7 +19,9 @@ pub enum AnalyteKind {
 ///
 /// Covers every compound named in the paper's Tables I–III plus the two
 /// direct-oxidizing interferents called out in §II-C (dopamine, etoposide).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[non_exhaustive]
 pub enum Analyte {
     /// Blood sugar; diabetes marker.
@@ -138,8 +142,7 @@ impl Analyte {
             Analyte::Dopamine => (1e-6, 1e-4),
             Analyte::Ascorbate => (0.03, 0.09),
         };
-        QRange::new(Molar::from_millimolar(lo_mm), Molar::from_millimolar(hi_mm))
-            .expect("constant ranges are valid")
+        QRange::between(Molar::from_millimolar(lo_mm), Molar::from_millimolar(hi_mm))
     }
 
     /// Whether the molecule oxidizes directly on a bare electrode at typical

@@ -53,12 +53,12 @@ impl Membrane {
     /// The membrane used for the paper's glucose sensor reproduction:
     /// ≈100 µm effective layer with D ≈ 10⁻⁶ cm²/s, giving the ≈30 s
     /// steady-state response of Fig. 3.
+    /// A literal, not `Self::new`, so this constant constructor cannot panic.
     pub fn paper_glucose_membrane() -> Self {
-        Self::new(
-            Centimeters::from_micrometers(99.0),
-            DiffusionCoefficient::new(1e-6),
-        )
-        .expect("constants are valid")
+        Self {
+            thickness: Centimeters::from_micrometers(99.0),
+            diffusion: DiffusionCoefficient::new(1e-6),
+        }
     }
 
     /// Membrane thickness.

@@ -234,11 +234,10 @@ impl PerformanceRow {
 
     /// The linear range as a typed interval.
     pub fn linear_range(&self) -> QRange<Molar> {
-        QRange::new(
+        QRange::between(
             Molar::from_millimolar(self.linear_lo_mm),
             Molar::from_millimolar(self.linear_hi_mm),
         )
-        .expect("constant ranges are valid")
     }
 
     /// Reported LOD as a typed concentration, if present.
@@ -272,11 +271,17 @@ pub fn performance_of(target: Analyte) -> Option<&'static PerformanceRow> {
 }
 
 /// Looks up the Table I row for an oxidase.
+///
+/// `TABLE_I` is laid out in `Oxidase` declaration order, so the lookup is a
+/// direct index with no panic path; `table_i_matches_paper` pins the order.
 pub fn oxidase_row(oxidase: Oxidase) -> &'static OxidaseRow {
-    TABLE_I
-        .iter()
-        .find(|r| r.oxidase == oxidase)
-        .expect("Table I covers every oxidase variant")
+    let idx = match oxidase {
+        Oxidase::Glucose => 0,
+        Oxidase::Lactate => 1,
+        Oxidase::Glutamate => 2,
+        Oxidase::Cholesterol => 3,
+    };
+    &TABLE_I[idx]
 }
 
 /// Looks up the Table II reduction potential for an (isoform, drug) pair.
@@ -310,6 +315,11 @@ mod tests {
         // All oxidase potentials are anodic (positive).
         for row in &TABLE_I {
             assert!(row.applied_potential.value() > 0.5);
+        }
+        // `oxidase_row` indexes TABLE_I by declaration order; pin it.
+        for (i, oxidase) in Oxidase::ALL.into_iter().enumerate() {
+            assert_eq!(oxidase_row(oxidase).oxidase, oxidase);
+            assert_eq!(TABLE_I[i].oxidase, oxidase);
         }
     }
 

@@ -17,7 +17,9 @@ use bios_units::{Centimeters, Seconds};
 
 /// How to resolve targets with more than one candidate probe (e.g.
 /// cholesterol: cholesterol oxidase vs CYP11A1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ProbePreference {
     /// Group targets onto shared CYP electrodes where possible; ties go to
     /// the cytochrome (this reproduces the paper's Fig. 4 instance).
@@ -359,15 +361,18 @@ fn derive_cyp_range(assignments: &[WeAssignment]) -> Option<CurrentRange> {
         if let SensorModel::Cytochrome(sensor) = a.sensor() {
             let area = a.electrode().geometric_area().value();
             for analyte in a.targets() {
-                let s = sensor.sensitivity_si(*analyte).expect("assigned target");
-                let km = sensor
-                    .kinetics(*analyte)
-                    .expect("assigned target")
-                    .km()
-                    .value();
+                // A target the sensor does not register contributes nothing
+                // to the range rather than aborting the whole derivation.
+                let (Some(s), Some(kinetics), Some(blank_sd)) = (
+                    sensor.sensitivity_si(*analyte),
+                    sensor.kinetics(*analyte),
+                    sensor.blank_sd(*analyte),
+                ) else {
+                    continue;
+                };
+                let km = kinetics.km().value();
                 full_scale = full_scale.max(1.2 * (s * km * area + 5e-9));
-                resolution = resolution
-                    .min(sensor.blank_sd(*analyte).expect("assigned target").value() * area / 3.0);
+                resolution = resolution.min(blank_sd.value() * area / 3.0);
             }
         }
     }

@@ -9,7 +9,9 @@ use bios_units::{Hertz, Seconds, SquareCentimeters, Watts};
 
 /// Whether working electrodes share one readout chain through a mux or
 /// each get a dedicated chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ReadoutSharing {
     /// One chain, multiplexed (the paper's Fig. 4 approach).
     Shared,

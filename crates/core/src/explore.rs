@@ -23,7 +23,9 @@ use bios_units::Molar;
 ///
 /// All axes are discrete, so the point is `Eq + Hash` and can key caches
 /// (see [`crate::memo`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct DesignPoint {
     /// Working-electrode nanostructuring.
     pub nanostructure: Nanostructure,

@@ -24,7 +24,7 @@
 //! cache), and clearable via [`clear_memo_caches`] so benchmarks can time
 //! cold paths honestly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -40,13 +40,13 @@ use crate::explore::DesignPoint;
 const CACHE_CAP: usize = 4096;
 
 /// Which calibration trace a cached figure belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum TraceKind {
     BaselineNoise,
     SelfTest,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct TraceKey {
     chain: u64,
     kind: TraceKind,
@@ -55,14 +55,14 @@ struct TraceKey {
     seed: u64,
 }
 
-fn trace_cache() -> &'static Mutex<HashMap<TraceKey, f64>> {
-    static CACHE: OnceLock<Mutex<HashMap<TraceKey, f64>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn trace_cache() -> &'static Mutex<BTreeMap<TraceKey, f64>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<TraceKey, f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn lod_cache() -> &'static Mutex<HashMap<(Analyte, DesignPoint), f64>> {
-    static CACHE: OnceLock<Mutex<HashMap<(Analyte, DesignPoint), f64>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn lod_cache() -> &'static Mutex<BTreeMap<(Analyte, DesignPoint), f64>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<(Analyte, DesignPoint), f64>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 static HITS: AtomicU64 = AtomicU64::new(0);

@@ -676,18 +676,16 @@ impl Platform {
                 for analyte in &assignment.targets {
                     let height = m.peak_height(*analyte);
                     let response = height.unwrap_or(Amps::ZERO);
-                    let threshold = 3.0
-                        * sensor
-                            .blank_sd(*analyte)
-                            .expect("assigned targets are registered")
-                            .value()
-                        * area;
+                    let blank_sd = sensor
+                        .blank_sd(*analyte)
+                        .ok_or(PlatformError::NoProbeFor(*analyte))?;
+                    let threshold = 3.0 * blank_sd.value() * area;
                     let kinetics = sensor
                         .kinetics(*analyte)
-                        .expect("assigned targets are registered");
+                        .ok_or(PlatformError::NoProbeFor(*analyte))?;
                     let s_si = sensor
                         .sensitivity_si(*analyte)
-                        .expect("assigned targets are registered");
+                        .ok_or(PlatformError::NoProbeFor(*analyte))?;
                     let estimated = height.and_then(|h| invert_mm(h.value(), area, s_si, kinetics));
                     readings.push(TargetReading {
                         analyte: *analyte,

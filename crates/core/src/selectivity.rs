@@ -131,7 +131,9 @@ impl Platform {
             let mut row_r = Vec::with_capacity(analytes.len());
             let mut row_i = Vec::with_capacity(analytes.len());
             for readout in &analytes {
-                let reading = report.reading_for(*readout).expect("panel target");
+                let reading = report
+                    .reading_for(*readout)
+                    .ok_or(PlatformError::NoProbeFor(*readout))?;
                 row_r.push(reading.response.value());
                 row_i.push(reading.identified);
             }

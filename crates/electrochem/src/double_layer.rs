@@ -29,6 +29,7 @@ pub fn step_charging_current(cell: &Cell, delta_e: Volts, t: Seconds) -> Amps {
         return Amps::ZERO;
     }
     let ru = cell.uncompensated_resistance().value();
+    // advdiag::allow(F1, exact sentinel: an ideally unresisted cell charges instantaneously)
     if ru == 0.0 {
         return Amps::ZERO;
     }

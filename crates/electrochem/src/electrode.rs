@@ -8,7 +8,9 @@ use crate::error::ElectrochemError;
 use bios_units::{FaradsPerCm2, SquareCentimeters};
 
 /// Electrode conductor material.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ElectrodeMaterial {
     /// Thin-film gold — the paper's working/counter electrode metal.
     Gold,
@@ -71,7 +73,9 @@ impl core::fmt::Display for ElectrodeMaterial {
 
 /// Nanostructuring applied on top of the conductor (§III: "Working electrodes
 /// can be functionalized by nanostructures, to increase sensitivity").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Nanostructure {
     /// Bare electrode.
     None,
@@ -173,12 +177,14 @@ impl Electrode {
     }
 
     /// The paper's reference working electrode: 0.23 mm² thin-film gold.
+    ///
+    /// A literal, not `Self::new`, so this constant constructor cannot panic.
     pub fn paper_gold_we() -> Self {
-        Self::new(
-            ElectrodeMaterial::Gold,
-            SquareCentimeters::from_square_millimeters(0.23),
-        )
-        .expect("constant area is valid")
+        Self {
+            material: ElectrodeMaterial::Gold,
+            geometric_area: SquareCentimeters::from_square_millimeters(0.23),
+            nanostructure: Nanostructure::None,
+        }
     }
 
     /// Adds a nanostructure coating.

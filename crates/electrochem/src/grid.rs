@@ -5,7 +5,7 @@
 //! where the physics happens, coarse in the bulk.
 
 use crate::error::ElectrochemError;
-use bios_units::{DiffusionCoefficient, Seconds};
+use bios_units::{Centimeters, DiffusionCoefficient, Seconds};
 
 /// A 1-D spatial grid normal to the electrode, `x[0] = 0` at the surface.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -14,16 +14,17 @@ pub struct Grid {
 }
 
 impl Grid {
-    /// A uniform grid of `n` nodes spanning `[0, length_cm]`.
+    /// A uniform grid of `n` nodes spanning `[0, length]`.
     ///
     /// # Errors
     ///
     /// Returns [`ElectrochemError::InvalidParameter`] for non-positive length
     /// and [`ElectrochemError::GridTooCoarse`] for fewer than 8 nodes.
-    pub fn uniform(length_cm: f64, n: usize) -> Result<Self, ElectrochemError> {
+    pub fn uniform(length: Centimeters, n: usize) -> Result<Self, ElectrochemError> {
+        let length_cm = length.value();
         if length_cm <= 0.0 || !length_cm.is_finite() {
             return Err(ElectrochemError::invalid(
-                "length_cm",
+                "length",
                 "must be positive and finite",
             ));
         }
@@ -39,27 +40,29 @@ impl Grid {
         })
     }
 
-    /// A geometrically expanding grid: spacing starts at `first_dx_cm` and
-    /// grows by `gamma` per interval until `length_cm` is covered.
+    /// A geometrically expanding grid: spacing starts at `first_dx` and
+    /// grows by `gamma` per interval until `length` is covered.
     ///
     /// # Errors
     ///
     /// Returns [`ElectrochemError::InvalidParameter`] for non-positive
-    /// `first_dx_cm`/`length_cm` or `gamma < 1`.
+    /// `first_dx`/`length` or `gamma < 1`.
     pub fn expanding(
-        first_dx_cm: f64,
+        first_dx: Centimeters,
         gamma: f64,
-        length_cm: f64,
+        length: Centimeters,
     ) -> Result<Self, ElectrochemError> {
+        let first_dx_cm = first_dx.value();
+        let length_cm = length.value();
         if first_dx_cm <= 0.0 || !first_dx_cm.is_finite() {
             return Err(ElectrochemError::invalid(
-                "first_dx_cm",
+                "first_dx",
                 "must be positive and finite",
             ));
         }
         if length_cm <= first_dx_cm {
             return Err(ElectrochemError::invalid(
-                "length_cm",
+                "length",
                 "must exceed the first spacing",
             ));
         }
@@ -67,10 +70,13 @@ impl Grid {
             return Err(ElectrochemError::invalid("gamma", "must be at least 1"));
         }
         let mut x = vec![0.0];
+        let mut last = 0.0;
         let mut dx = first_dx_cm;
-        while *x.last().expect("nonempty") < length_cm {
-            let next = x.last().expect("nonempty") + dx;
-            x.push(next);
+        while last < length_cm {
+            // Same accumulation as `x.last() + dx`, operation for
+            // operation, without the panic path.
+            last += dx;
+            x.push(last);
             dx *= gamma;
         }
         Ok(Self { x })
@@ -99,7 +105,11 @@ impl Grid {
         }
         let length = 6.0 * (d.value() * t_total.value()).sqrt();
         let first_dx = 0.5 * (d.value() * dt.value()).sqrt();
-        Self::expanding(first_dx.min(length / 16.0), 1.05, length)
+        Self::expanding(
+            Centimeters::new(first_dx.min(length / 16.0)),
+            1.05,
+            Centimeters::new(length),
+        )
     }
 
     /// Number of nodes.
@@ -126,9 +136,10 @@ impl Grid {
         self.x[i + 1] - self.x[i]
     }
 
-    /// Total domain length in cm.
+    /// Total domain length in cm (0 for the empty grid, which no
+    /// constructor produces).
     pub fn length(&self) -> f64 {
-        *self.x.last().expect("grid is nonempty")
+        self.x.last().copied().unwrap_or(0.0)
     }
 
     /// Finite-volume control width of node `i` (half-cells at both ends).
@@ -164,7 +175,7 @@ mod tests {
 
     #[test]
     fn uniform_spacing() {
-        let g = Grid::uniform(1.0, 11).expect("valid");
+        let g = Grid::uniform(Centimeters::new(1.0), 11).expect("valid");
         assert_eq!(g.len(), 11);
         assert!((g.spacing(0) - 0.1).abs() < 1e-12);
         assert!((g.length() - 1.0).abs() < 1e-12);
@@ -172,7 +183,7 @@ mod tests {
 
     #[test]
     fn expanding_grows_geometrically() {
-        let g = Grid::expanding(0.01, 1.5, 1.0).expect("valid");
+        let g = Grid::expanding(Centimeters::new(0.01), 1.5, Centimeters::new(1.0)).expect("valid");
         assert!(g.len() > 3);
         let r = g.spacing(1) / g.spacing(0);
         assert!((r - 1.5).abs() < 1e-12);
@@ -197,24 +208,24 @@ mod tests {
 
     #[test]
     fn control_widths_partition_domain() {
-        let g = Grid::expanding(0.01, 1.3, 0.5).expect("valid");
+        let g = Grid::expanding(Centimeters::new(0.01), 1.3, Centimeters::new(0.5)).expect("valid");
         let total: f64 = (0..g.len()).map(|i| g.control_width(i)).sum();
         assert!((total - g.length()).abs() < 1e-12);
     }
 
     #[test]
     fn integrate_constant_field() {
-        let g = Grid::uniform(2.0, 21).expect("valid");
+        let g = Grid::uniform(Centimeters::new(2.0), 21).expect("valid");
         let field = vec![3.0; 21];
         assert!((g.integrate(&field) - 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn rejects_bad_parameters() {
-        assert!(Grid::uniform(0.0, 10).is_err());
-        assert!(Grid::uniform(1.0, 4).is_err());
-        assert!(Grid::expanding(0.0, 1.1, 1.0).is_err());
-        assert!(Grid::expanding(0.1, 0.9, 1.0).is_err());
-        assert!(Grid::expanding(0.1, 1.1, 0.05).is_err());
+        assert!(Grid::uniform(Centimeters::new(0.0), 10).is_err());
+        assert!(Grid::uniform(Centimeters::new(1.0), 4).is_err());
+        assert!(Grid::expanding(Centimeters::new(0.0), 1.1, Centimeters::new(1.0)).is_err());
+        assert!(Grid::expanding(Centimeters::new(0.1), 0.9, Centimeters::new(1.0)).is_err());
+        assert!(Grid::expanding(Centimeters::new(0.1), 1.1, Centimeters::new(0.05)).is_err());
     }
 }

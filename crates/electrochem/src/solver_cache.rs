@@ -18,7 +18,7 @@
 //!
 //! [`SpeciesField`]: crate::diffusion::DiffusionSim
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -82,7 +82,7 @@ impl Prefactorized {
 /// Exact cache key: the bit patterns of every quantity the factorization
 /// depends on. No hashing shortcut — two keys are equal iff the assembled
 /// systems would be bit-identical.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct Key {
     positions: Vec<u64>,
     d_bits: u64,
@@ -103,12 +103,12 @@ impl Key {
 /// handful, so eviction is a wholesale clear rather than LRU bookkeeping.
 const CACHE_CAP: usize = 256;
 
-static CACHE: OnceLock<Mutex<HashMap<Key, Arc<Prefactorized>>>> = OnceLock::new();
+static CACHE: OnceLock<Mutex<BTreeMap<Key, Arc<Prefactorized>>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<Key, Arc<Prefactorized>>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static Mutex<BTreeMap<Key, Arc<Prefactorized>>> {
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// Returns the shared factorization for `(grid, d, dt)`, building it on the
@@ -119,13 +119,19 @@ pub(crate) fn prefactorized(
     dt: f64,
 ) -> Result<Arc<Prefactorized>, ElectrochemError> {
     let key = Key::new(grid, d, dt);
-    if let Some(hit) = cache().lock().expect("solver cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return Ok(Arc::clone(hit));
+    if let Ok(map) = cache().lock() {
+        if let Some(hit) = map.get(&key) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
     }
     MISSES.fetch_add(1, Ordering::Relaxed);
     let built = Arc::new(Prefactorized::build(grid, d, dt)?);
-    let mut map = cache().lock().expect("solver cache poisoned");
+    // A poisoned cache (a panic while another thread held the lock) degrades
+    // to serving the freshly built factorization uncached.
+    let Ok(mut map) = cache().lock() else {
+        return Ok(built);
+    };
     if map.len() >= CACHE_CAP {
         map.clear();
     }
@@ -138,7 +144,9 @@ pub(crate) fn prefactorized(
 /// Empties the cache and resets the hit/miss counters (perf-harness use:
 /// timing a cold run after a warm one).
 pub fn clear_solver_cache() {
-    cache().lock().expect("solver cache poisoned").clear();
+    if let Ok(mut map) = cache().lock() {
+        map.clear();
+    }
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }
@@ -152,7 +160,7 @@ pub fn solver_cache_stats() -> (u64, u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bios_units::{DiffusionCoefficient, Seconds};
+    use bios_units::{Centimeters, DiffusionCoefficient, Seconds};
 
     #[test]
     fn identical_inputs_share_one_factorization() {
@@ -188,7 +196,8 @@ mod tests {
 
     #[test]
     fn cached_factorization_matches_fresh_build() {
-        let grid = Grid::expanding(1e-4, 1.1, 0.05).expect("grid");
+        let grid =
+            Grid::expanding(Centimeters::new(1e-4), 1.1, Centimeters::new(0.05)).expect("grid");
         let cached = prefactorized(&grid, 7.6e-6, 0.005).expect("build");
         let fresh = Prefactorized::build(&grid, 7.6e-6, 0.005).expect("build");
         assert_eq!(cached.sys, fresh.sys);

@@ -199,27 +199,33 @@ impl RedoxCouple {
     ///
     /// Kinetically sluggish on plain electrodes — the reason the paper's
     /// Table I oxidase sensors poll at +550…+700 mV instead of near `E⁰'`.
+    ///
+    /// Constructed as a literal rather than through the validating builder so
+    /// this constant constructor has no panic path.
     pub fn hydrogen_peroxide() -> Self {
-        Self::builder("H2O2")
-            .electrons(2)
-            .formal_potential(Volts::new(0.27))
-            .diffusion(1.71e-5)
-            .rate_constant(2.0e-6)
-            .transfer_coefficient(0.5)
-            .build()
-            .expect("constants are valid")
+        Self {
+            name: "H2O2".to_string(),
+            electrons: 2,
+            formal_potential: Volts::new(0.27),
+            diffusion_ox: DiffusionCoefficient::new(1.71e-5),
+            diffusion_red: DiffusionCoefficient::new(1.71e-5),
+            rate_constant_cm_per_s: 2.0e-6,
+            transfer_coefficient: 0.5,
+        }
     }
 
     /// Ferrocyanide/ferricyanide: the classic fast, reversible test couple
     /// used to validate potentiostats and simulators.
     pub fn ferrocyanide() -> Self {
-        Self::builder("Fe(CN)6^3-/4-")
-            .electrons(1)
-            .formal_potential(Volts::new(0.23))
-            .diffusion(6.7e-6)
-            .rate_constant(0.1)
-            .build()
-            .expect("constants are valid")
+        Self {
+            name: "Fe(CN)6^3-/4-".to_string(),
+            electrons: 1,
+            formal_potential: Volts::new(0.23),
+            diffusion_ox: DiffusionCoefficient::new(6.7e-6),
+            diffusion_red: DiffusionCoefficient::new(6.7e-6),
+            rate_constant_cm_per_s: 0.1,
+            transfer_coefficient: 0.5,
+        }
     }
 }
 

@@ -113,12 +113,8 @@ impl Transient {
 
     /// Sample with the maximum absolute current.
     pub fn peak_abs(&self) -> Option<(Seconds, Amps)> {
-        self.iter().max_by(|a, b| {
-            a.1.abs()
-                .value()
-                .partial_cmp(&b.1.abs().value())
-                .expect("currents are finite")
-        })
+        self.iter()
+            .max_by(|a, b| a.1.abs().value().total_cmp(&b.1.abs().value()))
     }
 
     /// Renders the record as CSV with a header row.
@@ -235,7 +231,7 @@ impl Voltammogram {
         self.potential
             .iter()
             .zip(self.current.iter())
-            .max_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite"))
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .map(|(e, i)| (*e, *i))
     }
 
@@ -244,7 +240,7 @@ impl Voltammogram {
         self.potential
             .iter()
             .zip(self.current.iter())
-            .min_by(|a, b| a.1.value().partial_cmp(&b.1.value()).expect("finite"))
+            .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .map(|(e, i)| (*e, *i))
     }
 

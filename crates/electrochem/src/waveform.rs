@@ -122,6 +122,7 @@ impl PotentialProgram {
                 if rate.value() <= 0.0 {
                     return Err(ElectrochemError::invalid("rate", "must be positive"));
                 }
+                // advdiag::allow(F1, exact sentinel: zero sweep span means a hold, not a ramp)
                 if (from.value() - to.value()).abs() == 0.0 {
                     return Err(ElectrochemError::invalid(
                         "to",
@@ -142,6 +143,7 @@ impl PotentialProgram {
                 if *cycles == 0 {
                     return Err(ElectrochemError::invalid("cycles", "must be at least 1"));
                 }
+                // advdiag::allow(F1, exact sentinel: coincident vertices degenerate to a hold)
                 if (start.value() - vertex1.value()).abs() == 0.0 {
                     return Err(ElectrochemError::invalid(
                         "vertex1",

@@ -120,16 +120,18 @@ pub fn run_cv(
 
     // Per-run amplitude perturbations, one per substrate.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xcc_5eed);
-    let perturbations: Vec<(Analyte, Volts, f64)> = sensor
-        .substrates()
-        .map(|a| {
-            let sd = sensor.blank_sd(a).expect("substrate is registered").value() * area.value();
-            let e = sensor
-                .nominal_peak_potential(a)
-                .expect("substrate is registered");
-            (a, e, gaussian(&mut rng) * sd)
-        })
-        .collect();
+    let mut perturbations: Vec<(Analyte, Volts, f64)> = Vec::new();
+    for a in sensor.substrates() {
+        let sd = sensor
+            .blank_sd(a)
+            .ok_or_else(|| InstrumentError::invalid("substrate", format!("{a} not registered")))?
+            .value()
+            * area.value();
+        let e = sensor
+            .nominal_peak_potential(a)
+            .ok_or_else(|| InstrumentError::invalid("substrate", format!("{a} not registered")))?;
+        perturbations.push((a, e, gaussian(&mut rng) * sd));
+    }
     let rate = protocol.scan_rate;
     let samples = chain.acquire(
         &program,
@@ -166,15 +168,16 @@ pub fn run_cv(
             smoothing: 2,
         },
     )?;
-    let expected: Vec<ExpectedPeak> = sensor
-        .substrates()
-        .map(|a| ExpectedPeak {
+    let mut expected: Vec<ExpectedPeak> = Vec::new();
+    for a in sensor.substrates() {
+        let potential = sensor
+            .nominal_peak_potential(a)
+            .ok_or_else(|| InstrumentError::invalid("substrate", format!("{a} not registered")))?;
+        expected.push(ExpectedPeak {
             analyte: a,
-            potential: sensor
-                .nominal_peak_potential(a)
-                .expect("substrate is registered"),
-        })
-        .collect();
+            potential,
+        });
+    }
     let matches = match_signature(&peaks, &expected, DEFAULT_WINDOW);
     Ok(CvMeasurement {
         voltammogram,
@@ -195,8 +198,7 @@ pub fn peak_readout(segment: &[(Volts, Amps)], expected: Volts) -> Option<Amps> 
             .min_by(|a, b| {
                 (a.0.value() - target)
                     .abs()
-                    .partial_cmp(&(b.0.value() - target).abs())
-                    .expect("potentials are finite")
+                    .total_cmp(&(b.0.value() - target).abs())
             })
             .map(|(_, i)| i.value())
     };

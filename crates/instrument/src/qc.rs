@@ -351,7 +351,7 @@ impl QcGate {
             let denom = n * sxx - sx * sx;
             if denom.abs() > 0.0 {
                 let slope = (n * sxy - sx * sy) / denom;
-                let window = tail.last().expect("nonempty").0 - tail[0].0;
+                let window = tail.last().map(|(t, _)| *t).unwrap_or(tail[0].0) - tail[0].0;
                 let mean = sy / n;
                 let scale = mean.abs().max(0.05 * fs);
                 let relative_slope = (slope * window / scale).abs();

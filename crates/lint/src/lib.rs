@@ -1,0 +1,34 @@
+//! `bios-lint` — the workspace's in-tree invariant lint engine.
+//!
+//! The platform's headline guarantees (bit-identical parallel execution,
+//! no silent corruption under injected faults) are dynamic properties; a
+//! single stray `HashMap` iteration, wall-clock read or `unwrap()` in a
+//! hot path can silently void them between test runs. This crate encodes
+//! those invariants as *static* rules checked on every CI run, in the
+//! platform-based-design spirit of the source paper: component contracts
+//! are verified at design time, not discovered in the field.
+//!
+//! Pipeline: [`lexer`] turns a source file into a token stream with
+//! comments kept aside and `#[cfg(test)]` regions marked; [`rules`] runs
+//! the catalogue (D1, D2, P1, U1, S1, F1) over the tokens and applies
+//! inline `// advdiag::allow(rule, reason)` suppressions; [`baseline`]
+//! subtracts grandfathered findings; [`report`] renders what is left for
+//! humans or machines. [`workspace`] knows which files the rules bind.
+//!
+//! The crate is dependency-free by design — the linter must not depend on
+//! code it lints, and must stay trivially auditable.
+//!
+//! See `DESIGN.md` §6 for the rule catalogue and how to add a rule.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use report::Report;
+pub use rules::{lint_source, FileContext, Finding, RULE_IDS};
+pub use workspace::{discover, lint_workspace};

@@ -1,0 +1,139 @@
+//! CLI driver: lint the workspace, subtract the baseline, report, and
+//! exit nonzero on any new finding.
+//!
+//! ```text
+//! cargo run -p bios-lint                         # human diagnostics
+//! cargo run -p bios-lint -- --format json        # machine-readable report
+//! cargo run -p bios-lint -- --baseline lint-baseline.json --out lint-report.json
+//! cargo run -p bios-lint -- --write-baseline lint-baseline.json
+//! ```
+//!
+//! Exit codes: 0 = clean (no unbaselined findings), 1 = new findings,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bios_lint::{Baseline, Report};
+
+struct Options {
+    root: PathBuf,
+    format_json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        format_json: false,
+        baseline: None,
+        write_baseline: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut path_value = |name: &str| -> Result<PathBuf, String> {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a path argument"))
+        };
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format requires `text` or `json`")?;
+                match v.as_str() {
+                    "json" => opts.format_json = true,
+                    "text" => opts.format_json = false,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--root" => opts.root = path_value("--root")?,
+            "--baseline" => opts.baseline = Some(path_value("--baseline")?),
+            "--write-baseline" => opts.write_baseline = Some(path_value("--write-baseline")?),
+            "--out" => opts.out = Some(path_value("--out")?),
+            "--help" | "-h" => {
+                return Err("usage: bios-lint [--root DIR] [--format text|json] \
+                     [--baseline FILE] [--write-baseline FILE] [--out FILE]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    // Default: pick up the checked-in baseline when present.
+    if opts.baseline.is_none() {
+        let default = opts.root.join("lint-baseline.json");
+        if default.is_file() {
+            opts.baseline = Some(default);
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let files = bios_lint::discover(&opts.root)?.len();
+    let findings = bios_lint::lint_workspace(&opts.root)?;
+    if let Some(path) = &opts.write_baseline {
+        let baseline = Baseline::from_findings(&findings);
+        std::fs::write(path, baseline.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "bios-lint: wrote baseline with {} entries to {}",
+            baseline.entries.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Baseline::default(),
+    };
+    let (baselined, fresh) = baseline.partition(&findings);
+    let report = Report {
+        files,
+        baselined,
+        fresh,
+    };
+    let rendered = if opts.format_json {
+        report.json()
+    } else {
+        report.human()
+    };
+    match &opts.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "bios-lint: {} file(s), {} new finding(s), report at {}",
+                report.files,
+                report.fresh.len(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(report.fresh.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("bios-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bios-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Human and machine-readable rendering of a lint run.
+
+use crate::baseline::escape;
+use crate::rules::Finding;
+
+/// Outcome of one lint run, after baseline partitioning.
+#[derive(Debug)]
+pub struct Report<'a> {
+    /// Files scanned.
+    pub files: usize,
+    /// Findings covered by the baseline.
+    pub baselined: Vec<&'a Finding>,
+    /// Unbaselined (new) findings — these fail the run.
+    pub fresh: Vec<&'a Finding>,
+}
+
+impl Report<'_> {
+    /// `file:line: [RULE] message` diagnostics, new findings first.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fresh {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n    {}\n",
+                f.file, f.line, f.rule, f.message, f.excerpt
+            ));
+        }
+        for f in &self.baselined {
+            out.push_str(&format!(
+                "{}:{}: [{}] (baselined) {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "bios-lint: {} file(s), {} finding(s): {} new, {} baselined\n",
+            self.files,
+            self.fresh.len() + self.baselined.len(),
+            self.fresh.len(),
+            self.baselined.len()
+        ));
+        out
+    }
+
+    /// The machine-readable report (one finding per line for greppable
+    /// artifacts).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"tool\": \"bios-lint\",\n");
+        out.push_str(&format!(
+            "  \"summary\": {{\"files\": {}, \"total\": {}, \"new\": {}, \"baselined\": {}}},\n",
+            self.files,
+            self.fresh.len() + self.baselined.len(),
+            self.fresh.len(),
+            self.baselined.len()
+        ));
+        out.push_str("  \"findings\": [\n");
+        let all: Vec<(&Finding, bool)> = self
+            .fresh
+            .iter()
+            .map(|f| (*f, false))
+            .chain(self.baselined.iter().map(|f| (*f, true)))
+            .collect();
+        for (i, (f, baselined)) in all.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
+                escape(f.rule),
+                escape(&f.file),
+                f.line,
+                baselined,
+                escape(&f.message),
+                escape(&f.excerpt),
+                if i + 1 < all.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::Json;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "P1",
+            file: "crates/x/src/a.rs".to_string(),
+            line: 12,
+            message: "`.unwrap()` in library code".to_string(),
+            excerpt: "x.unwrap();".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_report_is_parseable() {
+        let f = finding();
+        let report = Report {
+            files: 3,
+            baselined: vec![&f],
+            fresh: vec![&f],
+        };
+        let parsed = Json::parse(&report.json()).expect("valid JSON");
+        let obj = parsed.as_object().expect("object");
+        let findings = obj
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .and_then(|(_, v)| v.as_array())
+            .expect("findings array");
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn human_report_flags_new_vs_baselined() {
+        let f = finding();
+        let report = Report {
+            files: 1,
+            baselined: vec![&f],
+            fresh: vec![&f],
+        };
+        let text = report.human();
+        assert!(text.contains("crates/x/src/a.rs:12: [P1]"));
+        assert!(text.contains("(baselined)"));
+        assert!(text.contains("1 new, 1 baselined"));
+    }
+}

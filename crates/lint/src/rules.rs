@@ -1,0 +1,493 @@
+//! The rule catalogue and the token-pattern engine that evaluates it.
+//!
+//! Every rule has a stable ID (used in diagnostics, suppressions and the
+//! baseline) and a crate-level applicability policy mirroring the
+//! workspace's invariants:
+//!
+//! | ID | invariant | applies to |
+//! |----|-----------|------------|
+//! | D1 | no `HashMap`/`HashSet` (iteration order) | deterministic crates |
+//! | D2 | no `Instant`/`SystemTime`/`thread::spawn` | all but `bios-platform::exec` + bench harness |
+//! | P1 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` | all library code but the bench harness |
+//! | U1 | no raw `f64` params with dimensioned names in `pub fn` | physics-facing crates |
+//! | S1 | every `unsafe` needs a `// SAFETY:` comment | everywhere |
+//! | F1 | no `==`/`!=` against float literals | physics crates |
+//!
+//! All rules skip `#[cfg(test)]` / `#[test]` regions except S1 (an
+//! undocumented `unsafe` block is a hazard wherever it lives). A finding
+//! on line *n* is suppressed by `// advdiag::allow(ID, reason)` on line
+//! *n* or *n − 1*; the reason is mandatory.
+
+use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule ID (`"D1"`, `"P1"`, …).
+    pub rule: &'static str,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed source line (baseline matching key; robust to line drift).
+    pub excerpt: String,
+}
+
+/// Where a source file sits in the workspace, which decides rule
+/// applicability.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Cargo package name (`"bios-electrochem"`, `"advanced-diagnostics"`, …).
+    pub crate_name: &'a str,
+    /// Repo-relative path with `/` separators (`"crates/core/src/exec.rs"`).
+    pub rel_path: &'a str,
+}
+
+/// Crates whose outputs must be bit-reproducible (D1).
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "bios-platform",
+    "bios-electrochem",
+    "bios-afe",
+    "bios-instrument",
+];
+
+/// Crates doing physics/chemistry math (F1, and the audience for U1).
+const PHYSICS_CRATES: &[&str] = &["bios-units", "bios-electrochem", "bios-biochem", "bios-afe"];
+
+/// Crates whose public APIs model dimensioned quantities (U1).
+const UNIT_API_CRATES: &[&str] = &[
+    "bios-electrochem",
+    "bios-biochem",
+    "bios-afe",
+    "bios-instrument",
+    "bios-platform",
+];
+
+/// The bench/repro harness: P1/D2/U1 do not apply (it is test
+/// infrastructure in a package suit), S1/F1 still do.
+const BENCH_CRATE: &str = "bios-bench";
+
+/// The one module allowed to touch `std::thread` (the deterministic
+/// parallel engine itself).
+const D2_EXEMPT_FILE: &str = "crates/core/src/exec.rs";
+
+/// Parameter-name suffixes that imply a physical dimension (U1). Each maps
+/// to the `bios-units` newtype that should be used instead.
+const DIMENSIONED_SUFFIXES: &[(&str, &str)] = &[
+    ("_volts", "Volts"),
+    ("_amps", "Amps"),
+    ("_seconds", "Seconds"),
+    ("_secs", "Seconds"),
+    ("_ohms", "Ohms"),
+    ("_farads", "Farads"),
+    ("_hz", "Hertz"),
+    ("_molar", "Molar"),
+    ("_kelvin", "Kelvin"),
+    ("_cm", "Centimeters"),
+];
+
+/// All shipped rule IDs, in catalogue order.
+pub const RULE_IDS: &[&str] = &["D1", "D2", "P1", "U1", "S1", "F1"];
+
+/// Lints one source file: lexes it, runs every applicable rule, then
+/// drops findings covered by an inline `advdiag::allow`.
+pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    rule_d1(ctx, &lexed, &mut findings);
+    rule_d2(ctx, &lexed, &mut findings);
+    rule_p1(ctx, &lexed, &mut findings);
+    rule_u1(ctx, &lexed, &mut findings);
+    rule_s1(ctx, &lexed, &mut findings);
+    rule_f1(ctx, &lexed, &mut findings);
+    for f in &mut findings {
+        f.excerpt = excerpt_for(&lines, f.line);
+    }
+    findings.retain(|f| !is_suppressed(f, &lexed.comments));
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// The trimmed source line for a 1-based line number, capped so baselines
+/// stay readable.
+fn excerpt_for(lines: &[&str], line: u32) -> String {
+    let text = lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim())
+        .unwrap_or_default();
+    text.chars().take(160).collect()
+}
+
+/// True if a well-formed `advdiag::allow(rule, reason)` comment sits on
+/// the finding's line or the line above. A missing reason does not count.
+fn is_suppressed(f: &Finding, comments: &[Comment]) -> bool {
+    comments
+        .iter()
+        .filter(|c| c.line == f.line || c.line + 1 == f.line)
+        .any(|c| allow_covers(&c.text, f.rule))
+}
+
+/// Parses every `advdiag::allow(…)` in one comment; true if any names
+/// `rule` and carries a non-empty reason.
+fn allow_covers(comment: &str, rule: &str) -> bool {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("advdiag::allow(") {
+        let args_start = pos + "advdiag::allow(".len();
+        let tail = &rest[args_start..];
+        if let Some(close) = tail.find(')') {
+            let args = &tail[..close];
+            if let Some((id, reason)) = args.split_once(',') {
+                if id.trim() == rule && !reason.trim().is_empty() {
+                    return true;
+                }
+            }
+            rest = &tail[close + 1..];
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    ctx: &FileContext<'_>,
+    line: u32,
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        file: ctx.rel_path.to_string(),
+        line,
+        message,
+        excerpt: String::new(),
+    });
+}
+
+/// D1: `HashMap`/`HashSet` in deterministic crates.
+fn rule_d1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for t in non_test_idents(lexed) {
+        if t.text == "HashMap" || t.text == "HashSet" {
+            push(
+                findings,
+                "D1",
+                ctx,
+                t.line,
+                format!(
+                    "`{}` in deterministic crate `{}`: iteration order is \
+                     randomized per process and can leak into outputs; use \
+                     `BTreeMap`/`BTreeSet`",
+                    t.text, ctx.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// D2: wall-clock / ad-hoc threading outside the execution engine.
+fn rule_d2(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if ctx.crate_name == BENCH_CRATE || ctx.rel_path == D2_EXEMPT_FILE {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            push(
+                findings,
+                "D2",
+                ctx,
+                t.line,
+                format!(
+                    "`{}` outside `bios-platform::exec`: wall-clock reads make \
+                     runs irreproducible; derive timing from protocol state",
+                    t.text
+                ),
+            );
+        }
+        if t.text == "spawn" && i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == "thread" {
+            push(
+                findings,
+                "D2",
+                ctx,
+                t.line,
+                "`thread::spawn` outside `bios-platform::exec`: ad-hoc threads \
+                 bypass the deterministic merge-by-index engine; use `par_map`"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// P1: panicking calls in non-test library code.
+fn rule_p1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if ctx.crate_name == BENCH_CRATE {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_method = |name: &str| {
+            t.text == name
+                && i >= 1
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+        };
+        if is_method("unwrap") || is_method("expect") {
+            push(
+                findings,
+                "P1",
+                ctx,
+                t.line,
+                format!(
+                    "`.{}()` in library code: a surprising input becomes a \
+                     process abort; return a typed error instead",
+                    t.text
+                ),
+            );
+        }
+        if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+        {
+            push(
+                findings,
+                "P1",
+                ctx,
+                t.line,
+                format!(
+                    "`{}!` in library code: return a typed error instead of \
+                     aborting the process",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// U1: raw `f64` parameters with dimension-implying names in `pub fn`
+/// signatures.
+fn rule_u1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !UNIT_API_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Only plain `pub fn` — `pub(crate)` and private fns are not API.
+        if toks[i].text == "pub"
+            && !toks[i].in_test
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some("fn")
+        {
+            // Scan the signature: from the opening `(` to its match.
+            let mut j = i + 2;
+            while j < toks.len() && toks[j].text != "(" {
+                j += 1;
+            }
+            let mut depth = 0i64;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ":" if toks.get(j + 1).map(|t| t.text.as_str()) == Some("f64")
+                        && toks[j - 1].kind == TokenKind::Ident =>
+                    {
+                        let name = &toks[j - 1];
+                        if let Some((_, newtype)) = DIMENSIONED_SUFFIXES
+                            .iter()
+                            .find(|(suffix, _)| name.text.ends_with(suffix))
+                        {
+                            push(
+                                findings,
+                                "U1",
+                                ctx,
+                                name.line,
+                                format!(
+                                    "public parameter `{}: f64` implies a \
+                                     dimension; take `bios_units::{}` so the \
+                                     type system carries the unit",
+                                    name.text, newtype
+                                ),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// S1: `unsafe` without an adjacent `// SAFETY:` comment. Applies to test
+/// code too.
+fn rule_s1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    for t in &lexed.tokens {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let documented = lexed
+            .comments
+            .iter()
+            .any(|c| c.text.contains("SAFETY:") && c.line <= t.line && t.line - c.line <= 3);
+        if !documented {
+            push(
+                findings,
+                "S1",
+                ctx,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment within the three \
+                 preceding lines: document the invariant that makes it sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// F1: `==` / `!=` against a floating-point literal in physics crates.
+fn rule_f1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    if !PHYSICS_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Op || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_adjacent = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|k| toks.get(k))
+            .any(|n| n.kind == TokenKind::FloatLit);
+        if float_adjacent {
+            push(
+                findings,
+                "F1",
+                ctx,
+                t.line,
+                format!(
+                    "`{}` against a float literal: exact float comparison is \
+                     representation-sensitive; compare against a tolerance or \
+                     suppress with a reason if an exact sentinel is intended",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Iterator over non-test identifier tokens.
+fn non_test_idents(lexed: &Lexed) -> impl Iterator<Item = &Token> {
+    lexed
+        .tokens
+        .iter()
+        .filter(|t| !t.in_test && t.kind == TokenKind::Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_det() -> FileContext<'static> {
+        FileContext {
+            crate_name: "bios-electrochem",
+            rel_path: "crates/electrochem/src/x.rs",
+        }
+    }
+
+    #[test]
+    fn d1_fires_and_suppression_works() {
+        let hit = lint_source(&ctx_det(), "use std::collections::HashMap;\n");
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].rule, "D1");
+        let ok = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(D1, lookup-only cache, order never observed)\nuse std::collections::HashMap;\n",
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn suppression_requires_reason_and_matching_rule() {
+        let no_reason = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(D1)\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(no_reason.len(), 1, "reason is mandatory");
+        let wrong_rule = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(P1, not the right rule)\nuse std::collections::HashMap;\n",
+        );
+        assert_eq!(wrong_rule.len(), 1);
+    }
+
+    #[test]
+    fn p1_skips_tests_and_comments() {
+        let src = "fn f() { x.unwrap(); }\n// x.unwrap() in a comment\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let findings = lint_source(&ctx_det(), src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!((findings[0].rule, findings[0].line), ("P1", 1));
+    }
+
+    #[test]
+    fn u1_flags_dimensioned_f64_params_in_pub_fns_only() {
+        let src = "pub fn set(bias_volts: f64) {}\nfn private(bias_volts: f64) {}\npub fn typed(bias: Volts) {}\n";
+        let findings = lint_source(&ctx_det(), src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!((findings[0].rule, findings[0].line), ("U1", 1));
+    }
+
+    #[test]
+    fn s1_requires_safety_comment() {
+        let bad = lint_source(&ctx_det(), "fn f() { unsafe { work() } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "S1");
+        let good = lint_source(
+            &ctx_det(),
+            "// SAFETY: buffer outlives the call\nfn f() { unsafe { work() } }\n",
+        );
+        assert!(good.is_empty());
+    }
+
+    #[test]
+    fn f1_flags_float_literal_comparisons() {
+        let findings = lint_source(&ctx_det(), "fn f(x: f64) -> bool { x == 0.0 }\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "F1");
+        // Integer comparisons are fine.
+        assert!(lint_source(&ctx_det(), "fn f(x: i64) -> bool { x == 0 }\n").is_empty());
+    }
+
+    #[test]
+    fn d2_exempts_exec_and_bench() {
+        let src = "fn f() { let t = std::thread::spawn(|| 1); }\n";
+        assert_eq!(lint_source(&ctx_det(), src).len(), 1);
+        let exec = FileContext {
+            crate_name: "bios-platform",
+            rel_path: "crates/core/src/exec.rs",
+        };
+        assert!(lint_source(&exec, src).is_empty());
+        let bench = FileContext {
+            crate_name: "bios-bench",
+            rel_path: "crates/bench/src/x.rs",
+        };
+        assert!(lint_source(&bench, src).is_empty());
+    }
+}

@@ -1,0 +1,131 @@
+//! Workspace discovery: which files get linted, under which crate
+//! context.
+//!
+//! The walk covers the root package's `src/` and every `crates/*/src/`
+//! tree, in sorted order so diagnostics and reports are deterministic.
+//! The vendored dependency stand-ins under `shims/` are deliberately
+//! excluded: they imitate external crates' APIs (panicking included) and
+//! are not governed by the platform's invariants. Test (`tests/`) and
+//! bench (`benches/`) trees are excluded too — the rules only bind
+//! library code, and in-file `#[cfg(test)]` modules are already skipped
+//! by the lexer.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_source, FileContext, Finding};
+
+/// One file scheduled for linting.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Cargo package name owning the file.
+    pub crate_name: String,
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    /// Absolute (or root-joined) path on disk.
+    pub path: PathBuf,
+}
+
+/// Discovers every lintable source file under `root` (the workspace
+/// root), sorted by path.
+pub fn discover(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut files = Vec::new();
+    // Root package.
+    collect_package(root, root.join("src"), "src", &mut files)?;
+    // Member crates.
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").is_file())
+        .collect();
+    members.sort();
+    for member in members {
+        let dir_name = member
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
+            .to_string();
+        collect_package(
+            &member,
+            member.join("src"),
+            &format!("crates/{dir_name}/src"),
+            &mut files,
+        )?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Lints every discovered file, returning findings sorted by
+/// `(file, line, rule)`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in discover(root)? {
+        let source = fs::read_to_string(&file.path)
+            .map_err(|e| format!("cannot read {}: {e}", file.path.display()))?;
+        let ctx = FileContext {
+            crate_name: &file.crate_name,
+            rel_path: &file.rel_path,
+        };
+        findings.extend(lint_source(&ctx, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Adds every `.rs` file under `src_dir` (recursively) for the package
+/// rooted at `pkg_dir`.
+fn collect_package(
+    pkg_dir: &Path,
+    src_dir: PathBuf,
+    rel_prefix: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    if !src_dir.is_dir() {
+        return Ok(());
+    }
+    let crate_name = package_name(&pkg_dir.join("Cargo.toml"))?;
+    let mut stack = vec![(src_dir, rel_prefix.to_string())];
+    while let Some((dir, rel)) = stack.pop() {
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name
+                .to_str()
+                .ok_or_else(|| format!("non-UTF-8 file name under {}", dir.display()))?;
+            if path.is_dir() {
+                stack.push((path, format!("{rel}/{name}")));
+            } else if name.ends_with(".rs") {
+                out.push(SourceFile {
+                    crate_name: crate_name.clone(),
+                    rel_path: format!("{rel}/{name}"),
+                    path,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Extracts `package.name` from a Cargo manifest with a line scan (the
+/// manifests in this workspace put `[package]` first and never nest a
+/// `name =` key above it).
+fn package_name(manifest: &Path) -> Result<String, String> {
+    let text = fs::read_to_string(manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix('=') {
+                let value = value.trim().trim_matches('"');
+                return Ok(value.to_string());
+            }
+        }
+    }
+    Err(format!("no package.name in {}", manifest.display()))
+}

@@ -84,6 +84,7 @@ impl Prefix {
     ///
     /// Zero, infinities and NaN map to [`Prefix::None`].
     pub fn pick(value: f64) -> Prefix {
+        // advdiag::allow(F1, exact sentinel: zero has no magnitude so no prefix applies)
         if value == 0.0 || !value.is_finite() {
             return Prefix::None;
         }
@@ -133,6 +134,7 @@ pub fn format_si(value: f64, symbol: &str) -> String {
 
 fn format_mantissa(m: f64) -> String {
     // Up to 4 significant digits, trailing zeros trimmed.
+    // advdiag::allow(F1, exact sentinel: log10 of exact zero is undefined)
     let digits = if m == 0.0 {
         0
     } else {

@@ -63,6 +63,7 @@ macro_rules! quantity {
 
             /// Returns `-1.0`, `0.0` or `1.0` depending on the sign.
             pub fn signum(self) -> f64 {
+                // advdiag::allow(F1, exact sentinel: f64::signum itself special-cases exact zero)
                 if self.0 == 0.0 { 0.0 } else { self.0.signum() }
             }
 

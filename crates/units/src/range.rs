@@ -45,6 +45,29 @@ impl<Q: Quantity> QRange<Q> {
         Ok(Self { lo, hi })
     }
 
+    /// Creates the interval spanning `a` and `b` in whichever order they
+    /// come. Unlike [`QRange::new`] this is *total*: endpoints are swapped
+    /// if inverted and non-finite endpoints collapse to zero. It exists so
+    /// constant constructors (registry tables, paper constants) have no
+    /// panic path; validate measured data with [`QRange::new`] instead.
+    pub fn between(a: Q, b: Q) -> Self {
+        let av = if a.value().is_finite() {
+            a.value()
+        } else {
+            0.0
+        };
+        let bv = if b.value().is_finite() {
+            b.value()
+        } else {
+            0.0
+        };
+        let (lo, hi) = if av <= bv { (av, bv) } else { (bv, av) };
+        Self {
+            lo: Q::from_value(lo),
+            hi: Q::from_value(hi),
+        }
+    }
+
     /// The lower bound.
     pub fn lo(&self) -> Q {
         self.lo
@@ -160,6 +183,7 @@ impl<Q: Quantity> QRange<Q> {
     /// Returns 0 for a zero-width interval.
     pub fn fraction_of(&self, q: Q) -> f64 {
         let w = self.width();
+        // advdiag::allow(F1, exact sentinel: guards the division below against a zero-width interval)
         if w == 0.0 {
             0.0
         } else {

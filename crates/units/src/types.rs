@@ -297,6 +297,7 @@ impl Seconds {
     /// Panics if the duration is zero.
     pub fn recip(self) -> Hertz {
         assert!(
+            // advdiag::allow(F1, exact sentinel: only an exactly-zero duration has no reciprocal)
             self.value() != 0.0,
             "cannot take the frequency of a zero duration"
         );
@@ -312,6 +313,7 @@ impl Hertz {
     /// Panics if the frequency is zero.
     pub fn period(self) -> Seconds {
         assert!(
+            // advdiag::allow(F1, exact sentinel: only an exactly-zero frequency has no period)
             self.value() != 0.0,
             "cannot take the period of zero frequency"
         );
