@@ -9,7 +9,9 @@
 
 use std::path::Path;
 
-use bios_lint::{lint_source, lint_workspace, Baseline, FileContext, RULE_IDS};
+use bios_lint::{
+    lint_files, lint_source, lint_workspace, Baseline, FileContext, MemFile, Severity, RULE_IDS,
+};
 
 /// A seeded violation: where it lives, the offending code, and the rule it
 /// must trigger.
@@ -65,6 +67,20 @@ const SEEDS: &[Seed] = &[
         rel_path: "crates/electrochem/src/seeded.rs",
         code: "pub fn f(x: f64) -> bool {\n    x == 0.25\n}\n",
         hot_line: 1,
+    },
+    Seed {
+        rule: "U2",
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/seeded.rs",
+        code: "pub fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts();\n    Amps::from_nanoamps(raw)\n}\n",
+        hot_line: 2,
+    },
+    Seed {
+        rule: "D3",
+        crate_name: "bios-platform",
+        rel_path: "crates/core/src/seeded.rs",
+        code: "pub fn f(xs: &[f64]) -> f64 {\n    let mut sum = 0.0;\n    par_map(policy, xs, |_, x| { sum += x; 0.0 });\n    sum\n}\n",
+        hot_line: 2,
     },
 ];
 
@@ -168,6 +184,99 @@ fn main() {
         .is_empty(),
     );
 
+    // 4b. Semantic-rule exemptions: the bench harness is unit-code-free
+    //     test infrastructure (no U2), and cfg(test) regions may use
+    //     captured accumulators (no D3).
+    check(
+        "bench harness is exempt from U2",
+        !lint_source(
+            &FileContext {
+                crate_name: "bios-bench",
+                rel_path: "crates/bench/src/seeded.rs",
+            },
+            SEEDS.iter().find(|s| s.rule == "U2").expect("U2 seed").code,
+        )
+        .iter()
+        .any(|f| f.rule == "U2"),
+    );
+    check(
+        "cfg(test) regions are skipped by D3",
+        !lint_source(
+            &FileContext {
+                crate_name: "bios-platform",
+                rel_path: "crates/core/src/seeded.rs",
+            },
+            "#[cfg(test)]\nmod t {\n    fn g(xs: &[f64]) {\n        let mut s = 0.0;\n        par_map(p, xs, |_, x| { s += x; 0.0 });\n    }\n}\n",
+        )
+        .iter()
+        .any(|f| f.rule == "D3"),
+    );
+
+    // 4c. W0: a well-formed suppression that silences nothing is itself
+    //     a finding, and is in turn suppressible one level deep.
+    {
+        let ctx = FileContext {
+            crate_name: "bios-electrochem",
+            rel_path: "crates/electrochem/src/seeded.rs",
+        };
+        let stale =
+            "// advdiag::allow(P1, nothing left to suppress here)\npub fn f() -> u8 {\n    7\n}\n";
+        check(
+            "W0 fires on a stale suppression",
+            lint_source(&ctx, stale).iter().any(|f| f.rule == "W0"),
+        );
+        let allowed = format!("// advdiag::allow(W0, kept while the migration lands)\n{stale}");
+        check(
+            "W0 honours advdiag::allow",
+            !lint_source(&ctx, &allowed).iter().any(|f| f.rule == "W0"),
+        );
+    }
+
+    // 4d. Workspace rules on an in-memory module set: an upward crate
+    //     reference is an A1 error; a pub item no other crate mentions
+    //     is an A2 warning.
+    {
+        let files = vec![
+            MemFile {
+                crate_name: "bios-units".to_string(),
+                rel_path: "crates/units/src/seeded.rs".to_string(),
+                source: "pub fn peek() -> u32 {\n    bios_instrument::session::SLOTS\n}\n"
+                    .to_string(),
+                lintable: true,
+            },
+            MemFile {
+                crate_name: "bios-afe".to_string(),
+                rel_path: "crates/afe/src/seeded.rs".to_string(),
+                source: "pub fn orphan_gain() -> f64 {\n    40.0\n}\n".to_string(),
+                lintable: true,
+            },
+        ];
+        let findings = lint_files(&files);
+        check(
+            "A1 flags an upward crate dependency as an error",
+            findings
+                .iter()
+                .any(|f| f.rule == "A1" && f.severity == Severity::Error),
+        );
+        check(
+            "A2 warns on dead public API",
+            findings.iter().any(|f| {
+                f.rule == "A2"
+                    && f.severity == Severity::Warning
+                    && f.message.contains("orphan_gain")
+            }),
+        );
+        let mut suppressed = files;
+        suppressed[0].source = suppressed[0].source.replace(
+            "    bios_instrument",
+            "    // advdiag::allow(A1, staged migration tracked in DESIGN.md)\n    bios_instrument",
+        );
+        check(
+            "A1 honours advdiag::allow",
+            !lint_files(&suppressed).iter().any(|f| f.rule == "A1"),
+        );
+    }
+
     // 5. The baseline machinery grandfathers exactly what it is told to.
     {
         let seed = &SEEDS[0];
@@ -203,10 +312,22 @@ fn main() {
             Err(_) => Baseline::default(),
         };
         let (_, fresh) = baseline.partition(&findings);
-        for f in &fresh {
+        // Warn-level findings (A2 dead-API reports) surface without
+        // failing; only error-severity findings gate, mirroring the CLI
+        // exit code.
+        let errors: Vec<_> = fresh
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        for f in &errors {
             println!("    new finding: {}:{} [{}]", f.file, f.line, f.rule);
         }
-        check("workspace has zero unbaselined findings", fresh.is_empty());
+        println!(
+            "    workspace: {} fresh finding(s), {} error(s)",
+            fresh.len(),
+            errors.len()
+        );
+        check("workspace has zero unbaselined errors", errors.is_empty());
     }
 
     println!(

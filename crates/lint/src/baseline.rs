@@ -371,6 +371,8 @@ mod tests {
             rule,
             file: file.to_string(),
             line: 1,
+            col: 1,
+            severity: crate::rules::Severity::Error,
             message: String::new(),
             excerpt: excerpt.to_string(),
         }

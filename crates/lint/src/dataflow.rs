@@ -1,0 +1,268 @@
+//! Rule D3 — determinism dataflow inside the parallel engine's closures.
+//!
+//! `bios-platform::exec::par_map`/`try_par_map` guarantee bit-identical
+//! results by computing each item independently and merging **by index**.
+//! That guarantee dies quietly if the per-item closure smuggles in
+//! cross-item state: a captured accumulator (`sum += x`) commits results
+//! in scheduler order, and iterating an unordered collection inside the
+//! closure varies the per-item op order between runs. This analysis finds
+//! closures passed to `par_map`/`try_par_map` and flags:
+//!
+//! 1. compound assignment (`+=`, `-=`, `*=`, `/=`) to an identifier the
+//!    closure does not bind itself — a captured reduction. Writes through
+//!    an index (`out[i] += …`) are the sanctioned merge-by-index shape
+//!    and stay silent;
+//! 2. iteration (`for`, `.iter()`, `.keys()`, `.values()`, `.drain()`,
+//!    `.sum()`, `.fold()`, `.into_iter()`) whose receiver chain names an
+//!    unordered hash collection (lexically: `hashmap`/`hashset`/…).
+//!
+//! Bindings introduced by match-arm and `if let` patterns are invisible
+//! to the lossy parser, so a compound assignment to such a binding could
+//! in principle false-positive; that shape does not occur in this
+//! workspace and is suppressible with a reason if it ever does.
+
+use crate::ast::{Expr, Item, Stmt};
+use crate::rules::{push, FileContext, Finding, DETERMINISTIC_CRATES};
+use std::collections::BTreeSet;
+
+/// The entry points whose closure arguments execute in parallel.
+const PAR_FNS: &[&str] = &["par_map", "try_par_map"];
+
+/// Compound assignments whose result depends on commit order across
+/// items (float arithmetic is non-associative).
+const ORDER_SENSITIVE_OPS: &[&str] = &["+=", "-=", "*=", "/="];
+
+/// Method names that consume or traverse a collection.
+const ITERATING_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "sum",
+    "fold",
+    "product",
+];
+
+/// Lexical markers of unordered hash collections.
+const UNORDERED_MARKERS: &[&str] = &["hashmap", "hash_map", "hashset", "hash_set"];
+
+/// D3 entry point: finds `par_map`/`try_par_map` call sites in non-test
+/// code and inspects their closure arguments.
+pub fn rule_d3(ctx: &FileContext<'_>, items: &[Item], findings: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for item in items {
+        item.visit_fns(&mut |owner, f| {
+            if owner.in_test {
+                return;
+            }
+            let Some(body) = &f.body else { return };
+            body.visit(&mut |e| {
+                let Expr::Call { callee, args, .. } = e else {
+                    return;
+                };
+                let Expr::Path { segments, .. } = &**callee else {
+                    return;
+                };
+                let Some(par_fn) = segments.last().filter(|s| PAR_FNS.contains(&s.as_str())) else {
+                    return;
+                };
+                for arg in args {
+                    if let Expr::Closure { params, body, .. } = arg {
+                        check_closure(ctx, par_fn, params, body, findings);
+                    }
+                }
+            });
+        });
+    }
+}
+
+/// Inspects one closure passed to a parallel entry point.
+fn check_closure(
+    ctx: &FileContext<'_>,
+    par_fn: &str,
+    params: &[String],
+    body: &Expr,
+    findings: &mut Vec<Finding>,
+) {
+    // Everything the closure binds itself: params, lets, for-loop and
+    // nested-closure bindings. Writes to those are per-item state.
+    let mut bound: BTreeSet<String> = params.iter().cloned().collect();
+    body.visit(&mut |e| match e {
+        Expr::Block(b) => {
+            for stmt in &b.stmts {
+                if let Stmt::Let { names, .. } = stmt {
+                    bound.extend(names.iter().cloned());
+                }
+            }
+        }
+        Expr::For { bindings, .. } => bound.extend(bindings.iter().cloned()),
+        Expr::Closure { params, .. } => bound.extend(params.iter().cloned()),
+        _ => {}
+    });
+    body.visit(&mut |e| match e {
+        Expr::Assign {
+            op, target, span, ..
+        } if ORDER_SENSITIVE_OPS.contains(&op.as_str()) => {
+            // `out[i] += …` / `acc.field += …` merge by index or through
+            // per-item structure; only a bare captured name is flagged.
+            if let Expr::Path { segments, .. } = &**target {
+                if let [name] = segments.as_slice() {
+                    if !bound.contains(name) {
+                        push(
+                            findings,
+                            "D3",
+                            ctx,
+                            span.line,
+                            span.col,
+                            format!(
+                                "`{op}` into captured `{name}` inside a `{par_fn}` \
+                                 closure: cross-item reduction commits in scheduler \
+                                 order and breaks bit-reproducibility; return \
+                                 per-item values and merge by index"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        Expr::For { iter, span, .. } => {
+            if let Some(name) = unordered_receiver(iter) {
+                push(
+                    findings,
+                    "D3",
+                    ctx,
+                    span.line,
+                    span.col,
+                    format!(
+                        "iteration over `{name}` (lexically an unordered hash \
+                         collection) inside a `{par_fn}` closure: per-item op \
+                         order varies between runs; use an ordered collection"
+                    ),
+                );
+            }
+        }
+        Expr::MethodCall {
+            recv, method, span, ..
+        } if ITERATING_METHODS.contains(&method.as_str()) => {
+            if let Some(name) = unordered_receiver(recv) {
+                push(
+                    findings,
+                    "D3",
+                    ctx,
+                    span.line,
+                    span.col,
+                    format!(
+                        "`.{method}()` over `{name}` (lexically an unordered hash \
+                         collection) inside a `{par_fn}` closure: traversal order \
+                         varies between runs; use an ordered collection"
+                    ),
+                );
+            }
+        }
+        _ => {}
+    });
+}
+
+/// Finds an identifier lexically naming an unordered collection in the
+/// receiver chain of an iteration (`self.hash_map.iter()`, `hashset`, …).
+fn unordered_receiver(e: &Expr) -> Option<String> {
+    let mut found = None;
+    e.visit(&mut |x| {
+        if found.is_some() {
+            return;
+        }
+        let candidate = match x {
+            Expr::Path { segments, .. } => segments.last(),
+            Expr::Field { name, .. } => Some(name),
+            _ => None,
+        };
+        if let Some(name) = candidate {
+            let lower = name.to_lowercase();
+            if UNORDERED_MARKERS.iter().any(|m| lower.contains(m)) {
+                found = Some(name.clone());
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileContext};
+
+    fn ctx() -> FileContext<'static> {
+        FileContext {
+            crate_name: "bios-platform",
+            rel_path: "crates/core/src/x.rs",
+        }
+    }
+
+    fn d3(src: &str) -> Vec<String> {
+        lint_source(&ctx(), src)
+            .into_iter()
+            .filter(|f| f.rule == "D3")
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn captured_reduction_fires() {
+        let src = "fn f() {\n    let mut sum = 0.0;\n    par_map(policy, &xs, |_, x| { sum += x.value(); 0.0 });\n}\n";
+        let hits = d3(src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("captured `sum`"), "{hits:?}");
+    }
+
+    #[test]
+    fn merge_by_index_and_local_accumulators_are_clean() {
+        // Indexed write is the sanctioned merge shape.
+        assert!(
+            d3("fn f() {\n    par_map(policy, &xs, |i, x| { out[i] += x; 0.0 });\n}\n").is_empty()
+        );
+        // A closure-local accumulator is per-item state.
+        assert!(d3(
+            "fn f() {\n    try_par_map(policy, &xs, |_, x| {\n        let mut acc = 0.0;\n        for v in x.samples() { acc += v; }\n        Ok(acc)\n    });\n}\n"
+        )
+        .is_empty());
+        // Reductions outside par closures are not D3's business.
+        assert!(
+            d3("fn f(xs: &[f64]) {\n    let mut s = 0.0;\n    for x in xs { s += x; }\n}\n")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn unordered_iteration_fires() {
+        let src = "fn f() {\n    try_par_map(policy, &xs, |_, x| {\n        for k in self.hash_map.keys() { touch(k); }\n        Ok(0.0)\n    });\n}\n";
+        let hits = d3(src);
+        assert!(!hits.is_empty(), "{hits:?}");
+        assert!(hits[0].contains("hash_map"), "{hits:?}");
+        // Sum over an ordered per-item slice is fine.
+        assert!(d3(
+            "fn f() {\n    par_map(policy, &xs, |_, x| x.samples().iter().sum::<f64>());\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d3_respects_tests_and_suppression() {
+        let in_test = "#[cfg(test)]\nmod t {\n    fn g() {\n        let mut s = 0.0;\n        par_map(p, &xs, |_, x| { s += x; 0.0 });\n    }\n}\n";
+        assert!(d3(in_test).is_empty());
+        let suppressed = "fn f() {\n    let mut s = 0.0;\n    // advdiag::allow(D3, prototype path, replaced by merge in #412)\n    par_map(p, &xs, |_, x| { s += x; 0.0 });\n}\n";
+        assert!(d3(suppressed).is_empty());
+        let wrong_crate = FileContext {
+            crate_name: "bios-biochem",
+            rel_path: "crates/biochem/src/x.rs",
+        };
+        let src =
+            "fn f() {\n    let mut s = 0.0;\n    par_map(p, &xs, |_, x| { s += x; 0.0 });\n}\n";
+        assert!(lint_source(&wrong_crate, src)
+            .iter()
+            .all(|f| f.rule != "D3"));
+    }
+}

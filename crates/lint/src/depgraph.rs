@@ -1,0 +1,407 @@
+//! Rules A1/A2 — workspace architecture: crate layering and dead API.
+//!
+//! The platform-based-design premise is that components compose along a
+//! strict layer order:
+//!
+//! ```text
+//! bios-units → {bios-electrochem, bios-biochem} → bios-afe
+//!            → bios-instrument → bios-platform → bios-bench → root
+//! ```
+//!
+//! A crate may reference crates at the same or a lower layer, never a
+//! higher one. This module builds the crate dependency graph from every
+//! `bios_*` identifier in the token stream (covering both `use` items and
+//! inline paths), rejects upward edges (**A1**, error), and reports `pub`
+//! items that no other crate ever mentions (**A2**, warn-level: dead
+//! public API is a smell, not a build-breaker).
+//!
+//! Both rules run at *workspace* scope: they need every file at once, so
+//! they live behind [`crate::workspace::lint_files`] rather than
+//! `lint_source`. A2 matches references lexically (a word-set over the
+//! full text of every other crate, tests and benches included), so any
+//! mention anywhere counts — the rule under-reports rather than
+//! false-positives on macro-generated or trait-dispatched uses.
+
+use crate::ast::{Item, ItemKind};
+use crate::lexer::{lex, TokenKind};
+use crate::parser::parse_items;
+use crate::rules::{Finding, Severity};
+use crate::workspace::MemFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The layer of every constrained crate; lower layers must not reference
+/// higher ones. `bios-lint` is deliberately absent (the linter may read
+/// anything and nothing may depend on it).
+pub const LAYERS: &[(&str, u32)] = &[
+    ("bios-units", 0),
+    ("bios-electrochem", 1),
+    ("bios-biochem", 1),
+    ("bios-afe", 2),
+    ("bios-instrument", 3),
+    ("bios-platform", 4),
+    ("bios-bench", 5),
+    ("advanced-diagnostics", 6),
+];
+
+/// Crates whose dead `pub` items A2 reports. The root binary, the bench
+/// harness and the linter sit at the top of the graph — nothing is
+/// expected to reference their items.
+const A2_CRATES: &[&str] = &[
+    "bios-units",
+    "bios-electrochem",
+    "bios-biochem",
+    "bios-afe",
+    "bios-instrument",
+    "bios-platform",
+];
+
+/// The layer index of a crate, or `None` when unconstrained.
+pub fn layer_of(crate_name: &str) -> Option<u32> {
+    LAYERS
+        .iter()
+        .find(|(name, _)| *name == crate_name)
+        .map(|(_, l)| *l)
+}
+
+/// Maps a path identifier (`bios_units`) to the crate it references.
+fn crate_for_ident(ident: &str) -> Option<&'static str> {
+    match ident {
+        "bios_units" => Some("bios-units"),
+        "bios_electrochem" => Some("bios-electrochem"),
+        "bios_biochem" => Some("bios-biochem"),
+        "bios_afe" => Some("bios-afe"),
+        "bios_instrument" => Some("bios-instrument"),
+        "bios_platform" => Some("bios-platform"),
+        "bios_bench" => Some("bios-bench"),
+        "advanced_diagnostics" => Some("advanced-diagnostics"),
+        _ => None,
+    }
+}
+
+/// One cross-crate reference (first site per `(from, to, file)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The workspace crate dependency graph.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    /// Deduplicated edges, sorted by `(from, to, file)`.
+    pub edges: Vec<DepEdge>,
+}
+
+impl DepGraph {
+    /// Renders the graph as Graphviz DOT, layers as `rank` labels, with
+    /// upward (violating) edges highlighted. Deterministic output.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph bios_layers {\n    rankdir=BT;\n");
+        let mut nodes: BTreeSet<&str> = BTreeSet::new();
+        for e in &self.edges {
+            nodes.insert(&e.from);
+            nodes.insert(&e.to);
+        }
+        for n in &nodes {
+            match layer_of(n) {
+                Some(l) => out.push_str(&format!("    \"{n}\" [label=\"{n}\\nlayer {l}\"];\n")),
+                None => out.push_str(&format!("    \"{n}\" [label=\"{n}\\nunconstrained\"];\n")),
+            }
+        }
+        let mut seen: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for e in &self.edges {
+            if !seen.insert((&e.from, &e.to)) {
+                continue;
+            }
+            let upward = matches!(
+                (layer_of(&e.from), layer_of(&e.to)),
+                (Some(f), Some(t)) if t > f
+            );
+            if upward {
+                out.push_str(&format!(
+                    "    \"{}\" -> \"{}\" [color=red, penwidth=2];\n",
+                    e.from, e.to
+                ));
+            } else {
+                out.push_str(&format!("    \"{}\" -> \"{}\";\n", e.from, e.to));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Runs both workspace analyses over every file. Returns raw findings
+/// (excerpts unfilled, suppressions unapplied — the caller owns those)
+/// plus the dependency graph for the DOT artifact.
+pub fn analyze(files: &[MemFile]) -> (Vec<Finding>, DepGraph) {
+    let mut findings = Vec::new();
+    let graph = build_graph(files);
+    rule_a1(&graph, &mut findings);
+    rule_a2(files, &mut findings);
+    (findings, graph)
+}
+
+/// Builds the crate dependency graph from every non-test `bios_*` path
+/// identifier in lintable files.
+fn build_graph(files: &[MemFile]) -> DepGraph {
+    let mut edges: BTreeMap<(String, String, String), (u32, u32)> = BTreeMap::new();
+    for f in files.iter().filter(|f| f.lintable) {
+        let lexed = lex(&f.source);
+        for t in &lexed.tokens {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            let Some(to) = crate_for_ident(&t.text) else {
+                continue;
+            };
+            if to == f.crate_name {
+                continue;
+            }
+            edges
+                .entry((f.crate_name.clone(), to.to_string(), f.rel_path.clone()))
+                .or_insert((t.line, t.col));
+        }
+    }
+    DepGraph {
+        edges: edges
+            .into_iter()
+            .map(|((from, to, file), (line, col))| DepEdge {
+                from,
+                to,
+                file,
+                line,
+                col,
+            })
+            .collect(),
+    }
+}
+
+/// A1: upward edges between constrained crates are layering violations.
+fn rule_a1(graph: &DepGraph, findings: &mut Vec<Finding>) {
+    for e in &graph.edges {
+        let (Some(from_layer), Some(to_layer)) = (layer_of(&e.from), layer_of(&e.to)) else {
+            continue;
+        };
+        if to_layer > from_layer {
+            findings.push(Finding {
+                rule: "A1",
+                file: e.file.clone(),
+                line: e.line,
+                col: e.col,
+                severity: Severity::Error,
+                message: format!(
+                    "`{}` (layer {}) references `{}` (layer {}): upward \
+                     dependency breaks the platform layering units → physics → \
+                     afe → instrument → core → bench; invert the dependency or \
+                     move the shared type down",
+                    e.from, from_layer, e.to, to_layer
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+}
+
+/// A2: `pub` items in library crates that no other crate's text ever
+/// mentions (warn-level).
+fn rule_a2(files: &[MemFile], findings: &mut Vec<Finding>) {
+    // Word sets per crate over the FULL corpus (tests/benches included),
+    // so any textual mention anywhere counts as a reference.
+    let mut words: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in files {
+        let set = words.entry(f.crate_name.as_str()).or_default();
+        let mut cur = String::new();
+        for ch in f.source.chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                cur.push(ch);
+            } else if !cur.is_empty() {
+                set.insert(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            set.insert(cur);
+        }
+    }
+    for f in files.iter().filter(|f| f.lintable) {
+        if !A2_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let items = parse_items(&lex(&f.source));
+        let mut pubs = Vec::new();
+        for item in &items {
+            collect_pub_items(item, true, &mut pubs);
+        }
+        for (name, kind, span) in pubs {
+            let referenced_elsewhere = words
+                .iter()
+                .filter(|(c, _)| **c != f.crate_name)
+                .any(|(_, set)| set.contains(&name));
+            if !referenced_elsewhere {
+                findings.push(Finding {
+                    rule: "A2",
+                    file: f.rel_path.clone(),
+                    line: span.line,
+                    col: span.col,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "pub {kind} `{name}` is never referenced outside \
+                         `{}`: dead public API surface; drop `pub` or delete it",
+                        f.crate_name
+                    ),
+                    excerpt: String::new(),
+                });
+            }
+        }
+    }
+}
+
+/// Collects externally-visible `pub` item names. `visible` tracks the
+/// parent-module chain: a `pub` item in a private `mod` is not API.
+/// Trait members are reached through their trait, so only the trait
+/// itself is collected. Macro-generated items never appear in the AST —
+/// the rule under-reports rather than flagging generated API.
+fn collect_pub_items(
+    item: &Item,
+    visible: bool,
+    out: &mut Vec<(String, &'static str, crate::ast::Span)>,
+) {
+    if item.in_test {
+        return;
+    }
+    let mut record = |name: &str, kind: &'static str| {
+        if visible && item.is_pub && !name.is_empty() && !name.starts_with('_') && name != "main" {
+            out.push((name.to_string(), kind, item.span));
+        }
+    };
+    match &item.kind {
+        ItemKind::Fn(f) => record(&f.name, "fn"),
+        ItemKind::TypeDef { name } => record(name, "type"),
+        ItemKind::Trait { name, .. } => record(name, "trait"),
+        ItemKind::Const { name } => record(name, "const"),
+        ItemKind::TypeAlias { name } => record(name, "type alias"),
+        ItemKind::Mod { name, items } => {
+            record(name, "mod");
+            for it in items {
+                collect_pub_items(it, visible && item.is_pub, out);
+            }
+        }
+        ItemKind::Impl { items } => {
+            for it in items {
+                collect_pub_items(it, visible, out);
+            }
+        }
+        ItemKind::Use { .. } | ItemKind::Other => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(crate_name: &str, rel_path: &str, source: &str) -> MemFile {
+        MemFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            source: source.to_string(),
+            lintable: true,
+        }
+    }
+
+    #[test]
+    fn upward_edge_is_a1_downward_is_clean() {
+        let files = vec![
+            mem(
+                "bios-electrochem",
+                "crates/electrochem/src/lib.rs",
+                "use bios_instrument::qc::QcGate;\n",
+            ),
+            mem(
+                "bios-instrument",
+                "crates/instrument/src/lib.rs",
+                "use bios_electrochem::waveform::Waveform;\n",
+            ),
+        ];
+        let (findings, graph) = analyze(&files);
+        let a1: Vec<_> = findings.iter().filter(|f| f.rule == "A1").collect();
+        assert_eq!(a1.len(), 1, "{findings:?}");
+        assert_eq!(a1[0].file, "crates/electrochem/src/lib.rs");
+        assert!(a1[0].message.contains("upward dependency"));
+        assert_eq!(graph.edges.len(), 2);
+    }
+
+    #[test]
+    fn same_layer_and_test_references_are_clean() {
+        let files = vec![
+            mem(
+                "bios-biochem",
+                "crates/biochem/src/lib.rs",
+                "use bios_electrochem::waveform::Waveform;\n",
+            ),
+            mem(
+                "bios-units",
+                "crates/units/src/lib.rs",
+                "#[cfg(test)]\nmod t {\n    use bios_platform::Session;\n}\n",
+            ),
+        ];
+        let (findings, _) = analyze(&files);
+        assert!(findings.iter().all(|f| f.rule != "A1"), "{findings:?}");
+    }
+
+    #[test]
+    fn dead_pub_item_is_a2_warn_and_referenced_is_clean() {
+        let files = vec![
+            mem(
+                "bios-afe",
+                "crates/afe/src/lib.rs",
+                "pub fn used_gain() {}\npub fn orphan_gain() {}\nfn private_helper() {}\n",
+            ),
+            mem(
+                "bios-instrument",
+                "crates/instrument/src/lib.rs",
+                "fn f() { bios_afe::used_gain(); }\n",
+            ),
+        ];
+        let (findings, _) = analyze(&files);
+        let a2: Vec<_> = findings.iter().filter(|f| f.rule == "A2").collect();
+        assert_eq!(a2.len(), 1, "{findings:?}");
+        assert!(a2[0].message.contains("orphan_gain"));
+        assert_eq!(a2[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn a2_skips_private_mods_tests_and_top_crates() {
+        let files = vec![
+            mem(
+                "bios-afe",
+                "crates/afe/src/lib.rs",
+                "mod detail {\n    pub fn internal_only() {}\n}\n\
+                 #[cfg(test)]\nmod t {\n    pub fn test_helper() {}\n}\n",
+            ),
+            mem(
+                "bios-bench",
+                "crates/bench/src/lib.rs",
+                "pub fn harness_entry() {}\n",
+            ),
+        ];
+        let (findings, _) = analyze(&files);
+        assert!(findings.iter().all(|f| f.rule != "A2"), "{findings:?}");
+    }
+
+    #[test]
+    fn dot_marks_upward_edges() {
+        let files = vec![mem(
+            "bios-electrochem",
+            "crates/electrochem/src/lib.rs",
+            "use bios_instrument::qc::QcGate;\nuse bios_units::Volts;\n",
+        )];
+        let (_, graph) = analyze(&files);
+        let dot = graph.to_dot();
+        assert!(dot.contains("digraph bios_layers"));
+        assert!(dot.contains("\"bios-electrochem\" -> \"bios-instrument\" [color=red"));
+        assert!(dot.contains("\"bios-electrochem\" -> \"bios-units\";"));
+    }
+}

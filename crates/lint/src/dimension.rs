@@ -1,0 +1,584 @@
+//! Rule U2 — dimensional consistency of raw `f64` unit flows.
+//!
+//! The bios-units newtypes make dimension errors unrepresentable *while
+//! values stay typed*. The remaining hazard is the escape hatch: a raw
+//! `f64` extracted with `as_millivolts()` that later re-enters the type
+//! system through a constructor of a *different* dimension
+//! (`Amps::from_nanoamps(raw_mv)`) or a different scale of the same
+//! dimension (`Volts::new(raw_mv)`), or mixed-dimension `+`/`-` on
+//! extracted raws. This analysis tracks `(dimension, scale)` pairs for
+//! raw locals through let-bindings, assignments and arithmetic inside
+//! each function body and flags exactly those flows.
+//!
+//! Tracking is *forgetful by construction*: `*`, `/`, casts, `.value()`,
+//! literals, calls and anything opaque drop the dimension, so a legal
+//! manual conversion (`Seconds::new(t.as_millis() / 1e3)`) never flags.
+//! Known false-negative classes are listed in DESIGN.md §6c.
+
+use crate::ast::{Block, Expr, Item, Stmt};
+use crate::rules::{push, FileContext, Finding, BENCH_CRATE, LINT_CRATE};
+use std::collections::BTreeMap;
+
+/// Every scaled constructor/extractor pair the `quantity!` macro
+/// generates in `bios-units`, as `(type, scale)`: `from_<scale>` /
+/// `as_<scale>` methods. `new`/`from_value`/`value` use the `"base"`
+/// scale implicitly.
+const SCALED: &[(&str, &str)] = &[
+    ("Volts", "millivolts"),
+    ("Volts", "microvolts"),
+    ("Amps", "milliamps"),
+    ("Amps", "microamps"),
+    ("Amps", "nanoamps"),
+    ("Amps", "picoamps"),
+    ("Seconds", "millis"),
+    ("Seconds", "micros"),
+    ("Seconds", "minutes"),
+    ("Seconds", "hours"),
+    ("Hertz", "kilohertz"),
+    ("Hertz", "megahertz"),
+    ("Ohms", "kiloohms"),
+    ("Ohms", "megaohms"),
+    ("Farads", "microfarads"),
+    ("Farads", "nanofarads"),
+    ("Farads", "picofarads"),
+    ("Coulombs", "microcoulombs"),
+    ("Coulombs", "nanocoulombs"),
+    ("Kelvin", "celsius"),
+    ("Watts", "milliwatts"),
+    ("Watts", "microwatts"),
+    ("Watts", "nanowatts"),
+    ("Joules", "millijoules"),
+    ("Joules", "microjoules"),
+    ("Molar", "millimolar"),
+    ("Molar", "micromolar"),
+    ("Molar", "nanomolar"),
+    ("Moles", "millimoles"),
+    ("Moles", "micromoles"),
+    ("Moles", "nanomoles"),
+    ("Centimeters", "millimeters"),
+    ("Centimeters", "micrometers"),
+    ("SquareCentimeters", "square_millimeters"),
+    ("SquareCentimeters", "square_micrometers"),
+    ("VoltsPerSecond", "millivolts_per_second"),
+    ("AmpsPerCm2", "milliamps_per_cm2"),
+    ("AmpsPerCm2", "microamps_per_cm2"),
+    ("AmpsPerCm2", "nanoamps_per_cm2"),
+    ("FaradsPerCm2", "microfarads_per_cm2"),
+    ("MolesPerCm2", "nanomoles_per_cm2"),
+    ("MolesPerCm2", "picomoles_per_cm2"),
+    ("Liters", "milliliters"),
+    ("Liters", "microliters"),
+];
+
+/// All unit newtypes (incl. the base-scale-only ones).
+const UNIT_TYPES: &[&str] = &[
+    "Volts",
+    "Amps",
+    "Seconds",
+    "Hertz",
+    "Ohms",
+    "Farads",
+    "Coulombs",
+    "Kelvin",
+    "Watts",
+    "Joules",
+    "Molar",
+    "Moles",
+    "Centimeters",
+    "SquareCentimeters",
+    "DiffusionCoefficient",
+    "VoltsPerSecond",
+    "AmpsPerCm2",
+    "FaradsPerCm2",
+    "MolesPerCm2",
+    "MolesPerCm2PerSecond",
+    "MolesPerCm3",
+    "Liters",
+];
+
+/// The inferred provenance of a raw `f64`: which newtype it came from and
+/// at which scale it is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Dim {
+    ty: &'static str,
+    scale: &'static str,
+}
+
+impl Dim {
+    fn describe(self) -> String {
+        if self.scale == "base" {
+            format!("base-unit {}", self.ty)
+        } else {
+            format!("{} in {}", self.ty, self.scale)
+        }
+    }
+}
+
+/// `as_<scale>()` extractor → the dimension of the raw it yields.
+fn extractor_dim(method: &str) -> Option<Dim> {
+    let rest = method.strip_prefix("as_")?;
+    SCALED
+        .iter()
+        .find(|(_, scale)| *scale == rest)
+        .map(|(ty, scale)| Dim { ty, scale })
+}
+
+/// `Ty::ctor` → the dimension+scale of the raw `f64` it expects.
+fn ctor_dim(ty: &str, method: &str) -> Option<Dim> {
+    let ty = UNIT_TYPES.iter().find(|t| **t == ty)?;
+    if method == "new" || method == "from_value" {
+        return Some(Dim { ty, scale: "base" });
+    }
+    let rest = method.strip_prefix("from_")?;
+    SCALED
+        .iter()
+        .find(|(t, scale)| t == ty && *scale == rest)
+        .map(|(ty, scale)| Dim { ty, scale })
+}
+
+/// Methods on `f64` that preserve the dimension of their receiver.
+fn preserves_dim(method: &str) -> bool {
+    matches!(
+        method,
+        "abs" | "min" | "max" | "clamp" | "floor" | "ceil" | "round" | "copysign"
+    )
+}
+
+type Env = BTreeMap<String, Dim>;
+
+/// U2 entry point: analyzes every non-test function body in the file.
+pub fn rule_u2(ctx: &FileContext<'_>, items: &[Item], findings: &mut Vec<Finding>) {
+    if ctx.crate_name == BENCH_CRATE || ctx.crate_name == LINT_CRATE {
+        return;
+    }
+    let mut chk = Checker { ctx, findings };
+    for item in items {
+        item.visit_fns(&mut |owner, f| {
+            if owner.in_test {
+                return;
+            }
+            if let Some(body) = &f.body {
+                let mut env = Env::new();
+                chk.walk_block(&mut env, body);
+            }
+        });
+    }
+}
+
+struct Checker<'a, 'f> {
+    ctx: &'a FileContext<'a>,
+    findings: &'f mut Vec<Finding>,
+}
+
+impl Checker<'_, '_> {
+    /// Walks a block in order, threading the raw-dimension environment
+    /// through let-bindings and assignments.
+    fn walk_block(&mut self, env: &mut Env, block: &Block) {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Let { names, init, .. } => {
+                    let dim = init.as_ref().and_then(|e| self.check(env, e));
+                    for n in names {
+                        env.remove(n);
+                    }
+                    if let (Some(d), [name]) = (dim, names.as_slice()) {
+                        env.insert(name.clone(), d);
+                    }
+                }
+                Stmt::Expr(e) => {
+                    self.check(env, e);
+                }
+                // Nested fns are visited separately by `rule_u2`.
+                Stmt::Item(_) => {}
+            }
+        }
+    }
+
+    /// Runs a sub-scope (branch body, closure body, loop body) on a clone
+    /// of the environment, then invalidates every name the sub-scope
+    /// assigns in the outer environment (its post-state is unknown).
+    fn walk_branch_block(&mut self, env: &mut Env, block: &Block) {
+        let mut inner = env.clone();
+        self.walk_block(&mut inner, block);
+        kill_assigned_in_block(env, block);
+    }
+
+    fn walk_branch_expr(&mut self, env: &mut Env, e: &Expr) {
+        let mut inner = env.clone();
+        self.check(&mut inner, e);
+        kill_assigned(env, e);
+    }
+
+    /// Checks an expression for U2 violations and infers the dimension of
+    /// the raw `f64` it evaluates to (None = unknown / not raw).
+    fn check(&mut self, env: &mut Env, e: &Expr) -> Option<Dim> {
+        match e {
+            Expr::Path { segments, .. } => match segments.as_slice() {
+                [name] => env.get(name).copied(),
+                _ => None,
+            },
+            Expr::Lit { .. } | Expr::Opaque { .. } => None,
+            Expr::Unary { expr, .. } => self.check(env, expr),
+            Expr::Cast { expr, .. } => {
+                self.check(env, expr);
+                None // a cast round-trips through another repr: forget
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let l = self.check(env, lhs);
+                let r = self.check(env, rhs);
+                if matches!(op.as_str(), "+" | "-") {
+                    if let (Some(a), Some(b)) = (l, r) {
+                        if a.ty != b.ty {
+                            push(
+                                self.findings,
+                                "U2",
+                                self.ctx,
+                                span.line,
+                                span.col,
+                                format!(
+                                    "`{}` mixes raw f64 of different dimensions: \
+                                     left is {}, right is {}; keep values typed \
+                                     or convert explicitly",
+                                    op,
+                                    a.describe(),
+                                    b.describe()
+                                ),
+                            );
+                            return None;
+                        }
+                        if a.scale != b.scale {
+                            push(
+                                self.findings,
+                                "U2",
+                                self.ctx,
+                                span.line,
+                                span.col,
+                                format!(
+                                    "`{}` mixes raw {} with raw {}: same \
+                                     dimension, different scale; convert to one \
+                                     scale first",
+                                    op,
+                                    a.describe(),
+                                    b.describe()
+                                ),
+                            );
+                            return None;
+                        }
+                        return Some(a);
+                    }
+                }
+                None
+            }
+            Expr::Assign {
+                op,
+                target,
+                value,
+                span,
+            } => {
+                let v = self.check(env, value);
+                if let Expr::Path { segments, .. } = &**target {
+                    if let [name] = segments.as_slice() {
+                        match op.as_str() {
+                            "=" => {
+                                env.remove(name);
+                                if let Some(d) = v {
+                                    env.insert(name.clone(), d);
+                                }
+                            }
+                            "+=" | "-=" => {
+                                if let (Some(a), Some(b)) = (env.get(name).copied(), v) {
+                                    if a != b {
+                                        push(
+                                            self.findings,
+                                            "U2",
+                                            self.ctx,
+                                            span.line,
+                                            span.col,
+                                            format!(
+                                                "`{}` accumulates raw {} into `{}` \
+                                                 which holds raw {}; align the \
+                                                 dimensions/scales first",
+                                                op,
+                                                b.describe(),
+                                                name,
+                                                a.describe()
+                                            ),
+                                        );
+                                    }
+                                } else if v.is_none() {
+                                    env.remove(name);
+                                }
+                            }
+                            _ => {
+                                env.remove(name); // *=, /=, … forget
+                            }
+                        }
+                        return None;
+                    }
+                }
+                self.check(env, target);
+                None
+            }
+            Expr::MethodCall {
+                recv, method, args, ..
+            } => {
+                let rdim = self.check(env, recv);
+                for a in args {
+                    self.check(env, a);
+                }
+                if let Some(d) = extractor_dim(method) {
+                    return Some(d);
+                }
+                if preserves_dim(method) {
+                    return rdim;
+                }
+                None // value(), sqrt, powi, … forget the dimension
+            }
+            Expr::Call {
+                callee, args, span, ..
+            } => {
+                let arg_dims: Vec<Option<Dim>> = args.iter().map(|a| self.check(env, a)).collect();
+                if let Expr::Path { segments, .. } = &**callee {
+                    if segments.len() >= 2 {
+                        let ty = &segments[segments.len() - 2];
+                        let ctor = &segments[segments.len() - 1];
+                        if let Some(expected) = ctor_dim(ty, ctor) {
+                            if let Some(Some(actual)) = arg_dims.first() {
+                                if actual.ty != expected.ty {
+                                    push(
+                                        self.findings,
+                                        "U2",
+                                        self.ctx,
+                                        span.line,
+                                        span.col,
+                                        format!(
+                                            "raw f64 carrying {} re-enters \
+                                             `{}::{}` which expects {}: \
+                                             dimension mismatch",
+                                            actual.describe(),
+                                            ty,
+                                            ctor,
+                                            expected.describe()
+                                        ),
+                                    );
+                                } else if actual.scale != expected.scale {
+                                    push(
+                                        self.findings,
+                                        "U2",
+                                        self.ctx,
+                                        span.line,
+                                        span.col,
+                                        format!(
+                                            "raw f64 carrying {} re-enters \
+                                             `{}::{}` which expects {}: scale \
+                                             mismatch silently rescales the value",
+                                            actual.describe(),
+                                            ty,
+                                            ctor,
+                                            expected.describe()
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            Expr::Field { recv, .. } => {
+                self.check(env, recv);
+                None
+            }
+            Expr::Index { recv, index, .. } => {
+                self.check(env, recv);
+                self.check(env, index);
+                None
+            }
+            Expr::Closure { params, body, .. } => {
+                let mut inner = env.clone();
+                for p in params {
+                    inner.remove(p);
+                }
+                self.check(&mut inner, body);
+                kill_assigned(env, body);
+                None
+            }
+            Expr::Block(b) => {
+                self.walk_branch_block(env, b);
+                None
+            }
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                self.check(env, cond);
+                self.walk_branch_block(env, then);
+                if let Some(e) = els {
+                    self.walk_branch_expr(env, e);
+                }
+                None
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.check(env, scrutinee);
+                for a in arms {
+                    self.walk_branch_expr(env, a);
+                }
+                None
+            }
+            Expr::For {
+                bindings,
+                iter,
+                body,
+                ..
+            } => {
+                self.check(env, iter);
+                let mut inner = env.clone();
+                for b in bindings {
+                    inner.remove(b);
+                }
+                self.walk_block(&mut inner, body);
+                kill_assigned_in_block(env, body);
+                None
+            }
+            Expr::While { cond, body, .. } => {
+                let mut inner = env.clone();
+                self.check(&mut inner, cond);
+                self.walk_block(&mut inner, body);
+                kill_assigned(env, cond);
+                kill_assigned_in_block(env, body);
+                None
+            }
+            Expr::Seq { items, .. } | Expr::StructLit { fields: items, .. } => {
+                for it in items {
+                    self.check(env, it);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Removes from `env` every name assigned anywhere under `e` (used after
+/// analyzing a conditionally-executed region: its writes may or may not
+/// have happened).
+fn kill_assigned(env: &mut Env, e: &Expr) {
+    e.visit(&mut |x| {
+        if let Expr::Assign { target, .. } = x {
+            if let Expr::Path { segments, .. } = &**target {
+                if let [name] = segments.as_slice() {
+                    env.remove(name);
+                }
+            }
+        }
+    });
+}
+
+fn kill_assigned_in_block(env: &mut Env, b: &Block) {
+    b.visit(&mut |x| {
+        if let Expr::Assign { target, .. } = x {
+            if let Expr::Path { segments, .. } = &**target {
+                if let [name] = segments.as_slice() {
+                    env.remove(name);
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{lint_source, FileContext};
+
+    fn ctx() -> FileContext<'static> {
+        FileContext {
+            crate_name: "bios-electrochem",
+            rel_path: "crates/electrochem/src/x.rs",
+        }
+    }
+
+    fn u2(src: &str) -> Vec<String> {
+        lint_source(&ctx(), src)
+            .into_iter()
+            .filter(|f| f.rule == "U2")
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn cross_dimension_reentry_fires() {
+        let hits = u2("fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts();\n    Amps::from_nanoamps(raw)\n}\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("dimension mismatch"), "{hits:?}");
+    }
+
+    #[test]
+    fn scale_mismatch_reentry_fires() {
+        let hits = u2(
+            "fn f(v: Volts) -> Volts {\n    let mv = v.as_millivolts();\n    Volts::new(mv)\n}\n",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("scale mismatch"), "{hits:?}");
+    }
+
+    #[test]
+    fn matching_reentry_and_explicit_conversion_are_clean() {
+        assert!(u2("fn f(v: Volts) -> Volts {\n    let mv = v.as_millivolts();\n    Volts::from_millivolts(mv)\n}\n").is_empty());
+        // Arithmetic conversion forgets the scale: no flag.
+        assert!(u2("fn f(t: Seconds) -> Seconds {\n    let ms = t.as_millis();\n    Seconds::new(ms / 1e3)\n}\n").is_empty());
+    }
+
+    #[test]
+    fn mixed_dimension_addition_fires() {
+        let hits =
+            u2("fn f(v: Volts, i: Amps) -> f64 {\n    v.as_millivolts() + i.as_milliamps()\n}\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("different dimensions"), "{hits:?}");
+        // Same dimension, different scale also fires.
+        let hits =
+            u2("fn f(a: Volts, b: Volts) -> f64 {\n    a.as_millivolts() + b.as_microvolts()\n}\n");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].contains("different scale"), "{hits:?}");
+        // Same dimension, same scale is fine.
+        assert!(u2(
+            "fn f(a: Volts, b: Volts) -> f64 {\n    a.as_millivolts() + b.as_millivolts()\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn branch_assignments_invalidate_tracking() {
+        // After the branch, `raw`'s dimension is unknown: no flag.
+        let src = "fn f(v: Volts, c: bool) -> Amps {\n    let mut raw = v.as_millivolts();\n    if c { raw = other(); }\n    Amps::new(raw)\n}\n";
+        assert!(u2(src).is_empty(), "{:?}", u2(src));
+        // Inside the branch tracking still works.
+        let src = "fn f(v: Volts, c: bool) {\n    let raw = v.as_millivolts();\n    if c { let a = Amps::new(raw); }\n}\n";
+        assert_eq!(u2(src).len(), 1);
+    }
+
+    #[test]
+    fn u2_respects_tests_bench_and_suppression() {
+        let test_src = "#[cfg(test)]\nmod t {\n    fn g(v: Volts) -> Amps {\n        let raw = v.as_millivolts();\n        Amps::new(raw)\n    }\n}\n";
+        assert!(u2(test_src).is_empty());
+        let bench = FileContext {
+            crate_name: "bios-bench",
+            rel_path: "crates/bench/src/x.rs",
+        };
+        let bad =
+            "fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts();\n    Amps::new(raw)\n}\n";
+        assert!(lint_source(&bench, bad).iter().all(|f| f.rule != "U2"));
+        let suppressed = "fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts();\n    // advdiag::allow(U2, deliberate reinterpretation for the DAC glitch test)\n    Amps::new(raw)\n}\n";
+        assert!(lint_source(&ctx(), suppressed)
+            .iter()
+            .all(|f| f.rule != "U2"));
+    }
+
+    #[test]
+    fn dim_preserving_methods_keep_tracking() {
+        let src = "fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts().abs();\n    Amps::new(raw)\n}\n";
+        assert_eq!(u2(src).len(), 1);
+        // `.value()` and `sqrt` forget.
+        let src = "fn f(v: Volts) -> Amps {\n    let raw = v.as_millivolts().sqrt();\n    Amps::new(raw)\n}\n";
+        assert!(u2(src).is_empty());
+    }
+}

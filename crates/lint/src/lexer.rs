@@ -1,5 +1,5 @@
 //! A minimal Rust lexer: good enough to walk this workspace's sources as a
-//! flat token stream with line numbers, comments kept aside, and
+//! flat token stream with line/column spans, comments kept aside, and
 //! `#[cfg(test)]` / `#[test]` regions marked.
 //!
 //! This is *not* a general Rust parser. It understands exactly what the
@@ -9,6 +9,11 @@
 //! Everything it cannot classify becomes a single-character operator
 //! token, which is always safe for the token-pattern matching the rules
 //! do.
+//!
+//! Columns are **1-based and counted in characters**, not bytes: the
+//! units crate spells `µA` and `Ω` in doc comments, and a byte-based
+//! column would drift past every multi-byte scalar on the line, pointing
+//! editors and CI annotations at the wrong spot.
 
 /// What a token is, at the granularity the rules care about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +43,8 @@ pub struct Token {
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// 1-based column (in characters, not bytes) the token starts at.
+    pub col: u32,
     /// True if the token sits inside a `#[cfg(test)]` / `#[test]` item.
     pub in_test: bool,
 }
@@ -48,6 +55,8 @@ pub struct Token {
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based character column the comment starts at.
+    pub col: u32,
     /// Comment text including the `//` / `/*` markers.
     pub text: String,
 }
@@ -66,24 +75,34 @@ const OPERATORS: &[&str] = &[
     "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
 ];
 
+/// Character column (1-based) of byte offset `at`, given the byte offset
+/// of the start of its line. Both offsets must sit on char boundaries.
+fn char_col(src: &str, line_start: usize, at: usize) -> u32 {
+    src[line_start..at].chars().count() as u32 + 1
+}
+
 /// Lexes `src`, then marks test regions.
 pub fn lex(src: &str) -> Lexed {
     let mut out = Lexed::default();
     let bytes = src.as_bytes();
     let mut i = 0usize;
     let mut line = 1u32;
+    // Byte offset where the current line begins (for column computation).
+    let mut line_start = 0usize;
     while i < bytes.len() {
         let c = bytes[i] as char;
         // Newlines / whitespace.
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_ascii_whitespace() {
             i += 1;
             continue;
         }
+        let col = char_col(src, line_start, i);
         // Comments.
         if c == '/' && i + 1 < bytes.len() {
             match bytes[i + 1] as char {
@@ -94,6 +113,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     out.comments.push(Comment {
                         line,
+                        col,
                         text: src[start..i].to_string(),
                     });
                     continue;
@@ -107,6 +127,7 @@ pub fn lex(src: &str) -> Lexed {
                         if bytes[i] == b'\n' {
                             line += 1;
                             i += 1;
+                            line_start = i;
                         } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
                             depth += 1;
                             i += 2;
@@ -119,6 +140,7 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     out.comments.push(Comment {
                         line: start_line,
+                        col,
                         text: src[start..i].to_string(),
                     });
                     continue;
@@ -127,7 +149,17 @@ pub fn lex(src: &str) -> Lexed {
             }
         }
         // Raw strings / raw identifiers / byte strings.
-        if (c == 'r' || c == 'b') && scan_raw_or_byte(src, bytes, &mut i, &mut line, &mut out) {
+        if (c == 'r' || c == 'b')
+            && scan_raw_or_byte(
+                src,
+                bytes,
+                &mut i,
+                &mut line,
+                &mut line_start,
+                col,
+                &mut out,
+            )
+        {
             continue;
         }
         // Identifiers and keywords.
@@ -140,6 +172,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Ident,
                 text: src[start..i].to_string(),
                 line,
+                col,
                 in_test: false,
             });
             continue;
@@ -155,6 +188,7 @@ pub fn lex(src: &str) -> Lexed {
                 },
                 text,
                 line,
+                col,
                 in_test: false,
             });
             continue;
@@ -168,6 +202,7 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 } else if bytes[i] == b'\n' {
                     line += 1;
+                    line_start = i + 1;
                 }
                 i += 1;
             }
@@ -176,6 +211,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::StrLit,
                 text: src[start..i].to_string(),
                 line,
+                col,
                 in_test: false,
             });
             continue;
@@ -195,6 +231,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::Lifetime,
                     text: src[start..i].to_string(),
                     line,
+                    col,
                     in_test: false,
                 });
             } else {
@@ -209,6 +246,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokenKind::CharLit,
                     text: src[start..i].to_string(),
                     line,
+                    col,
                     in_test: false,
                 });
             }
@@ -234,6 +272,7 @@ pub fn lex(src: &str) -> Lexed {
             kind: TokenKind::Op,
             text: op_text,
             line,
+            col,
             in_test: false,
         });
     }
@@ -248,6 +287,8 @@ fn scan_raw_or_byte(
     bytes: &[u8],
     i: &mut usize,
     line: &mut u32,
+    line_start: &mut usize,
+    col: u32,
     out: &mut Lexed,
 ) -> bool {
     let start = *i;
@@ -273,6 +314,7 @@ fn scan_raw_or_byte(
             if bytes[j] == b'\n' {
                 *line += 1;
                 j += 1;
+                *line_start = j;
                 continue;
             }
             if bytes[j] == b'"' {
@@ -297,6 +339,7 @@ fn scan_raw_or_byte(
             kind: TokenKind::StrLit,
             text: src[start..j.min(src.len())].to_string(),
             line: start_line,
+            col,
             in_test: false,
         });
         *i = j;
@@ -315,6 +358,7 @@ fn scan_raw_or_byte(
             kind: TokenKind::Ident,
             text: src[id_start..j].to_string(),
             line: start_line,
+            col,
             in_test: false,
         });
         *i = j;
@@ -334,6 +378,7 @@ fn scan_raw_or_byte(
             kind: TokenKind::CharLit,
             text: src[start..k].to_string(),
             line: start_line,
+            col,
             in_test: false,
         });
         *i = k;
@@ -578,5 +623,37 @@ mod tests {
             .map(|t| t.text.as_str())
             .collect();
         assert_eq!(ops, ["==", "!=", "::", "->"]);
+    }
+
+    #[test]
+    fn columns_are_char_based_not_byte_based() {
+        // `µ` is 2 bytes, `Ω` is 2 bytes: a byte-counting lexer would put
+        // `x` at column 13 on line 2 and the comment at column 7 on line 3.
+        let src = "/// gain in µA/Ω-ish units\nlet µΩx = 1;\n  /*Ω*/ let y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!((lexed.comments[0].line, lexed.comments[0].col), (1, 1));
+        // Line 2: `let` at col 1, `µ` and `Ω` become 1-char Op tokens,
+        // `x` lands at col 7 counted in chars.
+        let x = lexed.tokens.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!((x.line, x.col), (2, 7));
+        // Line 3: block comment starts at char col 3, `let` after it at 9.
+        assert_eq!((lexed.comments[1].line, lexed.comments[1].col), (3, 3));
+        let let_y = lexed
+            .tokens
+            .iter()
+            .position(|t| t.text == "y")
+            .expect("y stmt");
+        assert_eq!(lexed.tokens[let_y - 1].text, "let");
+        assert_eq!(lexed.tokens[let_y - 1].col, 9);
+        assert_eq!(lexed.tokens[let_y].col, 13);
+    }
+
+    #[test]
+    fn columns_after_multiline_string_restart_correctly() {
+        let src = "let s = \"a\nb\"; let t = 1;\n";
+        let lexed = lex(src);
+        let t = lexed.tokens.iter().find(|t| t.text == "t").expect("t");
+        // `b"; let t = 1;` — `t` is on line 2 at char column 9.
+        assert_eq!((t.line, t.col), (2, 9));
     }
 }

@@ -22,13 +22,23 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod baseline;
+pub mod dataflow;
+pub mod depgraph;
+pub mod dimension;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use depgraph::DepGraph;
 pub use report::Report;
-pub use rules::{lint_source, FileContext, Finding, RULE_IDS};
-pub use workspace::{discover, lint_workspace};
+pub use rules::{
+    lint_file, lint_source, AllowSite, FileContext, FileLint, Finding, Severity, RULE_IDS,
+};
+pub use workspace::{
+    discover, gather, lint_files, lint_files_graph, lint_workspace, lint_workspace_graph, MemFile,
+};

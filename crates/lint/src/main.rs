@@ -1,36 +1,47 @@
 //! CLI driver: lint the workspace, subtract the baseline, report, and
-//! exit nonzero on any new finding.
+//! exit nonzero on any new error-severity finding.
 //!
 //! ```text
 //! cargo run -p bios-lint                         # human diagnostics
 //! cargo run -p bios-lint -- --format json        # machine-readable report
+//! cargo run -p bios-lint -- --format github      # GitHub Actions annotations
 //! cargo run -p bios-lint -- --baseline lint-baseline.json --out lint-report.json
 //! cargo run -p bios-lint -- --write-baseline lint-baseline.json
+//! cargo run -p bios-lint -- --emit-dot target/deps.dot
 //! ```
 //!
-//! Exit codes: 0 = clean (no unbaselined findings), 1 = new findings,
-//! 2 = usage or I/O error.
+//! Exit codes: 0 = clean (no unbaselined error findings; warnings such
+//! as A2 report without failing), 1 = new errors, 2 = usage or I/O
+//! error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use bios_lint::{Baseline, Report};
 
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 struct Options {
     root: PathBuf,
-    format_json: bool,
+    format: Format,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
     out: Option<PathBuf>,
+    emit_dot: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
-        format_json: false,
+        format: Format::Text,
         baseline: None,
         write_baseline: None,
         out: None,
+        emit_dot: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -41,20 +52,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         };
         match arg.as_str() {
             "--format" => {
-                let v = it.next().ok_or("--format requires `text` or `json`")?;
-                match v.as_str() {
-                    "json" => opts.format_json = true,
-                    "text" => opts.format_json = false,
+                let v = it
+                    .next()
+                    .ok_or("--format requires `text`, `json` or `github`")?;
+                opts.format = match v.as_str() {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    "github" => Format::Github,
                     other => return Err(format!("unknown format `{other}`")),
-                }
+                };
             }
             "--root" => opts.root = path_value("--root")?,
             "--baseline" => opts.baseline = Some(path_value("--baseline")?),
             "--write-baseline" => opts.write_baseline = Some(path_value("--write-baseline")?),
             "--out" => opts.out = Some(path_value("--out")?),
+            "--emit-dot" => opts.emit_dot = Some(path_value("--emit-dot")?),
             "--help" | "-h" => {
-                return Err("usage: bios-lint [--root DIR] [--format text|json] \
-                     [--baseline FILE] [--write-baseline FILE] [--out FILE]"
+                return Err("usage: bios-lint [--root DIR] [--format text|json|github] \
+                     [--baseline FILE] [--write-baseline FILE] [--out FILE] \
+                     [--emit-dot FILE]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -72,7 +88,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 fn run(opts: &Options) -> Result<bool, String> {
     let files = bios_lint::discover(&opts.root)?.len();
-    let findings = bios_lint::lint_workspace(&opts.root)?;
+    let (findings, graph) = bios_lint::lint_workspace_graph(&opts.root)?;
+    if let Some(path) = &opts.emit_dot {
+        std::fs::write(path, graph.to_dot())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "bios-lint: wrote dependency graph ({} edge(s)) to {}",
+            graph.edges.len(),
+            path.display()
+        );
+    }
     if let Some(path) = &opts.write_baseline {
         let baseline = Baseline::from_findings(&findings);
         std::fs::write(path, baseline.to_json())
@@ -98,10 +123,10 @@ fn run(opts: &Options) -> Result<bool, String> {
         baselined,
         fresh,
     };
-    let rendered = if opts.format_json {
-        report.json()
-    } else {
-        report.human()
+    let rendered = match opts.format {
+        Format::Json => report.json(),
+        Format::Text => report.human(),
+        Format::Github => report.github(),
     };
     match &opts.out {
         Some(path) => {
@@ -116,7 +141,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
         None => print!("{rendered}"),
     }
-    Ok(report.fresh.is_empty())
+    Ok(report.fresh_errors().count() == 0)
 }
 
 fn main() -> ExitCode {

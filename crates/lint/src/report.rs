@@ -1,7 +1,7 @@
-//! Human and machine-readable rendering of a lint run.
+//! Human, machine-readable and CI-annotation rendering of a lint run.
 
 use crate::baseline::escape;
-use crate::rules::Finding;
+use crate::rules::{Finding, Severity};
 
 /// Outcome of one lint run, after baseline partitioning.
 #[derive(Debug)]
@@ -10,31 +10,52 @@ pub struct Report<'a> {
     pub files: usize,
     /// Findings covered by the baseline.
     pub baselined: Vec<&'a Finding>,
-    /// Unbaselined (new) findings — these fail the run.
+    /// Unbaselined (new) findings. Error-severity entries fail the run;
+    /// warnings only report.
     pub fresh: Vec<&'a Finding>,
 }
 
 impl Report<'_> {
-    /// `file:line: [RULE] message` diagnostics, new findings first.
+    /// Fresh error-severity findings — the ones that gate the exit code.
+    pub fn fresh_errors(&self) -> impl Iterator<Item = &&Finding> {
+        self.fresh.iter().filter(|f| f.severity == Severity::Error)
+    }
+
+    /// `file:line:col: severity[RULE] message` diagnostics, new findings
+    /// first.
     pub fn human(&self) -> String {
         let mut out = String::new();
         for f in &self.fresh {
             out.push_str(&format!(
-                "{}:{}: [{}] {}\n    {}\n",
-                f.file, f.line, f.rule, f.message, f.excerpt
+                "{}:{}:{}: {}[{}] {}\n    {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.label(),
+                f.rule,
+                f.message,
+                f.excerpt
             ));
         }
         for f in &self.baselined {
             out.push_str(&format!(
-                "{}:{}: [{}] (baselined) {}\n",
-                f.file, f.line, f.rule, f.message
+                "{}:{}:{}: {}[{}] (baselined) {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.label(),
+                f.rule,
+                f.message
             ));
         }
+        let errors = self.fresh_errors().count();
         out.push_str(&format!(
-            "bios-lint: {} file(s), {} finding(s): {} new, {} baselined\n",
+            "bios-lint: {} file(s), {} finding(s): {} new ({} error(s), {} warning(s)), {} baselined\n",
             self.files,
             self.fresh.len() + self.baselined.len(),
             self.fresh.len(),
+            errors,
+            self.fresh.len() - errors,
             self.baselined.len()
         ));
         out
@@ -43,12 +64,13 @@ impl Report<'_> {
     /// The machine-readable report (one finding per line for greppable
     /// artifacts).
     pub fn json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"tool\": \"bios-lint\",\n");
+        let mut out = String::from("{\n  \"version\": 2,\n  \"tool\": \"bios-lint\",\n");
         out.push_str(&format!(
-            "  \"summary\": {{\"files\": {}, \"total\": {}, \"new\": {}, \"baselined\": {}}},\n",
+            "  \"summary\": {{\"files\": {}, \"total\": {}, \"new\": {}, \"new_errors\": {}, \"baselined\": {}}},\n",
             self.files,
             self.fresh.len() + self.baselined.len(),
             self.fresh.len(),
+            self.fresh_errors().count(),
             self.baselined.len()
         ));
         out.push_str("  \"findings\": [\n");
@@ -60,10 +82,12 @@ impl Report<'_> {
             .collect();
         for (i, (f, baselined)) in all.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
                 escape(f.rule),
+                escape(f.severity.label()),
                 escape(&f.file),
                 f.line,
+                f.col,
                 baselined,
                 escape(&f.message),
                 escape(&f.excerpt),
@@ -73,6 +97,35 @@ impl Report<'_> {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// GitHub Actions workflow annotations (`::error file=…,line=…`):
+    /// one command per fresh finding, so violations surface inline on the
+    /// PR diff. Baselined findings are not annotated.
+    pub fn github(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fresh {
+            let cmd = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            out.push_str(&format!(
+                "::{cmd} file={},line={},col={},title=bios-lint {}::{}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.rule,
+                github_escape(&f.message)
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a workflow-command message per the Actions spec (`%`, CR, LF).
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 #[cfg(test)]
@@ -85,8 +138,18 @@ mod tests {
             rule: "P1",
             file: "crates/x/src/a.rs".to_string(),
             line: 12,
+            col: 7,
+            severity: Severity::Error,
             message: "`.unwrap()` in library code".to_string(),
             excerpt: "x.unwrap();".to_string(),
+        }
+    }
+
+    fn warning() -> Finding {
+        Finding {
+            rule: "A2",
+            severity: Severity::Warning,
+            ..finding()
         }
     }
 
@@ -117,8 +180,39 @@ mod tests {
             fresh: vec![&f],
         };
         let text = report.human();
-        assert!(text.contains("crates/x/src/a.rs:12: [P1]"));
+        assert!(text.contains("crates/x/src/a.rs:12:7: error[P1]"), "{text}");
         assert!(text.contains("(baselined)"));
-        assert!(text.contains("1 new, 1 baselined"));
+        assert!(text.contains("1 new (1 error(s), 0 warning(s)), 1 baselined"));
+    }
+
+    #[test]
+    fn warnings_do_not_count_as_errors() {
+        let w = warning();
+        let report = Report {
+            files: 1,
+            baselined: vec![],
+            fresh: vec![&w],
+        };
+        assert_eq!(report.fresh_errors().count(), 0);
+        assert!(report.human().contains("warning[A2]"));
+    }
+
+    #[test]
+    fn github_format_emits_workflow_commands() {
+        let f = finding();
+        let w = warning();
+        let report = Report {
+            files: 1,
+            baselined: vec![&f],
+            fresh: vec![&f, &w],
+        };
+        let gh = report.github();
+        assert!(
+            gh.contains("::error file=crates/x/src/a.rs,line=12,col=7,title=bios-lint P1::"),
+            "{gh}"
+        );
+        assert!(gh.contains("::warning file="), "{gh}");
+        // Baselined findings are not annotated: exactly two commands.
+        assert_eq!(gh.lines().count(), 2);
     }
 }

@@ -1,24 +1,49 @@
-//! The rule catalogue and the token-pattern engine that evaluates it.
+//! The rule catalogue and the engine that evaluates it.
 //!
 //! Every rule has a stable ID (used in diagnostics, suppressions and the
 //! baseline) and a crate-level applicability policy mirroring the
 //! workspace's invariants:
 //!
-//! | ID | invariant | applies to |
-//! |----|-----------|------------|
-//! | D1 | no `HashMap`/`HashSet` (iteration order) | deterministic crates |
-//! | D2 | no `Instant`/`SystemTime`/`thread::spawn` | all but `bios-platform::exec` + bench harness |
-//! | P1 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` | all library code but the bench harness |
-//! | U1 | no raw `f64` params with dimensioned names in `pub fn` | physics-facing crates |
-//! | S1 | every `unsafe` needs a `// SAFETY:` comment | everywhere |
-//! | F1 | no `==`/`!=` against float literals | physics crates |
+//! | ID | kind | invariant | applies to |
+//! |----|------|-----------|------------|
+//! | D1 | token | no `HashMap`/`HashSet` (iteration order) | deterministic crates |
+//! | D2 | token | no `Instant`/`SystemTime`/`thread::spawn` | all but `bios-platform::exec` + bench harness |
+//! | P1 | token | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` | all library code but the bench harness |
+//! | U1 | token | no raw `f64` params with dimensioned names in `pub fn` | physics-facing crates |
+//! | S1 | token | every `unsafe` needs a `// SAFETY:` comment | everywhere |
+//! | F1 | token | no `==`/`!=` against float literals | physics crates |
+//! | U2 | semantic | dimensional consistency of raw `f64` unit flows | unit-consuming crates |
+//! | D3 | semantic | no order-sensitive reductions in `par_map` closures | deterministic crates |
+//! | A1 | workspace | crate layering (units → physics → afe → instrument → core → bench) | whole workspace |
+//! | A2 | workspace (warn) | no dead `pub` items unreferenced outside their crate | library crates |
+//! | W0 | meta | no stale `advdiag::allow` suppressions | everywhere |
 //!
-//! All rules skip `#[cfg(test)]` / `#[test]` regions except S1 (an
-//! undocumented `unsafe` block is a hazard wherever it lives). A finding
-//! on line *n* is suppressed by `// advdiag::allow(ID, reason)` on line
-//! *n* or *n − 1*; the reason is mandatory.
+//! Token and semantic rules skip `#[cfg(test)]` / `#[test]` regions
+//! except S1 (an undocumented `unsafe` block is a hazard wherever it
+//! lives). A finding on line *n* is suppressed by
+//! `// advdiag::allow(ID, reason)` on line *n* or *n − 1*; the reason is
+//! mandatory. A well-formed allow that suppresses nothing is itself
+//! reported (W0), so grandfathered suppressions cannot go stale silently.
 
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
+
+/// How severe a finding is. `Error` findings gate the exit code; fresh
+/// `Warning` findings are reported but do not fail the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in reports (`"warning"` / `"error"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
 
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +54,10 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based character (not byte) column; 0 when unknown.
+    pub col: u32,
+    /// Error findings gate CI; warnings only report.
+    pub severity: Severity,
     /// Human-readable explanation.
     pub message: String,
     /// Trimmed source line (baseline matching key; robust to line drift).
@@ -45,8 +74,31 @@ pub struct FileContext<'a> {
     pub rel_path: &'a str,
 }
 
-/// Crates whose outputs must be bit-reproducible (D1).
-const DETERMINISTIC_CRATES: &[&str] = &[
+/// One `advdiag::allow(rule, reason)` site found in a file's comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// The rule ID named by the suppression (not necessarily valid).
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based character column of the comment.
+    pub col: u32,
+    /// True when a non-empty reason was given (mandatory to suppress).
+    pub has_reason: bool,
+    /// Set once the site suppresses at least one finding.
+    pub used: bool,
+}
+
+/// The per-file lint result: surviving findings plus every suppression
+/// site with its usage state (consumed by workspace-level rules and W0).
+#[derive(Debug)]
+pub struct FileLint {
+    pub findings: Vec<Finding>,
+    pub allows: Vec<AllowSite>,
+}
+
+/// Crates whose outputs must be bit-reproducible (D1, D3).
+pub(crate) const DETERMINISTIC_CRATES: &[&str] = &[
     "bios-platform",
     "bios-electrochem",
     "bios-afe",
@@ -65,9 +117,13 @@ const UNIT_API_CRATES: &[&str] = &[
     "bios-platform",
 ];
 
-/// The bench/repro harness: P1/D2/U1 do not apply (it is test
+/// The bench/repro harness: P1/D2/U1/U2/D3 do not apply (it is test
 /// infrastructure in a package suit), S1/F1 still do.
-const BENCH_CRATE: &str = "bios-bench";
+pub(crate) const BENCH_CRATE: &str = "bios-bench";
+
+/// The linter itself: exempt from the semantic rules (it has no unit or
+/// parallel-engine surface and must stay self-hostable).
+pub(crate) const LINT_CRATE: &str = "bios-lint";
 
 /// The one module allowed to touch `std::thread` (the deterministic
 /// parallel engine itself).
@@ -89,12 +145,22 @@ const DIMENSIONED_SUFFIXES: &[(&str, &str)] = &[
 ];
 
 /// All shipped rule IDs, in catalogue order.
-pub const RULE_IDS: &[&str] = &["D1", "D2", "P1", "U1", "S1", "F1"];
+pub const RULE_IDS: &[&str] = &[
+    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "A1", "A2", "D3", "W0",
+];
 
-/// Lints one source file: lexes it, runs every applicable rule, then
-/// drops findings covered by an inline `advdiag::allow`.
-pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
+/// Rules resolved at workspace scope, not per file: their allows cannot
+/// be judged stale by a single-file lint.
+const WORKSPACE_RULES: &[&str] = &["A1", "A2"];
+
+/// Lints one source file through every per-file rule (token + semantic),
+/// applies inline suppressions, and returns the surviving findings plus
+/// all suppression sites. W0 is *not* computed here — workspace-level
+/// rules (A1/A2) may still consume an allow; call
+/// [`unused_allow_findings`] once every consumer has run.
+pub fn lint_file(ctx: &FileContext<'_>, source: &str) -> FileLint {
     let lexed = lex(source);
+    let items = crate::parser::parse_items(&lexed);
     let lines: Vec<&str> = source.lines().collect();
     let mut findings = Vec::new();
     rule_d1(ctx, &lexed, &mut findings);
@@ -103,17 +169,81 @@ pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
     rule_u1(ctx, &lexed, &mut findings);
     rule_s1(ctx, &lexed, &mut findings);
     rule_f1(ctx, &lexed, &mut findings);
+    crate::dimension::rule_u2(ctx, &items, &mut findings);
+    crate::dataflow::rule_d3(ctx, &items, &mut findings);
     for f in &mut findings {
         f.excerpt = excerpt_for(&lines, f.line);
     }
-    findings.retain(|f| !is_suppressed(f, &lexed.comments));
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+    let mut allows = collect_allows(&lexed.comments);
+    findings.retain(|f| !suppress(f, &mut allows));
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    FileLint { findings, allows }
+}
+
+/// Single-file convenience: [`lint_file`] plus W0 for stale allows.
+/// Workspace-scoped rules (A1/A2) never run in this mode, so their
+/// allows are exempt from W0 here.
+pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
+    let mut fl = lint_file(ctx, source);
+    let lines: Vec<&str> = source.lines().collect();
+    let mut w0 = unused_allow_findings(ctx, &mut fl.allows, WORKSPACE_RULES);
+    for f in &mut w0 {
+        f.excerpt = excerpt_for(&lines, f.line);
+    }
+    fl.findings.extend(w0);
+    fl.findings
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    fl.findings
+}
+
+/// W0: every well-formed allow (valid shape, non-empty reason) that
+/// suppressed nothing is itself a finding — stale suppressions are how
+/// grandfathered exceptions outlive their justification. Allows naming a
+/// rule in `exempt` are skipped (their consumer did not run). A W0
+/// finding is suppressible one level deep by `advdiag::allow(W0, …)`.
+/// Excerpts are left empty; the caller fills them.
+pub fn unused_allow_findings(
+    ctx: &FileContext<'_>,
+    allows: &mut [AllowSite],
+    exempt: &[&str],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for a in allows.iter() {
+        if a.used || !a.has_reason || exempt.contains(&a.rule.as_str()) {
+            continue;
+        }
+        let message = if RULE_IDS.contains(&a.rule.as_str()) {
+            format!(
+                "`advdiag::allow({}, …)` no longer suppresses anything: the \
+                 finding it grandfathered is gone, so remove the allow",
+                a.rule
+            )
+        } else {
+            format!(
+                "`advdiag::allow({}, …)` names no known rule (valid IDs: {}): \
+                 it can never suppress anything",
+                a.rule,
+                RULE_IDS.join(", ")
+            )
+        };
+        out.push(Finding {
+            rule: "W0",
+            file: ctx.rel_path.to_string(),
+            line: a.line,
+            col: a.col,
+            severity: Severity::Error,
+            message,
+            excerpt: String::new(),
+        });
+    }
+    // One level of self-suppression: allow(W0, reason) covers these.
+    out.retain(|f| !suppress(f, allows));
+    out
 }
 
 /// The trimmed source line for a 1-based line number, capped so baselines
 /// stay readable.
-fn excerpt_for(lines: &[&str], line: u32) -> String {
+pub(crate) fn excerpt_for(lines: &[&str], line: u32) -> String {
     let text = lines
         .get(line.saturating_sub(1) as usize)
         .map(|l| l.trim())
@@ -121,48 +251,78 @@ fn excerpt_for(lines: &[&str], line: u32) -> String {
     text.chars().take(160).collect()
 }
 
-/// True if a well-formed `advdiag::allow(rule, reason)` comment sits on
-/// the finding's line or the line above. A missing reason does not count.
-fn is_suppressed(f: &Finding, comments: &[Comment]) -> bool {
-    comments
-        .iter()
-        .filter(|c| c.line == f.line || c.line + 1 == f.line)
-        .any(|c| allow_covers(&c.text, f.rule))
+/// True for strings shaped like a rule ID (uppercase letters then
+/// digits: `D1`, `A2`, `Z9`). Prose placeholders in documentation —
+/// `allow(rule, reason)`, `allow(ID, …)` — do not qualify, so writing
+/// about the suppression syntax never creates an allow site.
+fn is_rule_shaped(s: &str) -> bool {
+    let letters = s.chars().take_while(|c| c.is_ascii_uppercase()).count();
+    letters > 0
+        && s.chars().skip(letters).count() > 0
+        && s.chars().skip(letters).all(|c| c.is_ascii_digit())
 }
 
-/// Parses every `advdiag::allow(…)` in one comment; true if any names
-/// `rule` and carries a non-empty reason.
-fn allow_covers(comment: &str, rule: &str) -> bool {
-    let mut rest = comment;
-    while let Some(pos) = rest.find("advdiag::allow(") {
-        let args_start = pos + "advdiag::allow(".len();
-        let tail = &rest[args_start..];
-        if let Some(close) = tail.find(')') {
+/// Extracts every `advdiag::allow(rule, reason?)` site from a file's
+/// comments. Malformed occurrences (no closing paren, or a first
+/// argument that is not shaped like a rule ID) are dropped.
+pub fn collect_allows(comments: &[Comment]) -> Vec<AllowSite> {
+    let mut sites = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("advdiag::allow(") {
+            let args_start = pos + "advdiag::allow(".len();
+            let tail = &rest[args_start..];
+            let Some(close) = tail.find(')') else {
+                break;
+            };
             let args = &tail[..close];
-            if let Some((id, reason)) = args.split_once(',') {
-                if id.trim() == rule && !reason.trim().is_empty() {
-                    return true;
-                }
+            let (rule, reason) = match args.split_once(',') {
+                Some((id, reason)) => (id.trim(), reason.trim()),
+                None => (args.trim(), ""),
+            };
+            if is_rule_shaped(rule) {
+                sites.push(AllowSite {
+                    rule: rule.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    has_reason: !reason.is_empty(),
+                    used: false,
+                });
             }
             rest = &tail[close + 1..];
-        } else {
-            break;
         }
     }
-    false
+    sites
 }
 
-fn push(
+/// True when a well-formed allow on the finding's line or the line above
+/// names its rule; every matching site is marked used. A missing reason
+/// does not suppress.
+pub fn suppress(f: &Finding, allows: &mut [AllowSite]) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.has_reason && a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+pub(crate) fn push(
     findings: &mut Vec<Finding>,
     rule: &'static str,
     ctx: &FileContext<'_>,
     line: u32,
+    col: u32,
     message: String,
 ) {
     findings.push(Finding {
         rule,
         file: ctx.rel_path.to_string(),
         line,
+        col,
+        severity: Severity::Error,
         message,
         excerpt: String::new(),
     });
@@ -180,6 +340,7 @@ fn rule_d1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "D1",
                 ctx,
                 t.line,
+                t.col,
                 format!(
                     "`{}` in deterministic crate `{}`: iteration order is \
                      randomized per process and can leak into outputs; use \
@@ -207,6 +368,7 @@ fn rule_d2(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "D2",
                 ctx,
                 t.line,
+                t.col,
                 format!(
                     "`{}` outside `bios-platform::exec`: wall-clock reads make \
                      runs irreproducible; derive timing from protocol state",
@@ -220,6 +382,7 @@ fn rule_d2(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "D2",
                 ctx,
                 t.line,
+                t.col,
                 "`thread::spawn` outside `bios-platform::exec`: ad-hoc threads \
                  bypass the deterministic merge-by-index engine; use `par_map`"
                     .to_string(),
@@ -250,6 +413,7 @@ fn rule_p1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "P1",
                 ctx,
                 t.line,
+                t.col,
                 format!(
                     "`.{}()` in library code: a surprising input becomes a \
                      process abort; return a typed error instead",
@@ -265,6 +429,7 @@ fn rule_p1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "P1",
                 ctx,
                 t.line,
+                t.col,
                 format!(
                     "`{}!` in library code: return a typed error instead of \
                      aborting the process",
@@ -317,6 +482,7 @@ fn rule_u1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                                 "U1",
                                 ctx,
                                 name.line,
+                                name.col,
                                 format!(
                                     "public parameter `{}: f64` implies a \
                                      dimension; take `bios_units::{}` so the \
@@ -353,6 +519,7 @@ fn rule_s1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "S1",
                 ctx,
                 t.line,
+                t.col,
                 "`unsafe` without a `// SAFETY:` comment within the three \
                  preceding lines: document the invariant that makes it sound"
                     .to_string(),
@@ -382,6 +549,7 @@ fn rule_f1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                 "F1",
                 ctx,
                 t.line,
+                t.col,
                 format!(
                     "`{}` against a float literal: exact float comparison is \
                      representation-sensitive; compare against a tolerance or \
@@ -417,6 +585,7 @@ mod tests {
         let hit = lint_source(&ctx_det(), "use std::collections::HashMap;\n");
         assert_eq!(hit.len(), 1);
         assert_eq!(hit[0].rule, "D1");
+        assert_eq!(hit[0].severity, Severity::Error);
         let ok = lint_source(
             &ctx_det(),
             "// advdiag::allow(D1, lookup-only cache, order never observed)\nuse std::collections::HashMap;\n",
@@ -431,11 +600,49 @@ mod tests {
             "// advdiag::allow(D1)\nuse std::collections::HashMap;\n",
         );
         assert_eq!(no_reason.len(), 1, "reason is mandatory");
+        assert_eq!(no_reason[0].rule, "D1");
+        // A mismatched allow leaves the finding *and* is itself stale (W0).
         let wrong_rule = lint_source(
             &ctx_det(),
             "// advdiag::allow(P1, not the right rule)\nuse std::collections::HashMap;\n",
         );
-        assert_eq!(wrong_rule.len(), 1);
+        let rules: Vec<_> = wrong_rule.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["W0", "D1"]);
+    }
+
+    #[test]
+    fn w0_reports_stale_and_unknown_allows() {
+        // The D1 allow suppresses nothing: there is no HashMap here.
+        let stale = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(D1, gone since PR9)\nfn f() {}\n",
+        );
+        assert_eq!(stale.len(), 1);
+        assert_eq!((stale[0].rule, stale[0].line), ("W0", 1));
+        // Unknown rule IDs are called out specifically.
+        let unknown = lint_source(&ctx_det(), "// advdiag::allow(Z9, typo)\nfn f() {}\n");
+        assert_eq!(unknown.len(), 1);
+        assert!(unknown[0].message.contains("no known rule"));
+        // W0 itself is suppressible one level deep.
+        let hushed = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(W0, keeping for the next PR) advdiag::allow(D1, gone)\nfn f() {}\n",
+        );
+        assert!(hushed.is_empty(), "{hushed:?}");
+        // Workspace-scoped rules (A1/A2) are exempt in single-file mode.
+        let ws = lint_source(
+            &ctx_det(),
+            "// advdiag::allow(A1, layering reviewed)\nfn f() {}\n",
+        );
+        assert!(ws.is_empty(), "{ws:?}");
+    }
+
+    #[test]
+    fn findings_carry_char_columns() {
+        let hit = lint_source(&ctx_det(), "fn f() { let µ = x.unwrap(); }\n");
+        assert_eq!(hit.len(), 1);
+        // `unwrap` starts at char column 20 (byte column would be 21).
+        assert_eq!((hit[0].rule, hit[0].line, hit[0].col), ("P1", 1, 20));
     }
 
     #[test]

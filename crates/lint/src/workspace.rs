@@ -1,19 +1,31 @@
-//! Workspace discovery: which files get linted, under which crate
-//! context.
+//! Workspace discovery and the workspace-scope lint pipeline.
 //!
-//! The walk covers the root package's `src/` and every `crates/*/src/`
-//! tree, in sorted order so diagnostics and reports are deterministic.
-//! The vendored dependency stand-ins under `shims/` are deliberately
-//! excluded: they imitate external crates' APIs (panicking included) and
-//! are not governed by the platform's invariants. Test (`tests/`) and
-//! bench (`benches/`) trees are excluded too — the rules only bind
-//! library code, and in-file `#[cfg(test)]` modules are already skipped
-//! by the lexer.
+//! Two kinds of files are gathered:
+//!
+//! - **lintable** files — the root package's `src/` and every
+//!   `crates/*/src/` tree. All per-file rules plus A1 (layering) bind
+//!   here.
+//! - **corpus-only** files — `tests/`, `benches/` and `examples/` trees
+//!   of every package. They are never linted, but their text feeds A2's
+//!   reference corpus so an item used only from integration tests is not
+//!   reported dead.
+//!
+//! The walk is sorted so diagnostics, reports and the DOT artifact are
+//! deterministic. The vendored dependency stand-ins under `shims/` are
+//! deliberately excluded: they imitate external crates' APIs (panicking
+//! included) and are not governed by the platform's invariants. In-file
+//! `#[cfg(test)]` modules are already skipped by the lexer.
+//!
+//! Pipeline of [`lint_files`]: per-file rules via [`rules::lint_file`],
+//! then the workspace analyses (A1/A2 from [`crate::depgraph`]) with
+//! suppression resolved against each finding's file, then W0 over every
+//! allow that no rule — per-file or workspace — ever consumed.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::rules::{lint_source, FileContext, Finding};
+use crate::depgraph::{self, DepGraph};
+use crate::rules::{self, excerpt_for, lint_file, suppress, FileContext, Finding};
 
 /// One file scheduled for linting.
 #[derive(Debug, Clone)]
@@ -26,13 +38,130 @@ pub struct SourceFile {
     pub path: PathBuf,
 }
 
+/// An in-memory workspace file: the unit the workspace pipeline operates
+/// on. Decoupling from the filesystem lets `repro_lint` drive the full
+/// pipeline (A1/A2/W0 included) on synthetic workspaces.
+#[derive(Debug, Clone)]
+pub struct MemFile {
+    /// Cargo package name owning the file.
+    pub crate_name: String,
+    /// Repo-relative path with `/` separators.
+    pub rel_path: String,
+    /// Full file contents.
+    pub source: String,
+    /// True for `src/` files (linted); false for corpus-only files
+    /// (`tests/`, `benches/`, `examples/` — A2 reference corpus only).
+    pub lintable: bool,
+}
+
 /// Discovers every lintable source file under `root` (the workspace
 /// root), sorted by path.
 pub fn discover(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut files = Vec::new();
-    // Root package.
-    collect_package(root, root.join("src"), "src", &mut files)?;
-    // Member crates.
+    for (pkg, dir, rel) in package_dirs(root, &["src"])? {
+        collect_tree(&pkg, dir, &rel, &mut files)?;
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+/// Gathers the full in-memory workspace: lintable `src/` trees plus the
+/// corpus-only `tests/`/`benches/`/`examples/` trees, sorted by path.
+pub fn gather(root: &Path) -> Result<Vec<MemFile>, String> {
+    let mut out = Vec::new();
+    for (lintable, subdirs) in [
+        (true, &["src"][..]),
+        (false, &["tests", "benches", "examples"]),
+    ] {
+        for (pkg, dir, rel) in package_dirs(root, subdirs)? {
+            let mut files = Vec::new();
+            collect_tree(&pkg, dir, &rel, &mut files)?;
+            for f in files {
+                let source = fs::read_to_string(&f.path)
+                    .map_err(|e| format!("cannot read {}: {e}", f.path.display()))?;
+                out.push(MemFile {
+                    crate_name: f.crate_name,
+                    rel_path: f.rel_path,
+                    source,
+                    lintable,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+/// The full workspace lint pipeline over in-memory files: per-file rules,
+/// workspace rules (A1/A2), then stale-suppression detection (W0).
+/// Findings come back sorted by `(file, line, col, rule)`.
+pub fn lint_files(files: &[MemFile]) -> Vec<Finding> {
+    let (findings, _) = lint_files_graph(files);
+    findings
+}
+
+/// [`lint_files`] plus the dependency graph (for the DOT artifact).
+pub fn lint_files_graph(files: &[MemFile]) -> (Vec<Finding>, DepGraph) {
+    let mut findings = Vec::new();
+    let mut per_file = Vec::new();
+    for f in files.iter().filter(|f| f.lintable) {
+        let ctx = FileContext {
+            crate_name: &f.crate_name,
+            rel_path: &f.rel_path,
+        };
+        let fl = lint_file(&ctx, &f.source);
+        findings.extend(fl.findings);
+        per_file.push((f, fl.allows));
+    }
+    // Workspace-scope rules, suppressed against their finding's file.
+    let (mut ws_findings, graph) = depgraph::analyze(files);
+    ws_findings.retain(|finding| {
+        let covered = per_file
+            .iter_mut()
+            .find(|(f, _)| f.rel_path == finding.file)
+            .map(|(_, allows)| suppress(finding, allows))
+            .unwrap_or(false);
+        !covered
+    });
+    for f in &mut ws_findings {
+        if let Some((mf, _)) = per_file.iter().find(|(mf, _)| mf.rel_path == f.file) {
+            let lines: Vec<&str> = mf.source.lines().collect();
+            f.excerpt = excerpt_for(&lines, f.line);
+        }
+    }
+    findings.extend(ws_findings);
+    // Every consumer has run: any allow still unused is stale (W0).
+    for (f, mut allows) in per_file {
+        let ctx = FileContext {
+            crate_name: &f.crate_name,
+            rel_path: &f.rel_path,
+        };
+        let mut w0 = rules::unused_allow_findings(&ctx, &mut allows, &[]);
+        let lines: Vec<&str> = f.source.lines().collect();
+        for finding in &mut w0 {
+            finding.excerpt = excerpt_for(&lines, finding.line);
+        }
+        findings.extend(w0);
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    (findings, graph)
+}
+
+/// Lints the workspace on disk: [`gather`] + [`lint_files`].
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    Ok(lint_files(&gather(root)?))
+}
+
+/// As [`lint_workspace`], also returning the dependency graph.
+pub fn lint_workspace_graph(root: &Path) -> Result<(Vec<Finding>, DepGraph), String> {
+    Ok(lint_files_graph(&gather(root)?))
+}
+
+/// Enumerates `(package_dir, subdir_path, rel_prefix)` for the root
+/// package and every `crates/*` member, for each existing `subdir`.
+fn package_dirs(root: &Path, subdirs: &[&str]) -> Result<Vec<(PathBuf, PathBuf, String)>, String> {
+    let mut pkgs = vec![(root.to_path_buf(), String::new())];
     let crates_dir = root.join("crates");
     let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)
         .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
@@ -46,37 +175,23 @@ pub fn discover(root: &Path) -> Result<Vec<SourceFile>, String> {
             .and_then(|n| n.to_str())
             .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
             .to_string();
-        collect_package(
-            &member,
-            member.join("src"),
-            &format!("crates/{dir_name}/src"),
-            &mut files,
-        )?;
+        pkgs.push((member, format!("crates/{dir_name}/")));
     }
-    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
-    Ok(files)
-}
-
-/// Lints every discovered file, returning findings sorted by
-/// `(file, line, rule)`.
-pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
-    for file in discover(root)? {
-        let source = fs::read_to_string(&file.path)
-            .map_err(|e| format!("cannot read {}: {e}", file.path.display()))?;
-        let ctx = FileContext {
-            crate_name: &file.crate_name,
-            rel_path: &file.rel_path,
-        };
-        findings.extend(lint_source(&ctx, &source));
+    let mut out = Vec::new();
+    for (pkg, prefix) in pkgs {
+        for sub in subdirs {
+            let dir = pkg.join(sub);
+            if dir.is_dir() {
+                out.push((pkg.clone(), dir, format!("{prefix}{sub}")));
+            }
+        }
     }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+    Ok(out)
 }
 
 /// Adds every `.rs` file under `src_dir` (recursively) for the package
 /// rooted at `pkg_dir`.
-fn collect_package(
+fn collect_tree(
     pkg_dir: &Path,
     src_dir: PathBuf,
     rel_prefix: &str,
@@ -128,4 +243,68 @@ fn package_name(manifest: &Path) -> Result<String, String> {
         }
     }
     Err(format!("no package.name in {}", manifest.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(crate_name: &str, rel_path: &str, source: &str, lintable: bool) -> MemFile {
+        MemFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            source: source.to_string(),
+            lintable,
+        }
+    }
+
+    #[test]
+    fn workspace_pipeline_resolves_a1_suppression_and_w0() {
+        // File 1 has a suppressed upward edge (allow consumed: no W0).
+        // File 2 has a stale allow (W0 fires at workspace scope too).
+        let files = vec![
+            mem(
+                "bios-electrochem",
+                "crates/electrochem/src/a.rs",
+                "// advdiag::allow(A1, transitional until PR5 moves QcGate down)\n\
+                 use bios_instrument::qc::QcGate;\n",
+                true,
+            ),
+            mem(
+                "bios-electrochem",
+                "crates/electrochem/src/b.rs",
+                "// advdiag::allow(A1, nothing here references instrument)\nfn f() {}\n",
+                true,
+            ),
+        ];
+        let findings = lint_files(&files);
+        let rules: Vec<(&str, &str)> = findings.iter().map(|f| (f.rule, f.file.as_str())).collect();
+        assert_eq!(
+            rules,
+            [("W0", "crates/electrochem/src/b.rs")],
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn corpus_files_feed_a2_but_are_not_linted() {
+        let files = vec![
+            mem(
+                "bios-afe",
+                "crates/afe/src/lib.rs",
+                "pub fn bench_only_hook() {}\n",
+                true,
+            ),
+            // Reference from another package's bench tree: item is live.
+            // The unwrap() here must NOT be linted (corpus-only file).
+            mem(
+                "bios-bench",
+                "crates/bench/benches/perf.rs",
+                "fn main() { bench_only_hook(); x.unwrap(); }\n",
+                false,
+            ),
+        ];
+        let findings = lint_files(&files);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
 }

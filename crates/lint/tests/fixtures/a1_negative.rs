@@ -1,0 +1,7 @@
+//! A1 fixture — an application layer consuming a foundation crate.
+//! Linted as `bios-instrument`; the `bios_units` reference is a
+//! downward edge (layer 3 → 0) and must stay silent.
+
+pub fn excitation() -> f64 {
+    bios_units::Volts::new(1.0).value()
+}

@@ -1,0 +1,7 @@
+//! A1 fixture — a foundation crate reaching *up* into an application
+//! layer. Linted as `bios-units` by `tests/semantic.rs`, where the
+//! reference to `bios_instrument` is an upward edge (layer 0 → 3).
+
+pub fn peek_schedule() -> u32 {
+    bios_instrument::session::DEFAULT_SLOTS
+}

@@ -1,0 +1,12 @@
+//! A2 fixture — linted as `bios-afe` alongside the consumer corpus in
+//! `a2_consumer.rs`. `used_gain` is referenced there and must stay
+//! silent; `orphan_gain` is referenced nowhere outside the crate and
+//! must warn.
+
+pub fn used_gain() -> f64 {
+    20.0
+}
+
+pub fn orphan_gain() -> f64 {
+    40.0
+}

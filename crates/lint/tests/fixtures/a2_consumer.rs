@@ -1,0 +1,7 @@
+//! A2 fixture corpus — a `bios-instrument` file whose text references
+//! `used_gain` from `a2_api.rs`, keeping that item off the dead-API
+//! report.
+
+pub fn configure() -> f64 {
+    bios_afe::used_gain()
+}

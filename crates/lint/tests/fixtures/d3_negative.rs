@@ -1,0 +1,32 @@
+//! D3 fixture — nothing in this file may produce a D3 finding: every
+//! reduction is merged by index, local to one item, or outside a
+//! parallel closure entirely.
+
+pub fn merge_by_index(policy: &ExecPolicy, xs: &[f64], out: &mut [f64]) {
+    par_map(policy, xs, |i, x| {
+        out[i] += x;
+        0.0
+    });
+}
+
+pub fn local_accumulator(policy: &ExecPolicy, xs: &[Trace]) {
+    try_par_map(policy, xs, |_, t| {
+        let mut acc = 0.0;
+        for v in t.samples() {
+            acc += v;
+        }
+        Ok(acc)
+    });
+}
+
+pub fn ordered_sum(policy: &ExecPolicy, xs: &[Trace]) {
+    par_map(policy, xs, |_, t| t.samples().iter().sum::<f64>());
+}
+
+pub fn serial_reduction(xs: &[f64]) -> f64 {
+    let mut s = 0.0;
+    for x in xs {
+        s += x;
+    }
+    s
+}

@@ -1,0 +1,35 @@
+//! D3 fixture — each function below must produce at least one D3
+//! finding. Linted as `bios-platform` by `tests/semantic.rs`; the
+//! receiver names (not types) carry the unordered-collection markers so
+//! the fixture stays focused on D3 and does not also trip D1.
+
+pub fn captured_reduction(policy: &ExecPolicy, xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    par_map(policy, xs, |_, x| {
+        sum += x;
+        0.0
+    });
+    sum
+}
+
+pub fn captured_product(policy: &ExecPolicy, xs: &[f64]) -> f64 {
+    let mut scale = 1.0;
+    try_par_map(policy, xs, |_, x| {
+        scale *= x;
+        Ok(0.0)
+    });
+    scale
+}
+
+pub fn unordered_keys(policy: &ExecPolicy, xs: &[f64], registry: &Registry) {
+    try_par_map(policy, xs, |_, _x| {
+        for k in registry.hash_map.keys() {
+            touch(k);
+        }
+        Ok(0.0)
+    });
+}
+
+pub fn unordered_sum(policy: &ExecPolicy, xs: &[f64], hashset: &Members) {
+    par_map(policy, xs, |_, _x| hashset.iter().count() as f64);
+}

@@ -1,0 +1,30 @@
+//! U2 fixture — nothing in this file may produce a U2 finding: every
+//! raw value re-enters the dimension and scale it left, or passes
+//! through an operation that legitimately forgets the dimension.
+
+pub fn matching_reentry(v: Volts) -> Volts {
+    let mv = v.as_millivolts();
+    Volts::from_millivolts(mv)
+}
+
+pub fn arithmetic_conversion(t: Seconds) -> Seconds {
+    let ms = t.as_millis();
+    Seconds::new(ms / 1e3)
+}
+
+pub fn same_scale_sum(a: Volts, b: Volts) -> f64 {
+    a.as_millivolts() + b.as_millivolts()
+}
+
+pub fn branch_kills_tracking(v: Volts, c: bool) -> Amps {
+    let mut raw = v.as_millivolts();
+    if c {
+        raw = recalibrated_current();
+    }
+    Amps::new(raw)
+}
+
+pub fn sqrt_forgets(v: Volts) -> Amps {
+    let raw = v.as_millivolts().sqrt();
+    Amps::new(raw)
+}

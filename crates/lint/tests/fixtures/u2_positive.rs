@@ -1,0 +1,26 @@
+//! U2 fixture — every function below must produce exactly one U2
+//! finding. Linted as `bios-electrochem` by `tests/semantic.rs`; the
+//! file never compiles as part of the workspace.
+
+pub fn cross_dimension_reentry(v: Volts) -> Amps {
+    let raw = v.as_millivolts();
+    Amps::from_nanoamps(raw)
+}
+
+pub fn scale_mismatch_reentry(v: Volts) -> Volts {
+    let mv = v.as_millivolts();
+    Volts::new(mv)
+}
+
+pub fn mixed_dimension_addition(v: Volts, i: Amps) -> f64 {
+    v.as_millivolts() + i.as_milliamps()
+}
+
+pub fn mixed_scale_addition(a: Volts, b: Volts) -> f64 {
+    a.as_millivolts() + b.as_microvolts()
+}
+
+pub fn tracking_survives_abs(v: Volts) -> Amps {
+    let raw = v.as_millivolts().abs();
+    Amps::new(raw)
+}
