@@ -33,11 +33,13 @@ fn synth(seed: u64) -> Finding {
     let rule = RULE_IDS[(seed % RULE_IDS.len() as u64) as usize];
     let file = FILES[((seed >> 4) % FILES.len() as u64) as usize];
     let excerpt = EXCERPTS[((seed >> 8) % EXCERPTS.len() as u64) as usize];
+    let col = ((seed >> 24) % 120 + 1) as u32;
     Finding {
         rule,
         file: file.to_string(),
         line: ((seed >> 16) % 500 + 1) as u32,
-        col: ((seed >> 24) % 120 + 1) as u32,
+        col,
+        end_col: col + ((seed >> 32) % 40) as u32,
         severity: if seed.is_multiple_of(7) {
             Severity::Warning
         } else {
@@ -45,6 +47,7 @@ fn synth(seed: u64) -> Finding {
         },
         message: format!("synthetic finding #{seed}"),
         excerpt: excerpt.to_string(),
+        fix: None,
     }
 }
 

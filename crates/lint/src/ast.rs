@@ -59,6 +59,10 @@ pub enum ItemKind {
 pub struct FnItem {
     pub name: String,
     pub params: Vec<Param>,
+    /// True when the signature declares a `-> Ret` return type. The
+    /// range analysis only trusts a trailing block expression as the
+    /// function's value when this is set.
+    pub has_ret: bool,
     /// `None` for bodyless signatures (trait methods, extern fns).
     pub body: Option<Block>,
 }
@@ -102,10 +106,23 @@ pub enum Stmt {
 pub enum Expr {
     /// `a::b::c` (turbofish dropped). One segment for a plain variable.
     Path { segments: Vec<String>, span: Span },
-    /// Numeric/string/char literal.
-    Lit { is_float: bool, span: Span },
-    /// Prefix `-`/`!`/`*`/`&`/`&mut` — dimension-transparent.
-    Unary { expr: Box<Expr>, span: Span },
+    /// Numeric/string/char literal. `value` is the parsed numeric value
+    /// when the literal is numeric and representable (`None` for
+    /// strings/chars or unparseable spellings) — the range analysis
+    /// seeds its interval facts from it.
+    Lit {
+        is_float: bool,
+        value: Option<f64>,
+        span: Span,
+    },
+    /// Prefix `-`/`!`/`*`/`&`/`&mut`/`return`/`break` — `op` keeps the
+    /// operator spelling so value-preserving (`&`, `*`) and negating
+    /// (`-`) prefixes can be told apart; dimension-transparent.
+    Unary {
+        op: String,
+        expr: Box<Expr>,
+        span: Span,
+    },
     /// `lhs op rhs` for non-assignment binary operators.
     Binary {
         op: String,

@@ -372,9 +372,11 @@ mod tests {
             file: file.to_string(),
             line: 1,
             col: 1,
+            end_col: 0,
             severity: crate::rules::Severity::Error,
             message: String::new(),
             excerpt: excerpt.to_string(),
+            fix: None,
         }
     }
 

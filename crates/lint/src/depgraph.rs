@@ -134,23 +134,73 @@ impl DepGraph {
     }
 }
 
-/// Runs both workspace analyses over every file. Returns raw findings
-/// (excerpts unfilled, suppressions unapplied — the caller owns those)
-/// plus the dependency graph for the DOT artifact.
-pub fn analyze(files: &[MemFile]) -> (Vec<Finding>, DepGraph) {
-    let mut findings = Vec::new();
-    let graph = build_graph(files);
-    rule_a1(&graph, &mut findings);
-    rule_a2(files, &mut findings);
-    (findings, graph)
+/// The workspace-relevant facts of ONE file, extracted independently of
+/// every other file. This is the unit the incremental cache stores: the
+/// workspace analyses ([`analyze_facts`]) are a cheap pure function over
+/// these, so a warm run only re-extracts facts for files whose content
+/// hash changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileFacts {
+    /// Sorted, deduplicated identifier-ish words over the FULL text
+    /// (comments and tests included) — A2's reference corpus.
+    pub words: Vec<String>,
+    /// Cross-crate references from non-test path identifiers, first site
+    /// per target crate (lintable files only).
+    pub edges: Vec<FactEdge>,
+    /// Externally-visible `pub` items (lintable files only).
+    pub pubs: Vec<PubItem>,
 }
 
-/// Builds the crate dependency graph from every non-test `bios_*` path
-/// identifier in lintable files.
-fn build_graph(files: &[MemFile]) -> DepGraph {
-    let mut edges: BTreeMap<(String, String, String), (u32, u32)> = BTreeMap::new();
-    for f in files.iter().filter(|f| f.lintable) {
-        let lexed = lex(&f.source);
+/// One outgoing crate reference in a file (the `from`/`file` halves of a
+/// [`DepEdge`] are implied by the file the facts belong to).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactEdge {
+    pub to: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One `pub` item declared by a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PubItem {
+    pub name: String,
+    pub kind: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A file's facts plus its workspace coordinates, as [`analyze_facts`]
+/// consumes them.
+#[derive(Debug, Clone, Copy)]
+pub struct FactsRef<'a> {
+    pub crate_name: &'a str,
+    pub rel_path: &'a str,
+    pub lintable: bool,
+    pub facts: &'a FileFacts,
+}
+
+/// Extracts one file's workspace facts. `lexed`/`items` are `None` for
+/// corpus-only files (only the word set is relevant there).
+pub fn extract_facts(
+    crate_name: &str,
+    source: &str,
+    lexed: Option<&crate::lexer::Lexed>,
+    items: Option<&[Item]>,
+) -> FileFacts {
+    let mut words: BTreeSet<String> = BTreeSet::new();
+    let mut cur = String::new();
+    for ch in source.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.push(ch);
+        } else if !cur.is_empty() {
+            words.insert(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        words.insert(cur);
+    }
+    let mut edges: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    if let Some(lexed) = lexed {
         for t in &lexed.tokens {
             if t.in_test || t.kind != TokenKind::Ident {
                 continue;
@@ -158,26 +208,93 @@ fn build_graph(files: &[MemFile]) -> DepGraph {
             let Some(to) = crate_for_ident(&t.text) else {
                 continue;
             };
-            if to == f.crate_name {
+            if to == crate_name {
                 continue;
             }
-            edges
-                .entry((f.crate_name.clone(), to.to_string(), f.rel_path.clone()))
-                .or_insert((t.line, t.col));
+            edges.entry(to.to_string()).or_insert((t.line, t.col));
         }
     }
-    DepGraph {
+    let mut pubs = Vec::new();
+    if let Some(items) = items {
+        let mut raw = Vec::new();
+        for item in items {
+            collect_pub_items(item, true, &mut raw);
+        }
+        for (name, kind, span) in raw {
+            pubs.push(PubItem {
+                name,
+                kind: kind.to_string(),
+                line: span.line,
+                col: span.col,
+            });
+        }
+    }
+    FileFacts {
+        words: words.into_iter().collect(),
         edges: edges
             .into_iter()
-            .map(|((from, to, file), (line, col))| DepEdge {
-                from,
-                to,
-                file,
-                line,
-                col,
-            })
+            .map(|(to, (line, col))| FactEdge { to, line, col })
             .collect(),
+        pubs,
     }
+}
+
+/// Runs both workspace analyses over every file. Returns raw findings
+/// (excerpts unfilled, suppressions unapplied — the caller owns those)
+/// plus the dependency graph for the DOT artifact.
+pub fn analyze(files: &[MemFile]) -> (Vec<Finding>, DepGraph) {
+    let facts: Vec<(String, String, bool, FileFacts)> = files
+        .iter()
+        .map(|f| {
+            let (lexed, items) = if f.lintable {
+                let lexed = lex(&f.source);
+                let items = parse_items(&lexed);
+                (Some(lexed), Some(items))
+            } else {
+                (None, None)
+            };
+            (
+                f.crate_name.clone(),
+                f.rel_path.clone(),
+                f.lintable,
+                extract_facts(&f.crate_name, &f.source, lexed.as_ref(), items.as_deref()),
+            )
+        })
+        .collect();
+    let refs: Vec<FactsRef<'_>> = facts
+        .iter()
+        .map(|(crate_name, rel_path, lintable, facts)| FactsRef {
+            crate_name,
+            rel_path,
+            lintable: *lintable,
+            facts,
+        })
+        .collect();
+    analyze_facts(&refs)
+}
+
+/// The pure workspace-analysis phase over pre-extracted facts: builds
+/// the dependency graph and runs A1/A2. Cold and warm (cached) runs
+/// both funnel through here, so their findings agree by construction.
+pub fn analyze_facts(files: &[FactsRef<'_>]) -> (Vec<Finding>, DepGraph) {
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    for f in files.iter().filter(|f| f.lintable) {
+        for e in &f.facts.edges {
+            edges.push(DepEdge {
+                from: f.crate_name.to_string(),
+                to: e.to.clone(),
+                file: f.rel_path.to_string(),
+                line: e.line,
+                col: e.col,
+            });
+        }
+    }
+    edges.sort_by(|a, b| (&a.from, &a.to, &a.file).cmp(&(&b.from, &b.to, &b.file)));
+    let graph = DepGraph { edges };
+    rule_a1(&graph, &mut findings);
+    rule_a2_facts(files, &mut findings);
+    (findings, graph)
 }
 
 /// A1: upward edges between constrained crates are layering violations.
@@ -192,6 +309,7 @@ fn rule_a1(graph: &DepGraph, findings: &mut Vec<Finding>) {
                 file: e.file.clone(),
                 line: e.line,
                 col: e.col,
+                end_col: 0,
                 severity: Severity::Error,
                 message: format!(
                     "`{}` (layer {}) references `{}` (layer {}): upward \
@@ -201,58 +319,48 @@ fn rule_a1(graph: &DepGraph, findings: &mut Vec<Finding>) {
                     e.from, from_layer, e.to, to_layer
                 ),
                 excerpt: String::new(),
+                fix: None,
             });
         }
     }
 }
 
-/// A2: `pub` items in library crates that no other crate's text ever
+/// A2: `pub` items in library crates that no other crate's word set ever
 /// mentions (warn-level).
-fn rule_a2(files: &[MemFile], findings: &mut Vec<Finding>) {
+fn rule_a2_facts(files: &[FactsRef<'_>], findings: &mut Vec<Finding>) {
     // Word sets per crate over the FULL corpus (tests/benches included),
     // so any textual mention anywhere counts as a reference.
-    let mut words: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    let mut words: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
     for f in files {
-        let set = words.entry(f.crate_name.as_str()).or_default();
-        let mut cur = String::new();
-        for ch in f.source.chars() {
-            if ch.is_alphanumeric() || ch == '_' {
-                cur.push(ch);
-            } else if !cur.is_empty() {
-                set.insert(std::mem::take(&mut cur));
-            }
-        }
-        if !cur.is_empty() {
-            set.insert(cur);
-        }
+        words
+            .entry(f.crate_name)
+            .or_default()
+            .extend(f.facts.words.iter().map(String::as_str));
     }
     for f in files.iter().filter(|f| f.lintable) {
-        if !A2_CRATES.contains(&f.crate_name.as_str()) {
+        if !A2_CRATES.contains(&f.crate_name) {
             continue;
         }
-        let items = parse_items(&lex(&f.source));
-        let mut pubs = Vec::new();
-        for item in &items {
-            collect_pub_items(item, true, &mut pubs);
-        }
-        for (name, kind, span) in pubs {
+        for p in &f.facts.pubs {
             let referenced_elsewhere = words
                 .iter()
                 .filter(|(c, _)| **c != f.crate_name)
-                .any(|(_, set)| set.contains(&name));
+                .any(|(_, set)| set.contains(p.name.as_str()));
             if !referenced_elsewhere {
                 findings.push(Finding {
                     rule: "A2",
-                    file: f.rel_path.clone(),
-                    line: span.line,
-                    col: span.col,
+                    file: f.rel_path.to_string(),
+                    line: p.line,
+                    col: p.col,
+                    end_col: 0,
                     severity: Severity::Warning,
                     message: format!(
-                        "pub {kind} `{name}` is never referenced outside \
+                        "pub {} `{}` is never referenced outside \
                          `{}`: dead public API surface; drop `pub` or delete it",
-                        f.crate_name
+                        p.kind, p.name, f.crate_name
                     ),
                     excerpt: String::new(),
+                    fix: None,
                 });
             }
         }

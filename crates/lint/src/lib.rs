@@ -24,21 +24,27 @@
 
 pub mod ast;
 pub mod baseline;
+pub mod cache;
 pub mod dataflow;
 pub mod depgraph;
 pub mod dimension;
+pub mod fixer;
 pub mod lexer;
 pub mod parser;
+pub mod range;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use cache::LintCache;
 pub use depgraph::DepGraph;
+pub use fixer::{Fix, FixOutcome, FixSafety};
 pub use report::Report;
 pub use rules::{
     lint_file, lint_source, AllowSite, FileContext, FileLint, Finding, Severity, RULE_IDS,
 };
 pub use workspace::{
-    discover, gather, lint_files, lint_files_graph, lint_workspace, lint_workspace_graph, MemFile,
+    discover, gather, lint_files, lint_files_cached, lint_files_graph, lint_workspace,
+    lint_workspace_graph, LintStats, MemFile,
 };

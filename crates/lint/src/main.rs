@@ -8,16 +8,30 @@
 //! cargo run -p bios-lint -- --baseline lint-baseline.json --out lint-report.json
 //! cargo run -p bios-lint -- --write-baseline lint-baseline.json
 //! cargo run -p bios-lint -- --emit-dot target/deps.dot
+//! cargo run -p bios-lint -- --fix                # apply machine-applicable fixes
+//! cargo run -p bios-lint -- --fix-check --diff target/fixes.patch
+//! cargo run -p bios-lint -- --cache target/lint-cache.json
+//! cargo run -p bios-lint -- --cache target/lint-cache.json --changed-since files.txt
 //! ```
 //!
+//! `--fix` applies every machine-applicable fix to disk (iterating to a
+//! fixpoint) and then lints the repaired tree; `--fix-check` computes
+//! the same fixes without touching disk and fails the run if any would
+//! apply — CI uses it to keep auto-fixable debt at zero. `--diff`
+//! writes the would-be (or applied) rewrites as a unified diff.
+//! `--cache` loads/stores the incremental findings DB so warm runs skip
+//! re-analyzing unchanged files; `--changed-since` additionally forces
+//! the listed rel-paths dirty (one per line).
+//!
 //! Exit codes: 0 = clean (no unbaselined error findings; warnings such
-//! as A2 report without failing), 1 = new errors, 2 = usage or I/O
-//! error.
+//! as A2 report without failing), 1 = new errors (or, under
+//! `--fix-check`, pending fixes), 2 = usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bios_lint::{Baseline, Report};
+use bios_lint::fixer;
+use bios_lint::{Baseline, LintCache, Report};
 
 enum Format {
     Text,
@@ -32,6 +46,11 @@ struct Options {
     write_baseline: Option<PathBuf>,
     out: Option<PathBuf>,
     emit_dot: Option<PathBuf>,
+    fix: bool,
+    fix_check: bool,
+    diff: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    changed_since: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -42,6 +61,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         write_baseline: None,
         out: None,
         emit_dot: None,
+        fix: false,
+        fix_check: false,
+        diff: None,
+        cache: None,
+        changed_since: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,14 +91,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--write-baseline" => opts.write_baseline = Some(path_value("--write-baseline")?),
             "--out" => opts.out = Some(path_value("--out")?),
             "--emit-dot" => opts.emit_dot = Some(path_value("--emit-dot")?),
+            "--fix" => opts.fix = true,
+            "--fix-check" => opts.fix_check = true,
+            "--diff" => opts.diff = Some(path_value("--diff")?),
+            "--cache" => opts.cache = Some(path_value("--cache")?),
+            "--changed-since" => opts.changed_since = Some(path_value("--changed-since")?),
             "--help" | "-h" => {
                 return Err("usage: bios-lint [--root DIR] [--format text|json|github] \
                      [--baseline FILE] [--write-baseline FILE] [--out FILE] \
-                     [--emit-dot FILE]"
+                     [--emit-dot FILE] [--fix | --fix-check] [--diff FILE] \
+                     [--cache FILE] [--changed-since FILE]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if opts.fix && opts.fix_check {
+        return Err("--fix and --fix-check are mutually exclusive".to_string());
     }
     // Default: pick up the checked-in baseline when present.
     if opts.baseline.is_none() {
@@ -87,8 +120,94 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
-    let files = bios_lint::discover(&opts.root)?.len();
-    let (findings, graph) = bios_lint::lint_workspace_graph(&opts.root)?;
+    let mut files = bios_lint::gather(&opts.root)?;
+    let lintable = files.iter().filter(|f| f.lintable).count();
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => Baseline::default(),
+    };
+
+    // Auto-fix: compute the machine-applicable fixpoint in memory, then
+    // either write it back (`--fix`) or gate on it (`--fix-check`).
+    let mut pending_fixes = 0usize;
+    if opts.fix || opts.fix_check {
+        let mut working = files.clone();
+        let outcome = fixer::fix_files(&mut working, &baseline)?;
+        let mut diffs = String::new();
+        for rel in &outcome.changed {
+            let old = files.iter().find(|f| &f.rel_path == rel);
+            let new = working.iter().find(|f| &f.rel_path == rel);
+            if let (Some(old), Some(new)) = (old, new) {
+                diffs.push_str(&fixer::unified_diff(rel, &old.source, &new.source));
+            }
+        }
+        if let Some(path) = &opts.diff {
+            std::fs::write(path, &diffs)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        if opts.fix {
+            for rel in &outcome.changed {
+                if let Some(new) = working.iter().find(|f| &f.rel_path == rel) {
+                    let path = opts.root.join(rel);
+                    std::fs::write(&path, &new.source)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                }
+            }
+            eprintln!(
+                "bios-lint: applied {} fix(es) to {} file(s) in {} round(s)",
+                outcome.applied,
+                outcome.changed.len(),
+                outcome.rounds
+            );
+            files = working; // lint the repaired tree below
+        } else {
+            pending_fixes = outcome.applied;
+            if pending_fixes > 0 {
+                eprintln!(
+                    "bios-lint: {} machine-applicable fix(es) pending in {} file(s) — \
+                     run with --fix to apply",
+                    pending_fixes,
+                    outcome.changed.len()
+                );
+            }
+        }
+    }
+
+    // Lint, replaying unchanged files from the cache when one is given.
+    let cache = match &opts.cache {
+        Some(path) => std::fs::read_to_string(path)
+            .map(|t| LintCache::parse(&t))
+            .unwrap_or_default(),
+        None => LintCache::default(),
+    };
+    let force_dirty: Vec<String> = match &opts.changed_since {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+        None => Vec::new(),
+    };
+    let (findings, graph, new_cache, stats) =
+        bios_lint::lint_files_cached(&files, &cache, &force_dirty);
+    if let Some(path) = &opts.cache {
+        std::fs::write(path, new_cache.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "bios-lint: cache replayed {}/{} file(s), {}/{} crate(s)",
+            stats.files_reused,
+            stats.files_total,
+            stats.crates_reused,
+            stats.crates_reused + stats.crates_analyzed
+        );
+    }
+
     if let Some(path) = &opts.emit_dot {
         std::fs::write(path, graph.to_dot())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -109,17 +228,9 @@ fn run(opts: &Options) -> Result<bool, String> {
         );
         return Ok(true);
     }
-    let baseline = match &opts.baseline {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?
-        }
-        None => Baseline::default(),
-    };
     let (baselined, fresh) = baseline.partition(&findings);
     let report = Report {
-        files,
+        files: lintable,
         baselined,
         fresh,
     };
@@ -141,7 +252,7 @@ fn run(opts: &Options) -> Result<bool, String> {
         }
         None => print!("{rendered}"),
     }
-    Ok(report.fresh_errors().count() == 0)
+    Ok(report.fresh_errors().count() == 0 && pending_fixes == 0)
 }
 
 fn main() -> ExitCode {

@@ -53,6 +53,50 @@ fn infix_bp(op: &str) -> Option<(u8, u8)> {
 /// Binding power of prefix operators' operands (tighter than any infix).
 const PREFIX_BP: u8 = 24;
 
+/// Type suffixes a numeric literal may carry.
+const NUM_SUFFIXES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Parses the numeric value of an int/float literal token, tolerating
+/// `_` separators, type suffixes and radix prefixes. Returns `None` for
+/// spellings outside f64's exact reach rather than guessing.
+fn numeric_value(text: &str) -> Option<f64> {
+    let digits: String = text.chars().filter(|c| *c != '_').collect();
+    let mut body = digits.as_str();
+    if let Some(rest) = body
+        .strip_prefix("0x")
+        .or_else(|| body.strip_prefix("0X"))
+        .or_else(|| body.strip_prefix("0o"))
+        .or_else(|| body.strip_prefix("0O"))
+        .or_else(|| body.strip_prefix("0b"))
+        .or_else(|| body.strip_prefix("0B"))
+    {
+        let radix = match digits.as_bytes().get(1) {
+            Some(b'x') | Some(b'X') => 16,
+            Some(b'o') | Some(b'O') => 8,
+            _ => 2,
+        };
+        let mut rest = rest;
+        for s in NUM_SUFFIXES.iter().filter(|s| !s.starts_with('f')) {
+            if let Some(r) = rest.strip_suffix(s) {
+                rest = r;
+                break;
+            }
+        }
+        let v = u128::from_str_radix(rest, radix).ok()?;
+        return Some(v as f64);
+    }
+    for s in NUM_SUFFIXES {
+        if let Some(r) = body.strip_suffix(s) {
+            body = r;
+            break;
+        }
+    }
+    body.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
 /// Pattern tokens that are not bindings (`let mut x`, `ref y`, `_`).
 fn is_pattern_keyword(text: &str) -> bool {
     matches!(
@@ -456,7 +500,8 @@ impl<'a> Parser<'a> {
         if self.text() == "(" {
             params = self.fn_params();
         }
-        if self.eat("->") {
+        let has_ret = self.eat("->");
+        if has_ret {
             self.skip_until(&["{", "where"]);
         }
         if self.text() == "where" {
@@ -468,7 +513,12 @@ impl<'a> Parser<'a> {
             self.eat(";");
             None
         };
-        FnItem { name, params, body }
+        FnItem {
+            name,
+            params,
+            has_ret,
+            body,
+        }
     }
 
     /// Parses a parenthesized parameter list; cursor at `(`.
@@ -776,16 +826,28 @@ impl<'a> Parser<'a> {
         };
         match tok.kind {
             TokenKind::FloatLit => {
+                let value = numeric_value(&tok.text);
                 self.pos += 1;
                 return Expr::Lit {
                     is_float: true,
+                    value,
                     span,
                 };
             }
-            TokenKind::IntLit | TokenKind::StrLit | TokenKind::CharLit => {
+            TokenKind::IntLit => {
+                let value = numeric_value(&tok.text);
                 self.pos += 1;
                 return Expr::Lit {
                     is_float: false,
+                    value,
+                    span,
+                };
+            }
+            TokenKind::StrLit | TokenKind::CharLit => {
+                self.pos += 1;
+                return Expr::Lit {
+                    is_float: false,
+                    value: None,
                     span,
                 };
             }
@@ -799,9 +861,11 @@ impl<'a> Parser<'a> {
         }
         match self.text() {
             "-" | "!" => {
+                let op = self.text().to_string();
                 self.pos += 1;
                 let e = self.expr(PREFIX_BP, allow_struct);
                 Expr::Unary {
+                    op,
                     expr: Box::new(e),
                     span,
                 }
@@ -816,6 +880,7 @@ impl<'a> Parser<'a> {
                 }
                 let e = self.expr(PREFIX_BP, allow_struct);
                 Expr::Unary {
+                    op: "&".to_string(),
                     expr: Box::new(e),
                     span,
                 }
@@ -824,6 +889,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 let e = self.expr(PREFIX_BP, allow_struct);
                 Expr::Unary {
+                    op: "*".to_string(),
                     expr: Box::new(e),
                     span,
                 }
@@ -955,12 +1021,14 @@ impl<'a> Parser<'a> {
                 }
             }
             "return" | "break" | "continue" => {
+                let op = self.text().to_string();
                 self.pos += 1;
                 if matches!(self.text(), ";" | ")" | "," | "}" | "]") || self.at_end() {
                     Expr::Opaque { span }
                 } else {
                     let e = self.expr(0, allow_struct);
                     Expr::Unary {
+                        op,
                         expr: Box::new(e),
                         span,
                     }
@@ -1271,6 +1339,30 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn literal_values_and_unary_ops_are_captured() {
+        let items = parse(
+            "fn f() -> f64 { let a = 1_000.5f64; let b = 0x10; let c = -2.0; let d = &a; a }",
+        );
+        let f = only_fn(&items);
+        assert!(f.has_ret);
+        let body = f.body.as_ref().expect("body");
+        let init = |i: usize| match &body.stmts[i] {
+            Stmt::Let { init: Some(e), .. } => e,
+            other => panic!("expected let, got {other:?}"),
+        };
+        assert!(matches!(init(0), Expr::Lit { value: Some(v), .. } if *v == 1000.5));
+        assert!(matches!(init(1), Expr::Lit { value: Some(v), .. } if *v == 16.0));
+        match init(2) {
+            Expr::Unary { op, expr, .. } => {
+                assert_eq!(op, "-");
+                assert!(matches!(&**expr, Expr::Lit { value: Some(v), .. } if *v == 2.0));
+            }
+            other => panic!("expected unary, got {other:?}"),
+        }
+        assert!(matches!(init(3), Expr::Unary { op, .. } if op == "&"));
     }
 
     #[test]

@@ -81,13 +81,19 @@ impl Report<'_> {
             .chain(self.baselined.iter().map(|f| (*f, true)))
             .collect();
         for (i, (f, baselined)) in all.iter().enumerate() {
+            let fixable = match &f.fix {
+                Some(fix) => escape(fix.safety.label()),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
-                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"end_col\": {}, \"fixable\": {}, \"baselined\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
                 escape(f.rule),
                 escape(f.severity.label()),
                 escape(&f.file),
                 f.line,
                 f.col,
+                f.end_col,
+                fixable,
                 baselined,
                 escape(&f.message),
                 escape(&f.excerpt),
@@ -100,7 +106,9 @@ impl Report<'_> {
 
     /// GitHub Actions workflow annotations (`::error file=…,line=…`):
     /// one command per fresh finding, so violations surface inline on the
-    /// PR diff. Baselined findings are not annotated.
+    /// PR diff. Columns are 1-based and `endColumn` spans the flagged
+    /// region, so the underline covers the whole excerpt rather than a
+    /// single character. Baselined findings are not annotated.
     pub fn github(&self) -> String {
         let mut out = String::new();
         for f in &self.fresh {
@@ -108,11 +116,18 @@ impl Report<'_> {
                 Severity::Error => "error",
                 Severity::Warning => "warning",
             };
+            let end_col = if f.end_col > f.col {
+                f.end_col
+            } else {
+                f.col + 1
+            };
             out.push_str(&format!(
-                "::{cmd} file={},line={},col={},title=bios-lint {}::{}\n",
+                "::{cmd} file={},line={},endLine={},col={},endColumn={},title=bios-lint {}::{}\n",
                 f.file,
                 f.line,
+                f.line,
                 f.col,
+                end_col,
                 f.rule,
                 github_escape(&f.message)
             ));
@@ -139,9 +154,11 @@ mod tests {
             file: "crates/x/src/a.rs".to_string(),
             line: 12,
             col: 7,
+            end_col: 18,
             severity: Severity::Error,
             message: "`.unwrap()` in library code".to_string(),
             excerpt: "x.unwrap();".to_string(),
+            fix: None,
         }
     }
 
@@ -208,7 +225,10 @@ mod tests {
         };
         let gh = report.github();
         assert!(
-            gh.contains("::error file=crates/x/src/a.rs,line=12,col=7,title=bios-lint P1::"),
+            gh.contains(
+                "::error file=crates/x/src/a.rs,line=12,endLine=12,col=7,endColumn=18,\
+                 title=bios-lint P1::"
+            ),
             "{gh}"
         );
         assert!(gh.contains("::warning file="), "{gh}");

@@ -13,10 +13,17 @@
 //! | S1 | token | every `unsafe` needs a `// SAFETY:` comment | everywhere |
 //! | F1 | token | no `==`/`!=` against float literals | physics crates |
 //! | U2 | semantic | dimensional consistency of raw `f64` unit flows | unit-consuming crates |
+//! | N1 | semantic | no division by a provably-zero-containing denominator | unit-consuming crates |
+//! | N2 | semantic | no `exp()` of a provably-overflowing argument | unit-consuming crates |
+//! | N3 | semantic | no subtraction of provably near-equal constants | unit-consuming crates |
 //! | D3 | semantic | no order-sensitive reductions in `par_map` closures | deterministic crates |
 //! | A1 | workspace | crate layering (units → physics → afe → instrument → core → bench) | whole workspace |
 //! | A2 | workspace (warn) | no dead `pub` items unreferenced outside their crate | library crates |
 //! | W0 | meta | no stale `advdiag::allow` suppressions | everywhere |
+//!
+//! Some rules attach a [`Fix`] to their findings (F1, U1, D1, W0); see
+//! [`crate::fixer`] for the applicability taxonomy and the splicing
+//! engine behind `--fix`.
 //!
 //! Token and semantic rules skip `#[cfg(test)]` / `#[test]` regions
 //! except S1 (an undocumented `unsafe` block is a hazard wherever it
@@ -25,6 +32,7 @@
 //! mandatory. A well-formed allow that suppresses nothing is itself
 //! reported (W0), so grandfathered suppressions cannot go stale silently.
 
+use crate::fixer::{Fix, FixSafety};
 use crate::lexer::{lex, Comment, Lexed, Token, TokenKind};
 
 /// How severe a finding is. `Error` findings gate the exit code; fresh
@@ -56,12 +64,18 @@ pub struct Finding {
     pub line: u32,
     /// 1-based character (not byte) column; 0 when unknown.
     pub col: u32,
+    /// 1-based character column one past the end of the flagged region
+    /// on `line` (the annotation underline spans `col..end_col`); 0
+    /// when unknown.
+    pub end_col: u32,
     /// Error findings gate CI; warnings only report.
     pub severity: Severity,
     /// Human-readable explanation.
     pub message: String,
     /// Trimmed source line (baseline matching key; robust to line drift).
     pub excerpt: String,
+    /// Optional rewrite that repairs the finding (see [`crate::fixer`]).
+    pub fix: Option<Fix>,
 }
 
 /// Where a source file sits in the workspace, which decides rule
@@ -87,6 +101,11 @@ pub struct AllowSite {
     pub has_reason: bool,
     /// Set once the site suppresses at least one finding.
     pub used: bool,
+    /// Byte span to delete when the allow is stale: the whole comment if
+    /// the comment holds nothing but this allow, else just the
+    /// `advdiag::allow(…)` text.
+    pub byte_start: usize,
+    pub byte_end: usize,
 }
 
 /// The per-file lint result: surviving findings plus every suppression
@@ -146,7 +165,7 @@ const DIMENSIONED_SUFFIXES: &[(&str, &str)] = &[
 
 /// All shipped rule IDs, in catalogue order.
 pub const RULE_IDS: &[&str] = &[
-    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "A1", "A2", "D3", "W0",
+    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "N1", "N2", "N3", "A1", "A2", "D3", "W0",
 ];
 
 /// Rules resolved at workspace scope, not per file: their allows cannot
@@ -161,18 +180,30 @@ const WORKSPACE_RULES: &[&str] = &["A1", "A2"];
 pub fn lint_file(ctx: &FileContext<'_>, source: &str) -> FileLint {
     let lexed = lex(source);
     let items = crate::parser::parse_items(&lexed);
+    lint_file_prepared(ctx, source, &lexed, &items)
+}
+
+/// As [`lint_file`], but over an already-lexed and parsed file — the
+/// workspace pipeline lexes/parses each file exactly once and shares the
+/// AST with the crate-scope range analysis.
+pub fn lint_file_prepared(
+    ctx: &FileContext<'_>,
+    source: &str,
+    lexed: &Lexed,
+    items: &[crate::ast::Item],
+) -> FileLint {
     let lines: Vec<&str> = source.lines().collect();
     let mut findings = Vec::new();
-    rule_d1(ctx, &lexed, &mut findings);
-    rule_d2(ctx, &lexed, &mut findings);
-    rule_p1(ctx, &lexed, &mut findings);
-    rule_u1(ctx, &lexed, &mut findings);
-    rule_s1(ctx, &lexed, &mut findings);
-    rule_f1(ctx, &lexed, &mut findings);
-    crate::dimension::rule_u2(ctx, &items, &mut findings);
-    crate::dataflow::rule_d3(ctx, &items, &mut findings);
+    rule_d1(ctx, lexed, &mut findings);
+    rule_d2(ctx, lexed, &mut findings);
+    rule_p1(ctx, lexed, &mut findings);
+    rule_u1(ctx, lexed, &mut findings);
+    rule_s1(ctx, lexed, &mut findings);
+    rule_f1(ctx, lexed, &mut findings);
+    crate::dimension::rule_u2(ctx, items, &mut findings);
+    crate::dataflow::rule_d3(ctx, items, &mut findings);
     for f in &mut findings {
-        f.excerpt = excerpt_for(&lines, f.line);
+        finish(&lines, f);
     }
     let mut allows = collect_allows(&lexed.comments);
     findings.retain(|f| !suppress(f, &mut allows));
@@ -180,15 +211,24 @@ pub fn lint_file(ctx: &FileContext<'_>, source: &str) -> FileLint {
     FileLint { findings, allows }
 }
 
-/// Single-file convenience: [`lint_file`] plus W0 for stale allows.
+/// Single-file convenience: [`lint_file`] plus the range analysis (the
+/// file stands alone as its crate) plus W0 for stale allows.
 /// Workspace-scoped rules (A1/A2) never run in this mode, so their
 /// allows are exempt from W0 here.
 pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
-    let mut fl = lint_file(ctx, source);
+    let lexed = lex(source);
+    let items = crate::parser::parse_items(&lexed);
+    let mut fl = lint_file_prepared(ctx, source, &lexed, &items);
     let lines: Vec<&str> = source.lines().collect();
+    let mut ranged = crate::range::analyze_crate(&[(*ctx, &items)]);
+    ranged.retain(|f| !suppress(f, &mut fl.allows));
+    for f in &mut ranged {
+        finish(&lines, f);
+    }
+    fl.findings.extend(ranged);
     let mut w0 = unused_allow_findings(ctx, &mut fl.allows, WORKSPACE_RULES);
     for f in &mut w0 {
-        f.excerpt = excerpt_for(&lines, f.line);
+        finish(&lines, f);
     }
     fl.findings.extend(w0);
     fl.findings
@@ -231,9 +271,18 @@ pub fn unused_allow_findings(
             file: ctx.rel_path.to_string(),
             line: a.line,
             col: a.col,
+            end_col: 0,
             severity: Severity::Error,
             message,
             excerpt: String::new(),
+            // Deleting the stale allow is always sound: it suppresses
+            // nothing, so removing it changes no diagnostics.
+            fix: Some(Fix {
+                start: a.byte_start,
+                end: a.byte_end,
+                replacement: String::new(),
+                safety: FixSafety::MachineApplicable,
+            }),
         });
     }
     // One level of self-suppression: allow(W0, reason) covers these.
@@ -249,6 +298,21 @@ pub(crate) fn excerpt_for(lines: &[&str], line: u32) -> String {
         .map(|l| l.trim())
         .unwrap_or_default();
     text.chars().take(160).collect()
+}
+
+/// Fills the presentation fields a rule left blank: the excerpt, and —
+/// when the rule did not compute a precise span — an `end_col` running
+/// to the end of the flagged line, so annotation underlines always cover
+/// the full excerpt.
+pub(crate) fn finish(lines: &[&str], f: &mut Finding) {
+    f.excerpt = excerpt_for(lines, f.line);
+    if f.end_col <= f.col {
+        let line_end = lines
+            .get(f.line.saturating_sub(1) as usize)
+            .map(|l| l.trim_end().chars().count() as u32 + 1)
+            .unwrap_or(0);
+        f.end_col = line_end.max(f.col + 1);
+    }
 }
 
 /// True for strings shaped like a rule ID (uppercase letters then
@@ -270,6 +334,7 @@ pub fn collect_allows(comments: &[Comment]) -> Vec<AllowSite> {
     for c in comments {
         let mut rest = c.text.as_str();
         while let Some(pos) = rest.find("advdiag::allow(") {
+            let base = c.text.len() - rest.len();
             let args_start = pos + "advdiag::allow(".len();
             let tail = &rest[args_start..];
             let Some(close) = tail.find(')') else {
@@ -281,12 +346,30 @@ pub fn collect_allows(comments: &[Comment]) -> Vec<AllowSite> {
                 None => (args.trim(), ""),
             };
             if is_rule_shaped(rule) {
+                // Deletion span for W0: the whole comment when nothing
+                // but comment markers and whitespace surrounds the allow
+                // (the common `// advdiag::allow(…)` case), else just
+                // the `advdiag::allow(…)` text.
+                let rel_start = base + pos;
+                let rel_end = base + args_start + close + 1;
+                let marker_only = |s: &str| {
+                    s.chars()
+                        .all(|ch| matches!(ch, '/' | '*' | '!') || ch.is_whitespace())
+                };
+                let whole = marker_only(&c.text[..rel_start]) && marker_only(&c.text[rel_end..]);
+                let (byte_start, byte_end) = if whole {
+                    (c.offset, c.offset + c.text.len())
+                } else {
+                    (c.offset + rel_start, c.offset + rel_end)
+                };
                 sites.push(AllowSite {
                     rule: rule.to_string(),
                     line: c.line,
                     col: c.col,
                     has_reason: !reason.is_empty(),
                     used: false,
+                    byte_start,
+                    byte_end,
                 });
             }
             rest = &tail[close + 1..];
@@ -322,32 +405,109 @@ pub(crate) fn push(
         file: ctx.rel_path.to_string(),
         line,
         col,
+        end_col: 0,
         severity: Severity::Error,
         message,
         excerpt: String::new(),
+        fix: None,
     });
 }
 
-/// D1: `HashMap`/`HashSet` in deterministic crates.
+/// Key/element types the D1 fix can prove `Ord` from the spelling alone.
+const ORD_KEY_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "bool",
+    "char", "String", "str", "Vec",
+];
+
+/// True when the `HashMap`/`HashSet` token at `i` can be renamed to its
+/// `BTree` twin without a type-bound risk: either no inline generic args
+/// follow (a `use` path, `HashMap::new()`, an inferred binding), or the
+/// first generic argument spells a provably-`Ord` type.
+fn d1_btree_safe(toks: &[Token], i: usize) -> bool {
+    match toks.get(i + 1) {
+        Some(next) if next.text == "<" => {}
+        _ => return true,
+    }
+    let mut depth = 1i64;
+    let mut j = i + 2;
+    while let Some(t) = toks.get(j) {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return true;
+                }
+            }
+            ">>" => {
+                depth -= 2;
+                if depth <= 0 {
+                    return true;
+                }
+            }
+            "," if depth == 1 => return true,
+            _ => {
+                if t.kind == TokenKind::Ident && !ORD_KEY_TYPES.contains(&t.text.as_str()) {
+                    return false;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+/// D1: `HashMap`/`HashSet` in deterministic crates. The fix renames the
+/// token to `BTreeMap`/`BTreeSet`; it is machine-applicable only when
+/// *every* occurrence in the file passes the `Ord` spelling proof —
+/// renaming a `use` while leaving a usage site (or vice versa) would
+/// split the type in two, so the file converts atomically or not at all.
 fn rule_d1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
     if !DETERMINISTIC_CRATES.contains(&ctx.crate_name) {
         return;
     }
-    for t in non_test_idents(lexed) {
-        if t.text == "HashMap" || t.text == "HashSet" {
-            push(
-                findings,
-                "D1",
-                ctx,
-                t.line,
-                t.col,
-                format!(
-                    "`{}` in deterministic crate `{}`: iteration order is \
-                     randomized per process and can leak into outputs; use \
-                     `BTreeMap`/`BTreeSet`",
-                    t.text, ctx.crate_name
-                ),
-            );
+    let toks = &lexed.tokens;
+    let hits: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            !t.in_test && t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let safety = if hits.iter().all(|&i| d1_btree_safe(toks, i)) {
+        FixSafety::MachineApplicable
+    } else {
+        FixSafety::Suggested
+    };
+    for &i in &hits {
+        let t = &toks[i];
+        push(
+            findings,
+            "D1",
+            ctx,
+            t.line,
+            t.col,
+            format!(
+                "`{}` in deterministic crate `{}`: iteration order is \
+                 randomized per process and can leak into outputs; use \
+                 `BTreeMap`/`BTreeSet`",
+                t.text, ctx.crate_name
+            ),
+        );
+        if let Some(f) = findings.last_mut() {
+            let replacement = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            f.end_col = t.col + t.text.chars().count() as u32;
+            f.fix = Some(Fix {
+                start: t.offset,
+                end: t.offset + t.text.len(),
+                replacement: replacement.to_string(),
+                safety,
+            });
         }
     }
 }
@@ -490,6 +650,19 @@ fn rule_u1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                                     name.text, newtype
                                 ),
                             );
+                            if let Some(f) = findings.last_mut() {
+                                // Suggested, never applied: swapping the
+                                // parameter type is an API change every
+                                // caller must follow.
+                                let ty = &toks[j + 1];
+                                f.end_col = name.col + name.text.chars().count() as u32;
+                                f.fix = Some(Fix {
+                                    start: ty.offset,
+                                    end: ty.offset + ty.text.len(),
+                                    replacement: format!("bios_units::{newtype}"),
+                                    safety: FixSafety::Suggested,
+                                });
+                            }
                         }
                     }
                     _ => {}
@@ -557,16 +730,70 @@ fn rule_f1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
                     t.text
                 ),
             );
+            if let (Some(f), Some((fix, end_col))) = (findings.last_mut(), f1_fix(toks, i)) {
+                f.fix = Some(fix);
+                if end_col > 0 {
+                    f.end_col = end_col;
+                }
+            }
         }
     }
 }
 
-/// Iterator over non-test identifier tokens.
-fn non_test_idents(lexed: &Lexed) -> impl Iterator<Item = &Token> {
-    lexed
-        .tokens
-        .iter()
-        .filter(|t| !t.in_test && t.kind == TokenKind::Ident)
+/// Tokens that may legally precede the left operand of a comparison the
+/// F1 fix rewrites — they guarantee the operand token *is* the whole
+/// operand (no dropped `a.` / `a::` / closing-paren prefix).
+const F1_LEFT_BOUNDARY: &[&str] = &[
+    ";", "(", "{", "}", ",", "[", "=", "&&", "||", "return", "if", "while", "=>",
+];
+
+/// Tokens that may legally follow the right operand (the comparison is
+/// not a prefix of a larger expression the rewrite would mangle).
+const F1_RIGHT_BOUNDARY: &[&str] = &[";", ")", "}", "]", ",", "&&", "||", "{"];
+
+/// Machine-applicable rewrite of `lhs == lit` / `lhs != lit` into
+/// `lhs.total_cmp(&lit).is_eq()` / `.is_ne()`, attempted only when both
+/// operands are single ident/float-literal tokens bounded by tokens that
+/// prove the comparison stands alone. Returns the fix and the 1-based
+/// end column of the rewritten region (0 when it spans lines).
+fn f1_fix(toks: &[Token], i: usize) -> Option<(Fix, u32)> {
+    let lhs = toks.get(i.checked_sub(1)?)?;
+    let rhs = toks.get(i + 1)?;
+    let operand_ok =
+        |t: &Token| matches!(t.kind, TokenKind::Ident | TokenKind::FloatLit) && !t.text.is_empty();
+    if !operand_ok(lhs) || !operand_ok(rhs) {
+        return None;
+    }
+    let left_ok = match i.checked_sub(2).and_then(|k| toks.get(k)) {
+        Some(prev) => F1_LEFT_BOUNDARY.contains(&prev.text.as_str()),
+        None => true,
+    };
+    let right_ok = match toks.get(i + 2) {
+        Some(next) => F1_RIGHT_BOUNDARY.contains(&next.text.as_str()),
+        None => true,
+    };
+    if !left_ok || !right_ok {
+        return None;
+    }
+    let method = if toks[i].text == "==" {
+        "is_eq"
+    } else {
+        "is_ne"
+    };
+    let end_col = if rhs.line == lhs.line {
+        rhs.col + rhs.text.chars().count() as u32
+    } else {
+        0
+    };
+    Some((
+        Fix {
+            start: lhs.offset,
+            end: rhs.offset + rhs.text.len(),
+            replacement: format!("{}.total_cmp(&{}).{method}()", lhs.text, rhs.text),
+            safety: FixSafety::MachineApplicable,
+        },
+        end_col,
+    ))
 }
 
 #[cfg(test)]

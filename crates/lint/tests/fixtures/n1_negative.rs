@@ -1,0 +1,41 @@
+//! N1 negative fixture: no division here may be flagged, even though
+//! several are lexically `x / d` shapes. Linted in memory, never
+//! compiled.
+
+/// A zero-excluding guard clears the fact inside the branch.
+fn guarded(x: f64, d: f64) -> f64 {
+    if d != 0.0 {
+        x / d
+    } else {
+        0.0
+    }
+}
+
+fn guard_driver() -> f64 {
+    guarded(3.0, 0.0)
+}
+
+/// Every call site passes a nonzero denominator.
+fn scaled(x: f64, d: f64) -> f64 {
+    x / d
+}
+
+fn scale_driver() -> f64 {
+    scaled(1.0, 4.0) + scaled(2.0, 8.0)
+}
+
+/// The fn escapes as a value: its call sites are not exhaustive, so the
+/// zero passed below must not be trusted as the full story.
+fn ratio(den: f64) -> f64 {
+    1.0 / den
+}
+
+fn register() -> f64 {
+    publish(ratio);
+    ratio(0.0)
+}
+
+/// Unknown denominator (no call sites at all): silence, never a guess.
+fn freeform(x: f64, d: f64) -> f64 {
+    x / d
+}

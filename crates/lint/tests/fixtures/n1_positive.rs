@@ -1,0 +1,28 @@
+//! N1 positive fixture: each division here must produce exactly one
+//! division-by-zero finding. Linted in memory, never compiled.
+
+/// Local constant denominator that is exactly zero.
+fn local_zero(signal: f64) -> f64 {
+    let gain = 0.0;
+    signal / gain
+}
+
+/// The denominator is zero at only one of the two call sites; the
+/// interprocedural join over all sites makes the division unsafe.
+fn normalize(x: f64, span: f64) -> f64 {
+    x / span
+}
+
+fn sweep_driver() -> f64 {
+    normalize(1.0, 2.0) + normalize(3.0, 0.0)
+}
+
+/// The zero arrives through a callee's return value.
+fn dead_band() -> f64 {
+    0.0
+}
+
+fn compensate(reading: f64) -> f64 {
+    let width = dead_band();
+    reading / width
+}

@@ -1,0 +1,32 @@
+//! N2 negative fixture: every `exp()` argument is provably bounded
+//! below the overflow threshold, or unknown (silence). Linted in
+//! memory, never compiled.
+
+/// Well inside range.
+fn moderate_rate() -> f64 {
+    let exponent = 12.5;
+    exponent.exp()
+}
+
+/// Bounded through a callee's return value.
+fn bounded_term() -> f64 {
+    0.5 * 38.9
+}
+
+fn bounded_rate() -> f64 {
+    bounded_term().exp()
+}
+
+/// All call sites stay bounded.
+fn arrhenius(scaled: f64) -> f64 {
+    scaled.exp()
+}
+
+fn rate_table() -> f64 {
+    arrhenius(12.0) + arrhenius(700.0)
+}
+
+/// Unknown argument (no call sites): silence, never a guess.
+fn freeform(eta: f64) -> f64 {
+    eta.exp()
+}

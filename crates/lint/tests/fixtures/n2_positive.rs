@@ -1,0 +1,29 @@
+//! N2 positive fixture: each `exp()` here overflows f64 (argument
+//! above ln(f64::MAX) ≈ 709.78) — the classic unclamped Butler–Volmer
+//! failure. Linted in memory, never compiled.
+
+/// Direct overflow from a local constant exponent.
+fn tafel_rate() -> f64 {
+    let exponent = 1200.0;
+    exponent.exp()
+}
+
+/// The overflowing argument arrives through a callee's return value:
+/// eta * F / (R T) with a volt-scale overpotential mistakenly in mV.
+fn overpotential_term() -> f64 {
+    38.9 * 26000.0
+}
+
+fn butler_volmer_anodic() -> f64 {
+    overpotential_term().exp()
+}
+
+/// Overflow at one call site is enough: the joined interval's upper
+/// bound crosses the threshold.
+fn arrhenius(scaled: f64) -> f64 {
+    scaled.exp()
+}
+
+fn rate_table() -> f64 {
+    arrhenius(12.0) + arrhenius(800.0)
+}

@@ -1,0 +1,29 @@
+//! N3 negative fixture: subtractions that look similar to the positive
+//! cases but must stay silent. Linted in memory, never compiled.
+
+/// Well-separated constants: no cancellation.
+fn well_separated() -> f64 {
+    2.0 - 1.0
+}
+
+/// Exactly equal operands give an exact zero — that is not a loss of
+/// precision, and flagging it would punish deliberate zeroing.
+fn exactly_equal() -> f64 {
+    let a = 1.25;
+    a - 1.25
+}
+
+/// One operand unknown: silence, never a guess.
+fn unknown_difference(a: f64) -> f64 {
+    a - 1.0
+}
+
+/// Intervals (joined from multiple sites) are not points; near-equality
+/// is only ever claimed for known point values.
+fn offset(x: f64) -> f64 {
+    x - 1.0
+}
+
+fn offset_driver() -> f64 {
+    offset(1.0000001) + offset(5.0)
+}

@@ -1,0 +1,23 @@
+//! N3 positive fixture: each subtraction cancels nearly-equal known
+//! constants (relative difference ≤ 1e-6 but nonzero), destroying
+//! significant digits. Linted in memory, never compiled.
+
+/// Two locally-known near-equal constants.
+fn reference_drift() -> f64 {
+    let measured = 0.79999992;
+    let nominal = 0.8;
+    measured - nominal
+}
+
+/// The near-equal operands arrive through callee return values.
+fn calibration_a() -> f64 {
+    1.0000004
+}
+
+fn calibration_b() -> f64 {
+    1.0
+}
+
+fn calibration_gap() -> f64 {
+    calibration_a() - calibration_b()
+}

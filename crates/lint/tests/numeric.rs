@@ -1,0 +1,84 @@
+//! Fixture-driven integration tests for the interprocedural numeric
+//! range rules (N1 division-by-zero, N2 `exp()` overflow, N3
+//! catastrophic cancellation): every rule must fire on each seeded
+//! site of its positive fixture and stay silent on its negative one.
+//! The fixtures under `tests/fixtures/` are linted in memory — they
+//! are never compiled, so they can model violations without breaking
+//! the build.
+
+use bios_lint::{lint_source, FileContext};
+
+fn ctx() -> FileContext<'static> {
+    FileContext {
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/fixture.rs",
+    }
+}
+
+fn rule_hits(src: &str, rule: &str) -> Vec<String> {
+    lint_source(&ctx(), src)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+        .collect()
+}
+
+#[test]
+fn n1_fires_on_every_seeded_division() {
+    let src = include_str!("fixtures/n1_positive.rs");
+    let hits = rule_hits(src, "N1");
+    // local_zero, normalize (via the join over its call sites), and
+    // compensate (zero through a return value): one finding each.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+}
+
+#[test]
+fn n1_stays_silent_on_negative_fixture() {
+    let src = include_str!("fixtures/n1_negative.rs");
+    let hits = rule_hits(src, "N1");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn n2_fires_on_every_seeded_exp() {
+    let src = include_str!("fixtures/n2_positive.rs");
+    let hits = rule_hits(src, "N2");
+    // tafel_rate, butler_volmer_anodic, arrhenius: one finding each.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+}
+
+#[test]
+fn n2_stays_silent_on_negative_fixture() {
+    let src = include_str!("fixtures/n2_negative.rs");
+    let hits = rule_hits(src, "N2");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn n3_fires_on_every_seeded_subtraction() {
+    let src = include_str!("fixtures/n3_positive.rs");
+    let hits = rule_hits(src, "N3");
+    // reference_drift and calibration_gap: one finding each.
+    assert_eq!(hits.len(), 2, "{hits:#?}");
+}
+
+#[test]
+fn n3_stays_silent_on_negative_fixture() {
+    let src = include_str!("fixtures/n3_negative.rs");
+    let hits = rule_hits(src, "N3");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn n_rule_findings_are_error_severity_with_spans() {
+    let src = include_str!("fixtures/n1_positive.rs");
+    let findings = lint_source(&ctx(), src);
+    let n1: Vec<_> = findings.iter().filter(|f| f.rule == "N1").collect();
+    assert!(!n1.is_empty());
+    for f in n1 {
+        assert_eq!(f.severity, bios_lint::Severity::Error);
+        assert!(f.line > 0 && f.col > 0, "{f:?}");
+        assert!(f.end_col > f.col, "{f:?}");
+        assert!(!f.excerpt.is_empty(), "{f:?}");
+    }
+}
