@@ -233,6 +233,20 @@ impl FaultPlan {
     pub fn chain_seed(&self, we: usize) -> u64 {
         mix(self.seed, we as u64, 0xc4a1)
     }
+
+    /// Composes two plans into one: entries concatenate (this plan's
+    /// first, preserving per-electrode insertion order) and the combined
+    /// seed mixes both, so a chaos harness layering server-level faults
+    /// on top of a base AFE plan stays bit-reproducible. Composition with
+    /// an empty `FaultPlan::new(0)` is *not* the identity — the seed
+    /// still mixes — so compose once, deterministically, not
+    /// conditionally.
+    #[must_use]
+    pub fn compose(mut self, other: FaultPlan) -> FaultPlan {
+        self.seed = mix(self.seed, other.seed, 0xc0_50_5e);
+        self.entries.extend(other.entries);
+        self
+    }
 }
 
 /// SplitMix64-style counter hash: all per-sample fault randomness flows
@@ -520,6 +534,19 @@ mod tests {
             stuck,
             [true, false, false, false, true, false, false, false, true, false, false, false]
         );
+    }
+
+    #[test]
+    fn composed_plans_merge_entries_and_mix_seeds() {
+        let base = FaultPlan::new(7)
+            .with_fault(0, Fault::immediate(FaultKind::Fouling, 0.5).expect("fault"));
+        let overlay = FaultPlan::new(11)
+            .with_fault(0, Fault::immediate(FaultKind::Dropout, 0.3).expect("fault"));
+        let composed = base.clone().compose(overlay.clone());
+        assert_eq!(composed.faults_for(0).len(), 2);
+        assert_ne!(composed.seed(), base.seed(), "seeds must mix");
+        // Deterministic: composing the same plans yields the same plan.
+        assert_eq!(composed, base.compose(overlay));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Serving reproduction: sustained fleet load, chaos matrix, overload and
+//! quarantine probes against `bios-server` (see [`bios_bench::service`]).
+//!
+//! Flags:
+//!
+//! * `--sessions <n>` — sustained-load fleet size (default 10000);
+//! * `--json <path>` — write the report (default `BENCH_6.json`);
+//! * `--min-concurrent <n>` — exit nonzero if the fleet never held at
+//!   least `n` sessions in flight simultaneously.
+//!
+//! Three gates are always enforced, flags or not — each one is a
+//! robustness claim, not a perf number:
+//!
+//! 1. zero silent corruptions across every phase;
+//! 2. every induced chaos failure surfaced or absorbed within tolerance;
+//! 3. the admission contract held (queue bound never exceeded, every
+//!    refusal typed).
+
+use bios_platform::ExecPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sessions = 10_000usize;
+    let mut json_path = String::from("BENCH_6.json");
+    let mut min_concurrent: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sessions" => {
+                i += 1;
+                sessions = args.get(i).ok_or("--sessions needs a value")?.parse()?;
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).ok_or("--json needs a path")?.clone();
+            }
+            "--min-concurrent" => {
+                i += 1;
+                min_concurrent = Some(
+                    args.get(i)
+                        .ok_or("--min-concurrent needs a value")?
+                        .parse()?,
+                );
+            }
+            other => return Err(format!("unknown flag: {other}").into()),
+        }
+        i += 1;
+    }
+
+    bios_bench::banner("Diagnostics service — sustained load, chaos, admission");
+    let report = bios_bench::service::run(ExecPolicy::Auto, sessions);
+
+    let l = &report.load;
+    println!(
+        "host cores: {}   threads: {}   policy: {}",
+        report.host_cores, report.threads, report.exec_policy
+    );
+    println!(
+        "load: {} sessions over {} shards, peak {} concurrent, {} ticks, {} steps",
+        l.sessions, l.shards, l.concurrent_peak, l.ticks, l.steps
+    );
+    println!(
+        "      {} completed, {} non-completed, {} baseline mismatches",
+        l.completed, l.non_completed, l.mismatches
+    );
+    println!(
+        "      step latency p50 {:.1} us   p99 {:.1} us   max {:.1} us   ({:.0} sessions/s, {:.3} s wall)",
+        l.p50_step_us,
+        l.p99_step_us,
+        l.max_step_us,
+        l.sessions_per_s(),
+        l.wall_s
+    );
+    println!("chaos matrix (induced -> surfaced/recovered, silent must be 0):");
+    for c in &report.chaos {
+        println!(
+            "  {:<12} afe={:<5} devices {:>3}   induced {:>3} -> surfaced {:>3} + recovered {:>2}, silent {}, quarantined {}",
+            c.server_fault,
+            c.afe_overlay,
+            c.devices,
+            c.induced,
+            c.surfaced,
+            c.recovered,
+            c.silent,
+            c.quarantined,
+        );
+    }
+    let o = &report.overload;
+    println!(
+        "overload: {} burst -> {} admitted + {} typed rejections, peak queue {}/{} (bound {}), {} shed",
+        o.attempted,
+        o.admitted,
+        o.rejected_overloaded,
+        o.peak_queue,
+        o.queue_capacity,
+        if o.bound_respected { "held" } else { "EXCEEDED" },
+        o.shed,
+    );
+    println!(
+        "quarantine: device tripped after {} failed sessions, typed rejection: {}",
+        report.quarantine.sessions_to_quarantine, report.quarantine.rejection_typed
+    );
+    println!(
+        "silent corruptions: {} [target: 0]",
+        report.silent_corruptions()
+    );
+
+    std::fs::write(&json_path, bios_bench::service::to_json(&report))?;
+    println!("wrote {json_path}");
+
+    if report.silent_corruptions() != 0 {
+        return Err(format!(
+            "{} silent corruption(s) — a wrong result was presented as clean",
+            report.silent_corruptions()
+        )
+        .into());
+    }
+    if !report.all_chaos_surfaced() {
+        return Err("an induced chaos failure neither surfaced nor recovered".into());
+    }
+    if !report.admission_contract_held() {
+        return Err("admission contract violated (queue bound or untyped refusal)".into());
+    }
+    if let Some(floor) = min_concurrent {
+        if l.concurrent_peak < floor {
+            return Err(format!(
+                "concurrency gate failed: peak {} < required {floor}",
+                l.concurrent_peak
+            )
+            .into());
+        }
+        println!(
+            "concurrency gate passed: peak {} >= {floor}",
+            l.concurrent_peak
+        );
+    }
+    Ok(())
+}

@@ -15,6 +15,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod perf;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -97,6 +97,9 @@ pub struct PerfReport {
     pub host_threads: usize,
     /// Worker count the parallel policy resolved to.
     pub parallel_threads: usize,
+    /// The [`ExecPolicy`] the parallel variant ran under, rendered —
+    /// without it a committed report can't be compared across hosts.
+    pub exec_policy: String,
     /// Per-workload timings and digests.
     pub workloads: Vec<WorkloadResult>,
     /// Solver-kernel numbers.
@@ -208,6 +211,7 @@ pub fn run(policy: ExecPolicy) -> PerfReport {
     PerfReport {
         host_threads,
         parallel_threads: policy.threads_for(usize::MAX),
+        exec_policy: format!("{policy:?}"),
         workloads: vec![sessions, explore, matrix],
         kernel,
         memo_hits,
@@ -274,8 +278,8 @@ fn kernel_throughput() -> KernelResult {
 pub fn to_json(report: &PerfReport) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"host_threads\": {},\n  \"parallel_threads\": {},\n",
-        report.host_threads, report.parallel_threads
+        "  \"host_cores\": {},\n  \"threads\": {},\n  \"exec_policy\": \"{}\",\n",
+        report.host_threads, report.parallel_threads, report.exec_policy
     ));
     out.push_str("  \"workloads\": [\n");
     for (i, w) in report.workloads.iter().enumerate() {
@@ -332,6 +336,7 @@ mod tests {
         let report = PerfReport {
             host_threads: 4,
             parallel_threads: 4,
+            exec_policy: String::from("Auto"),
             workloads: vec![WorkloadResult {
                 name: "probe",
                 units: 10,
@@ -351,6 +356,9 @@ mod tests {
             memo_misses: 2,
         };
         let json = to_json(&report);
+        assert!(json.contains("\"host_cores\": 4"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"exec_policy\": \"Auto\""));
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"digests_match\": true"));
         assert!(json.contains("\"min_speedup\": 4.00"));

@@ -122,6 +122,76 @@ where
         .collect()
 }
 
+/// Mutates every element of `items` in place, possibly in parallel, and
+/// returns `f`'s outputs in item order. The contract matches [`par_map`]:
+/// the final state of `items` and the returned vector are bit-identical
+/// to the sequential `for (i, t) in items.iter_mut().enumerate()` loop
+/// for any thread count.
+///
+/// Unlike [`par_map`], work is distributed as *contiguous chunks* (one
+/// per worker, split with `split_at_mut`) rather than stolen from an
+/// atomic counter — mutable aliasing rules out stealing in safe Rust.
+/// Each element is still visited exactly once by exactly one worker, so
+/// determinism holds; load balance is the caller's job (give workers
+/// comparably sized elements, e.g. pre-sharded state).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first observed worker panic).
+pub fn par_map_mut<T, R, F>(policy: ExecPolicy, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = policy.threads_for(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Split into `threads` contiguous chunks, remembering each chunk's
+    // starting index so results can merge back in item order.
+    let chunk = items.len().div_ceil(threads);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut rest = items;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = base;
+            base += take;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(k, t)| (start + k, f(start + k, t)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..base_len(&buckets)).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        // advdiag::allow(P1, invariant: chunking visits each index exactly once; a hole here is corruption, so aborting beats returning wrong data)
+        .map(|slot| slot.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// Total element count across per-worker buckets (the original length).
+fn base_len<R>(buckets: &[Vec<(usize, R)>]) -> usize {
+    buckets.iter().map(Vec::len).sum()
+}
+
 /// [`par_map`] over fallible work: stops at nothing (all units run), then
 /// returns the first error *by item index* — the same error the sequential
 /// loop would have surfaced first.
@@ -176,6 +246,28 @@ mod tests {
         // Never more workers than work.
         assert_eq!(ExecPolicy::Threads(64).threads_for(3), 3);
         assert!(ExecPolicy::Auto.threads_for(100) >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_matches_sequential_for_any_thread_count() {
+        let f = |i: usize, x: &mut u64| {
+            *x = x.wrapping_mul(31).wrapping_add(i as u64);
+            *x ^ 0x5a5a
+        };
+        let mut reference: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = reference
+            .iter_mut()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let mut items: Vec<u64> = (0..97).collect();
+            let got = par_map_mut(ExecPolicy::Threads(threads), &mut items, f);
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(items, reference, "threads = {threads}");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        assert!(par_map_mut(ExecPolicy::Threads(4), &mut empty, f).is_empty());
     }
 
     #[test]

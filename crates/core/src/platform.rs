@@ -7,14 +7,15 @@ use crate::exec::try_par_map;
 use crate::memo;
 use crate::robustness::{DegradationSummary, SessionOptions, TargetQuality};
 use crate::schedule::Schedule;
+use crate::session::{SessionCheckpoint, SessionMachine, WeMachine, WeOutcome};
 use crate::structure::SensorStructure;
-use bios_afe::{AnalogMux, ReadoutChain};
+use bios_afe::{AnalogMux, Fault, ReadoutChain};
 use bios_biochem::Interferent;
 use bios_biochem::{Analyte, CypSensor, MichaelisMenten, OxidaseSensor, Probe, Technique};
 use bios_electrochem::{Electrode, PotentialProgram};
 use bios_instrument::{
     calibrate_chrono, calibrate_cv, run_chrono_with_interferents, run_cv, ChronoProtocol,
-    CvProtocol, PerformanceReport, QcClass, QcReason, QcVerdict,
+    CvProtocol, PerformanceReport, QcClass, QcVerdict,
 };
 use bios_units::{Amps, Molar, Seconds};
 
@@ -27,6 +28,10 @@ const NOISE_REFERENCE_SEED: u64 = 0xCA11_B45E;
 const SELF_TEST_SEED: u64 = 0x1B15_7AA5;
 const SELF_TEST_DT: Seconds = Seconds::new(0.1);
 const SELF_TEST_WINDOW: Seconds = Seconds::new(2.0);
+/// Window for the post-assay self-test: assay-length, so faults whose
+/// magnitude grows with time (reference drift) are graded at the scale
+/// they reached during the measurement, not at power-on scale.
+const POST_SELF_TEST_WINDOW: Seconds = Seconds::new(64.0);
 
 /// The sensing model behind one working electrode.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +101,7 @@ impl WeAssignment {
 }
 
 /// One analyte reading out of a session.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TargetReading {
     /// The analyte.
     pub analyte: Analyte,
@@ -168,6 +173,23 @@ impl SessionReport {
         self.schedule.total_duration()
     }
 
+    /// Marks this report as having been cut short by `n` serving
+    /// deadlines. A deadline-cut session holds partial results and must
+    /// never report as clean (see [`DegradationSummary::is_clean`]).
+    #[must_use]
+    pub fn with_deadline_misses(mut self, n: usize) -> Self {
+        self.degradation.deadline_misses += n;
+        self
+    }
+
+    /// Marks this report as covering `n` work units shed by an
+    /// overloaded server before they ran.
+    #[must_use]
+    pub fn with_shed(mut self, n: usize) -> Self {
+        self.degradation.shed += n;
+        self
+    }
+
     /// Worst relative concentration error against a ground-truth sample
     /// (readings without an estimate count as 100% error; truths of zero
     /// are skipped).
@@ -185,16 +207,6 @@ impl SessionReport {
         }
         worst
     }
-}
-
-/// One electrode's independently-computed contribution to a session:
-/// what [`Platform::run_session_with`]'s merge phase folds back together
-/// in assignment order.
-struct WeOutcome {
-    readings: Vec<(TargetReading, QcClass)>,
-    qualities: Vec<TargetQuality>,
-    retry_slots: usize,
-    quarantined: bool,
 }
 
 /// A fully assembled multi-target biosensing platform.
@@ -342,23 +354,70 @@ impl Platform {
         seed: u64,
         options: &SessionOptions,
     ) -> Result<SessionReport, PlatformError> {
-        // Electroactive species in the sample interfere with the anodic
-        // (oxidase) readouts; the cathodic CYP window sits below their
-        // onset potentials.
-        let interferents: Vec<(Interferent, Molar)> = sample
-            .iter()
-            .filter_map(|(a, c)| Interferent::of(*a).map(|i| (i, *c)))
-            .collect();
+        let interferents = Self::interferents_of(sample);
 
         // Every electrode's work — chain selection, BIST, acquisition,
-        // retries — depends only on `(assignment, sample, seed, options)`,
-        // so the engine can run them in any order; the merge below replays
-        // the outcomes in assignment order, which makes the report
-        // bit-identical to the sequential loop.
-        let outcomes = try_par_map(options.exec, &self.assignments, |_, assignment| {
-            self.run_assignment(assignment, sample, &interferents, seed, options)
+        // retries — is one [`WeMachine`](crate::session) driven to
+        // completion, and depends only on `(assignment, sample, seed,
+        // options)`, so the engine can run the machines in any order; the
+        // merge below replays the outcomes in assignment order, which
+        // makes the report bit-identical to the sequential loop — and to
+        // any step-interleaved [`SessionMachine`](crate::SessionMachine)
+        // run of the same session.
+        let slots: Vec<usize> = (0..self.assignments.len()).collect();
+        let outcomes = try_par_map(options.exec, &slots, |_, &slot| {
+            WeMachine::new_for_slot(slot).run_to_completion(
+                self,
+                sample,
+                &interferents,
+                seed,
+                options,
+            )
         })?;
 
+        Ok(self.merge_outcomes(outcomes))
+    }
+
+    /// Electroactive species in the sample that interfere with the anodic
+    /// (oxidase) readouts; the cathodic CYP window sits below their onset
+    /// potentials.
+    pub(crate) fn interferents_of(sample: &[(Analyte, Molar)]) -> Vec<(Interferent, Molar)> {
+        sample
+            .iter()
+            .filter_map(|(a, c)| Interferent::of(*a).map(|i| (i, *c)))
+            .collect()
+    }
+
+    /// Creates a resumable, step-interleavable state machine for one
+    /// session — the serving-side entry point. Driving it to completion
+    /// and calling [`SessionMachine::finish`] yields a report
+    /// bit-identical to [`run_session_with`](Self::run_session_with).
+    pub fn session_machine(
+        &self,
+        sample: &[(Analyte, Molar)],
+        seed: u64,
+        options: &SessionOptions,
+    ) -> SessionMachine {
+        SessionMachine::new(self, sample, seed, options)
+    }
+
+    /// Rebuilds a suspended session from its checkpoint plus the original
+    /// `(sample, seed, options)`. The resumed machine replays the rest of
+    /// the session bit-identically to an uninterrupted run.
+    pub fn resume_session(
+        &self,
+        sample: &[(Analyte, Molar)],
+        seed: u64,
+        options: &SessionOptions,
+        checkpoint: SessionCheckpoint,
+    ) -> SessionMachine {
+        SessionMachine::from_checkpoint(sample, seed, options, checkpoint)
+    }
+
+    /// Folds per-electrode outcomes (in assignment order) into the
+    /// session report: replays retry slots onto the schedule, merges
+    /// replicate readings, and totals the degradation summary.
+    pub(crate) fn merge_outcomes(&self, outcomes: Vec<WeOutcome>) -> SessionReport {
         let mut schedule = self.schedule();
         let gap = self.mux.acquisition_delay();
         let mut raw: Vec<(TargetReading, QcClass)> = Vec::new();
@@ -431,7 +490,7 @@ impl Platform {
                 identified: 2 * votes > group.len(),
             });
         }
-        Ok(SessionReport {
+        SessionReport {
             readings: merged,
             schedule,
             qualities,
@@ -439,177 +498,131 @@ impl Platform {
                 retries,
                 quarantined,
                 failed_targets,
+                ..DegradationSummary::default()
             },
-        })
+        }
     }
 
-    /// Everything one electrode contributes to a session, computed without
-    /// touching any other electrode's state so the execution engine can
-    /// fan assignments out. `retry_slots` counts the schedule slots the
-    /// merge phase must replay (in assignment order) for this electrode.
-    fn run_assignment(
+    /// The per-electrode base seed every attempt seed derives from.
+    pub(crate) fn we_seed(seed: u64, we: usize) -> u64 {
+        seed.wrapping_add(17 * (we as u64 + 1))
+    }
+
+    /// The readout chain electrode `assignment` measures through: the
+    /// technique's shared chain, turned into its faulted twin when the
+    /// options' fault plan schedules faults on it. The fault realization
+    /// is fixed across retries — a broken electrode stays broken, only
+    /// the noise is fresh.
+    pub(crate) fn assignment_chain(
         &self,
         assignment: &WeAssignment,
-        sample: &[(Analyte, Molar)],
-        interferents: &[(Interferent, Molar)],
-        seed: u64,
         options: &SessionOptions,
-    ) -> Result<WeOutcome, PlatformError> {
-        let we = assignment.index;
-        let we_seed = seed.wrapping_add(17 * (we as u64 + 1));
-        let base = match &assignment.sensor {
-            SensorModel::Oxidase(_) => &self.chrono_chain,
-            SensorModel::Cytochrome(_) => &self.cv_chain,
-        };
-        // A fault plan turns this electrode's chain into its faulted
-        // twin; the fault realization is fixed across retries — a
-        // broken electrode stays broken, only the noise is fresh.
-        let faulted;
-        let chain = match options.fault_plan.as_ref() {
+    ) -> ReadoutChain {
+        let base = self.base_chain(assignment);
+        match options.fault_plan.as_ref() {
             Some(plan) => {
-                let faults = plan.faults_for(we);
+                let faults = plan.faults_for(assignment.index);
                 if faults.is_empty() {
-                    base
+                    base.clone()
                 } else {
-                    faulted = base.clone().with_faults(faults, plan.chain_seed(we));
-                    &faulted
+                    base.clone()
+                        .with_faults(faults, plan.chain_seed(assignment.index))
                 }
             }
-            None => base,
-        };
-        let is_faulted = !chain.faults().is_empty();
-        // Built-in self-test: a known half-scale test current through
-        // the live chain, graded against the fault-free chain's
-        // commissioning response. Gain faults that hide below one ADC
-        // code at quiescent input cannot hide under a test signal.
-        // Both traces run under fixed seeds, so they memoize.
-        let bist = if is_faulted {
-            let live =
-                memo::self_test_response(chain, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
-            let commissioned =
-                memo::self_test_response(base, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
-            match (live, commissioned) {
-                (Ok(m), Ok(e)) => options.qc.check_self_test(m, e),
-                _ => QcVerdict {
-                    class: QcClass::Pass,
-                    reasons: Vec::new(),
-                },
-            }
-        } else {
-            QcVerdict {
+            None => base.clone(),
+        }
+    }
+
+    fn base_chain(&self, assignment: &WeAssignment) -> &ReadoutChain {
+        match &assignment.sensor {
+            SensorModel::Oxidase(_) => &self.chrono_chain,
+            SensorModel::Cytochrome(_) => &self.cv_chain,
+        }
+    }
+
+    /// Built-in self-test for the `ApplyPotential` step: a known
+    /// half-scale test current through the live chain, graded against the
+    /// fault-free chain's commissioning response. Gain faults that hide
+    /// below one ADC code at quiescent input cannot hide under a test
+    /// signal. Both traces run under fixed seeds, so they memoize.
+    pub(crate) fn bist_verdict(
+        &self,
+        assignment: &WeAssignment,
+        options: &SessionOptions,
+    ) -> QcVerdict {
+        let base = self.base_chain(assignment);
+        let chain = self.assignment_chain(assignment, options);
+        if chain.faults().is_empty() {
+            return QcVerdict {
                 class: QcClass::Pass,
                 reasons: Vec::new(),
-            }
+            };
+        }
+        let live = memo::self_test_response(&chain, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+        let commissioned =
+            memo::self_test_response(base, SELF_TEST_DT, SELF_TEST_WINDOW, SELF_TEST_SEED);
+        let mut verdict = match (live, commissioned) {
+            (Ok(m), Ok(e)) => options.qc.check_self_test(m, e),
+            _ => QcVerdict {
+                class: QcClass::Pass,
+                reasons: Vec::new(),
+            },
         };
-        // The QC gate compares live baselines against the chain's
-        // commissioning self-noise — always taken from the fault-free
-        // base chain, the way a stored calibration record would be.
-        let reference_noise = match &assignment.sensor {
+        // Post-assay self-test: a fault whose onset falls after the short
+        // test window is invisible above — it activates mid-session,
+        // settles, and the reading comes out plausibly scaled. Re-grade
+        // the chain with every fault fully developed (onsets elapsed) over
+        // an assay-length window, the way a bench instrument re-runs its
+        // dummy-cell check after the assay: time-growing faults (drift)
+        // only reach their material magnitude at assay scale.
+        if chain.faults().iter().any(|f| f.onset.value() > 0.0) {
+            let settled: Vec<Fault> = chain
+                .faults()
+                .iter()
+                .filter_map(|f| Fault::immediate(f.kind, f.severity).ok())
+                .collect();
+            let fault_seed = options
+                .fault_plan
+                .as_ref()
+                .map(|p| p.chain_seed(assignment.index()))
+                .unwrap_or(0);
+            let settled_chain = base.clone().with_faults(settled, fault_seed);
+            let post = memo::self_test_response(
+                &settled_chain,
+                SELF_TEST_DT,
+                POST_SELF_TEST_WINDOW,
+                SELF_TEST_SEED,
+            );
+            let reference =
+                memo::self_test_response(base, SELF_TEST_DT, POST_SELF_TEST_WINDOW, SELF_TEST_SEED);
+            if let (Ok(m), Ok(e)) = (post, reference) {
+                verdict.merge(options.qc.check_self_test(m, e));
+            }
+        }
+        verdict
+    }
+
+    /// The `Settle` step's stored calibration record: the QC gate
+    /// compares live baselines against the chain's commissioning
+    /// self-noise — always taken from the fault-free base chain.
+    pub(crate) fn reference_noise_for(&self, assignment: &WeAssignment) -> Option<Amps> {
+        match &assignment.sensor {
             SensorModel::Oxidase(_) => memo::baseline_noise_reference(
-                base,
+                self.base_chain(assignment),
                 self.chrono_protocol.dt,
                 self.chrono_protocol.settle,
                 NOISE_REFERENCE_SEED,
             )
             .ok(),
             SensorModel::Cytochrome(_) => None,
-        };
-
-        let mut retry_slots = 0usize;
-        let mut attempts = 0usize;
-        let mut last_error: Option<String> = None;
-        let outcome = loop {
-            let attempt_seed =
-                we_seed.wrapping_add((attempts as u64).wrapping_mul(options.retry.reseed_stride));
-            attempts += 1;
-            let exhausted = attempts > options.retry.max_retries;
-            match self.measure_assignment(
-                assignment,
-                sample,
-                interferents,
-                chain,
-                options,
-                reference_noise,
-                attempt_seed,
-            ) {
-                Ok((readings, mut verdict)) => {
-                    verdict.merge(bist.clone());
-                    if verdict.class != QcClass::Fail || exhausted {
-                        break Some((readings, verdict));
-                    }
-                }
-                Err(e) => {
-                    if !e.severity().is_recoverable() {
-                        return Err(e);
-                    }
-                    last_error = Some(e.to_string());
-                    if exhausted {
-                        break None;
-                    }
-                }
-            }
-            retry_slots += 1;
-        };
-
-        let (mut readings, verdict) = match outcome {
-            Some(o) => o,
-            None => {
-                // Every attempt errored out: emit flagged placeholder
-                // readings so the panel stays complete.
-                let placeholders = assignment
-                    .targets
-                    .iter()
-                    .map(|a| TargetReading {
-                        analyte: *a,
-                        we,
-                        response: Amps::ZERO,
-                        estimated: None,
-                        identified: false,
-                    })
-                    .collect();
-                let verdict = QcVerdict {
-                    class: QcClass::Fail,
-                    reasons: vec![QcReason::Aborted {
-                        detail: last_error.unwrap_or_default(),
-                    }],
-                };
-                (placeholders, verdict)
-            }
-        };
-
-        let failed = verdict.class == QcClass::Fail;
-        let quarantine_now = failed && attempts >= options.retry.quarantine_after;
-        if failed {
-            // Never let a rejected acquisition masquerade as data.
-            for r in &mut readings {
-                r.estimated = None;
-                r.identified = false;
-            }
         }
-        let qualities = readings
-            .iter()
-            .map(|r| TargetQuality {
-                analyte: r.analyte,
-                we,
-                class: verdict.class,
-                attempts,
-                reasons: verdict.reasons.clone(),
-                quarantined: quarantine_now,
-            })
-            .collect();
-        Ok(WeOutcome {
-            readings: readings.into_iter().map(|r| (r, verdict.class)).collect(),
-            qualities,
-            retry_slots,
-            quarantined: quarantine_now,
-        })
     }
 
     /// One acquisition on one assignment: runs the protocol against the
     /// (possibly faulted) chain and screens the measurement through the
     /// session's QC gate.
     #[allow(clippy::too_many_arguments)]
-    fn measure_assignment(
+    pub(crate) fn measure_assignment(
         &self,
         assignment: &WeAssignment,
         sample: &[(Analyte, Molar)],

@@ -27,6 +27,12 @@ pub struct RetryPolicy {
     /// `we_seed + k * reseed_stride`, so every retry sees fresh noise
     /// while the whole session stays bit-reproducible under one seed.
     pub reseed_stride: u64,
+    /// Scheduler ticks a session waits before its first retry; each
+    /// further retry doubles the wait (exponential backoff). Zero means
+    /// retries are immediately runnable.
+    pub backoff_base_ticks: u64,
+    /// Upper bound on any single backoff wait, in ticks.
+    pub backoff_cap_ticks: u64,
 }
 
 impl Default for RetryPolicy {
@@ -35,6 +41,8 @@ impl Default for RetryPolicy {
             max_retries: 2,
             quarantine_after: 3,
             reseed_stride: 0x9e37_79b9,
+            backoff_base_ticks: 1,
+            backoff_cap_ticks: 64,
         }
     }
 }
@@ -45,8 +53,56 @@ impl RetryPolicy {
         Self {
             max_retries: 0,
             quarantine_after: 1,
-            reseed_stride: 0x9e37_79b9,
+            ..Self::default()
         }
+    }
+
+    /// The seed attempt `attempt` (0-based) measures with, derived from
+    /// the electrode's base seed. Pure arithmetic: the whole retry
+    /// schedule is a function of `(we_seed, policy)` alone, which is what
+    /// lets suspended sessions replay bit-identically.
+    pub fn attempt_seed(&self, we_seed: u64, attempt: usize) -> u64 {
+        we_seed.wrapping_add((attempt as u64).wrapping_mul(self.reseed_stride))
+    }
+
+    /// Scheduler ticks to wait before re-sampling after failed attempt
+    /// `attempt` (0-based): `base · 2^attempt`, saturating, capped at
+    /// [`backoff_cap_ticks`](Self::backoff_cap_ticks). Deterministic and
+    /// monotone non-decreasing in `attempt`.
+    pub fn backoff_ticks(&self, attempt: usize) -> u64 {
+        if self.backoff_base_ticks == 0 {
+            return 0;
+        }
+        let doubled = match u32::try_from(attempt) {
+            Ok(shift) => self.backoff_base_ticks.checked_shl(shift),
+            Err(_) => None,
+        };
+        doubled
+            .unwrap_or(self.backoff_cap_ticks)
+            .min(self.backoff_cap_ticks)
+    }
+
+    /// The cumulative backoff schedule for every retry this policy can
+    /// spend: element `k` is the total ticks of backoff delay before
+    /// attempt `k + 1` becomes runnable. Strictly increasing whenever
+    /// `backoff_base_ticks > 0`, so no two retries ever share a wake
+    /// slot — retries never collapse into a thundering herd.
+    pub fn backoff_schedule(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        (0..self.max_retries)
+            .map(|k| {
+                // A strictly positive floor keeps the schedule strictly
+                // monotone even once the per-attempt delay hits the cap.
+                total = total.saturating_add(self.backoff_ticks(k).max(1));
+                total
+            })
+            .collect()
+    }
+
+    /// Total attempts this policy may spend (the retry budget plus the
+    /// first try).
+    pub fn attempt_budget(&self) -> usize {
+        self.max_retries + 1
     }
 }
 
@@ -143,12 +199,25 @@ pub struct DegradationSummary {
     pub quarantined: Vec<usize>,
     /// Analytes left without a single usable reading.
     pub failed_targets: Vec<Analyte>,
+    /// Deadlines missed while the session was being served: the session
+    /// was cut short by its latency budget and holds partial results.
+    pub deadline_misses: usize,
+    /// Work units shed by an overloaded server before they ran. A shed
+    /// session produced nothing — it is degradation by definition.
+    pub shed: usize,
 }
 
 impl DegradationSummary {
-    /// True when the session ran without any retry, quarantine or loss.
+    /// True when the session ran without any retry, quarantine, loss,
+    /// deadline miss or load shedding. A degraded-but-served session —
+    /// including one cut short by its deadline or shed under overload —
+    /// must never report as clean.
     pub fn is_clean(&self) -> bool {
-        self.retries == 0 && self.quarantined.is_empty() && self.failed_targets.is_empty()
+        self.retries == 0
+            && self.quarantined.is_empty()
+            && self.failed_targets.is_empty()
+            && self.deadline_misses == 0
+            && self.shed == 0
     }
 }
 
@@ -163,7 +232,14 @@ impl core::fmt::Display for DegradationSummary {
             self.retries,
             self.quarantined.len(),
             self.failed_targets.len()
-        )
+        )?;
+        if self.deadline_misses > 0 {
+            write!(f, ", {} deadline miss(es)", self.deadline_misses)?;
+        }
+        if self.shed > 0 {
+            write!(f, ", {} shed", self.shed)?;
+        }
+        Ok(())
     }
 }
 
@@ -189,6 +265,66 @@ mod tests {
         d.quarantined.push(2);
         assert!(!d.is_clean());
         assert!(d.to_string().contains("1 retries"));
+    }
+
+    #[test]
+    fn backoff_schedule_is_monotone_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            backoff_base_ticks: 2,
+            backoff_cap_ticks: 16,
+            ..RetryPolicy::default()
+        };
+        let schedule = policy.backoff_schedule();
+        assert_eq!(schedule.len(), 8);
+        for w in schedule.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "cumulative schedule must be strictly increasing"
+            );
+        }
+        for k in 0..8 {
+            assert!(policy.backoff_ticks(k) <= 16);
+        }
+        assert_eq!(policy.backoff_ticks(0), 2);
+        assert_eq!(policy.backoff_ticks(1), 4);
+        assert_eq!(
+            policy.backoff_ticks(200),
+            16,
+            "huge attempts saturate at the cap"
+        );
+        // Zero base means retries are immediately runnable.
+        let eager = RetryPolicy {
+            backoff_base_ticks: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(eager.backoff_ticks(5), 0);
+    }
+
+    #[test]
+    fn attempt_seeds_follow_the_stride() {
+        let policy = RetryPolicy::default();
+        let s = policy.attempt_seed(1000, 0);
+        assert_eq!(s, 1000);
+        assert_eq!(
+            policy.attempt_seed(1000, 3),
+            1000 + 3 * policy.reseed_stride
+        );
+    }
+
+    #[test]
+    fn deadline_miss_and_shed_are_never_clean() {
+        let mut d = DegradationSummary::default();
+        assert!(d.is_clean());
+        d.deadline_misses = 1;
+        assert!(!d.is_clean());
+        assert!(d.to_string().contains("deadline miss"));
+        let shed = DegradationSummary {
+            shed: 2,
+            ..DegradationSummary::default()
+        };
+        assert!(!shed.is_clean());
+        assert!(shed.to_string().contains("2 shed"));
     }
 
     #[test]

@@ -188,3 +188,72 @@ proptest! {
         prop_assert_eq!(s.slots().len(), base.len() + retries.len());
     }
 }
+
+proptest! {
+    /// The retry backoff schedule is a pure function of the policy:
+    /// computing it twice gives the same ticks, every per-attempt delay is
+    /// monotone non-decreasing and capped, and the cumulative schedule is
+    /// strictly increasing (so a resumed session can never observe two
+    /// retries landing on the same wake tick).
+    #[test]
+    fn backoff_schedule_is_deterministic_monotone_and_strictly_increasing(
+        base in 0u64..1_000,
+        cap in 1u64..10_000,
+        retries in 0usize..12,
+    ) {
+        let policy = bios_platform::RetryPolicy {
+            max_retries: retries,
+            backoff_base_ticks: base,
+            backoff_cap_ticks: cap,
+            ..bios_platform::RetryPolicy::default()
+        };
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        prop_assert_eq!(&a, &b, "schedule must be deterministic");
+        prop_assert_eq!(a.len(), retries, "one entry per retry in the budget");
+        for w in a.windows(2) {
+            prop_assert!(w[1] > w[0], "cumulative schedule must be strictly increasing");
+        }
+        for k in 0..retries {
+            prop_assert!(policy.backoff_ticks(k) <= cap, "per-attempt delay exceeds cap");
+            if k > 0 {
+                prop_assert!(
+                    policy.backoff_ticks(k) >= policy.backoff_ticks(k - 1),
+                    "per-attempt delay must be monotone non-decreasing"
+                );
+            }
+        }
+        prop_assert_eq!(policy.attempt_budget(), retries + 1);
+    }
+
+    /// Reseed strides never overlap: across every electrode and every
+    /// attempt in the retry budget, the derived measurement seeds are
+    /// pairwise distinct — no retry can silently replay another
+    /// electrode's (or attempt's) noise stream.
+    #[test]
+    fn attempt_seeds_never_collide_across_electrodes_or_attempts(
+        seed in 0u64..u64::MAX,
+        wes in 1usize..16,
+        retries in 0usize..8,
+    ) {
+        let policy = bios_platform::RetryPolicy {
+            max_retries: retries,
+            ..bios_platform::RetryPolicy::default()
+        };
+        // Mirrors the platform's per-electrode seeding (stride 17): the
+        // property pins down that the electrode stride and the retry
+        // reseed stride can never alias within a session.
+        let we_seed = |we: u64| seed.wrapping_add(17 * (we + 1));
+        let mut seen = std::collections::BTreeSet::new();
+        for we in 0..wes as u64 {
+            for attempt in 0..policy.attempt_budget() {
+                seen.insert(policy.attempt_seed(we_seed(we), attempt));
+            }
+        }
+        prop_assert_eq!(
+            seen.len(),
+            wes * policy.attempt_budget(),
+            "a reseed collision would replay another attempt's noise"
+        );
+    }
+}

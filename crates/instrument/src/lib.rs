@@ -48,6 +48,6 @@ pub use metrics::PerformanceReport;
 pub use peaks::{
     anodic_segment, cathodic_segment, detect_anodic_peaks, detect_cathodic_peaks, Peak, PeakOptions,
 };
-pub use qc::{QcClass, QcGate, QcReason, QcVerdict};
+pub use qc::{QcClass, QcDecision, QcGate, QcReason, QcVerdict};
 pub use replicate::ReplicateStats;
 pub use signature::{match_signature, ExpectedPeak, SignatureMatch, DEFAULT_WINDOW};

@@ -141,6 +141,33 @@ impl QcVerdict {
         self.class = self.class.worst(other.class);
         self.reasons.extend(other.reasons);
     }
+
+    /// What a retry scheduler should do with the screened measurement,
+    /// given whether the retry budget is already spent. This is the
+    /// verdict acting as a *step input*: the decision is pure data, so a
+    /// suspended session replays it identically on resume.
+    pub fn decision(&self, budget_exhausted: bool) -> QcDecision {
+        match self.class {
+            QcClass::Fail if budget_exhausted => QcDecision::Reject,
+            QcClass::Fail => QcDecision::Retry,
+            _ => QcDecision::Accept,
+        }
+    }
+}
+
+/// The scheduling consequence of a [`QcVerdict`] — the typed contract
+/// between the QC gate and any retry scheduler (blocking loop, resumable
+/// state machine, or fleet server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum QcDecision {
+    /// The reading is usable (pass or suspect): keep it and move on.
+    Accept,
+    /// The reading failed QC with retry budget remaining: discard it and
+    /// re-acquire under the next derived seed.
+    Retry,
+    /// The reading failed QC with the budget exhausted: keep only a
+    /// flagged placeholder; never serve the value.
+    Reject,
 }
 
 /// Thresholds for the QC battery. All fractions are relative to the

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! bios-units → {bios-electrochem, bios-biochem} → bios-afe
-//!            → bios-instrument → bios-platform → bios-bench → root
+//!            → bios-instrument → bios-platform → bios-server
+//!            → bios-bench → root
 //! ```
 //!
 //! A crate may reference crates at the same or a lower layer, never a
@@ -39,8 +40,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("bios-afe", 2),
     ("bios-instrument", 3),
     ("bios-platform", 4),
-    ("bios-bench", 5),
-    ("advanced-diagnostics", 6),
+    ("bios-server", 5),
+    ("bios-bench", 6),
+    ("advanced-diagnostics", 7),
 ];
 
 /// Crates whose dead `pub` items A2 reports. The root binary, the bench
@@ -72,6 +74,7 @@ fn crate_for_ident(ident: &str) -> Option<&'static str> {
         "bios_afe" => Some("bios-afe"),
         "bios_instrument" => Some("bios-instrument"),
         "bios_platform" => Some("bios-platform"),
+        "bios_server" => Some("bios-server"),
         "bios_bench" => Some("bios-bench"),
         "advanced_diagnostics" => Some("advanced-diagnostics"),
         _ => None,

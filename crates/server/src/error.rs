@@ -1,0 +1,65 @@
+//! Typed serving errors: the admission contract.
+
+/// Why the server refused a request. Every refusal is typed — an
+/// overloaded or quarantine-rejecting server never drops work silently.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// The target shard's admission queue is at capacity. The queue bound
+    /// is never exceeded; the caller must retry later or route elsewhere.
+    Overloaded {
+        /// The shard that refused the request.
+        shard: usize,
+        /// Queue occupancy at refusal (equals `capacity`).
+        queue_len: usize,
+        /// The configured per-shard queue bound.
+        capacity: usize,
+    },
+    /// The device is fleet-quarantined after chronically failing sessions
+    /// and must be serviced before it is admitted again.
+    Quarantined {
+        /// The quarantined device.
+        device: u64,
+    },
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::Overloaded {
+                shard,
+                queue_len,
+                capacity,
+            } => write!(
+                f,
+                "shard {shard} overloaded: queue at {queue_len}/{capacity}"
+            ),
+            ServerError::Quarantined { device } => {
+                write!(f, "device {device} is fleet-quarantined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_and_roundtrip() {
+        let e = ServerError::Overloaded {
+            shard: 2,
+            queue_len: 64,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("64/64"));
+        let q = ServerError::Quarantined { device: 9 };
+        assert!(q.to_string().contains("device 9"));
+        let json = serde_json::to_string(&e).expect("serialize");
+        let back: ServerError = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,1023 @@
+//! The sharded serving scheduler.
+//!
+//! One [`DiagnosticsServer`] owns a fixed set of shards; each shard owns
+//! a bounded admission queue and a set of in-flight
+//! [`SessionMachine`](bios_platform::SessionMachine)s, stepped
+//! round-robin a few steps per virtual tick. Devices hash to shards by
+//! index, shards never share mutable state, and a tick advances every
+//! shard through [`par_map_mut`] — so the whole fleet schedule is
+//! bit-reproducible under any [`ExecPolicy`], which is what lets the
+//! chaos harness compare faulted runs against clean references.
+//!
+//! The request/response interface is deliberately narrow and batched —
+//! [`submit`](DiagnosticsServer::submit) in,
+//! [`drain_completed`](DiagnosticsServer::drain_completed) out, plain
+//! serializable data both ways — so an in-process caller and a future
+//! remote transport stay interchangeable (the simif lesson: keep the
+//! hardware/host boundary a thin message queue).
+
+use crate::chaos::ChaosPlan;
+use crate::clock::Clock;
+use crate::error::ServerError;
+use bios_biochem::Analyte;
+use bios_platform::{
+    par_map_mut, ExecPolicy, Platform, SessionMachine, SessionOptions, SessionReport,
+};
+use bios_units::Molar;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Clinical priority of a session request. Ordered: under overload the
+/// server sheds the *lowest* tier first.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum ServiceTier {
+    /// Opportunistic work (trend logging, re-checks); first to shed.
+    BestEffort,
+    /// Scheduled routine diagnostics.
+    Routine,
+    /// Urgent clinical work; shed only when nothing lower remains.
+    Stat,
+}
+
+impl ServiceTier {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceTier::BestEffort => "best-effort",
+            ServiceTier::Routine => "routine",
+            ServiceTier::Stat => "stat",
+        }
+    }
+}
+
+impl core::fmt::Display for ServiceTier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One diagnostics request: a device asks for one full session.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionRequest {
+    /// The requesting device (routes to shard `device % shards`).
+    pub device: u64,
+    /// Clinical priority.
+    pub tier: ServiceTier,
+    /// True analyte concentrations the simulated device measures.
+    pub sample: Vec<(Analyte, Molar)>,
+    /// The session seed (bit-reproducibility handle).
+    pub seed: u64,
+}
+
+/// Server shape and policy knobs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServerConfig {
+    /// Shard count (≥ 1); devices route by `device % shards`.
+    pub shards: usize,
+    /// Per-shard admission queue bound. Submissions past it are refused
+    /// with [`ServerError::Overloaded`]; the bound is never exceeded.
+    pub queue_capacity: usize,
+    /// In-flight sessions a shard drives concurrently.
+    pub max_active_per_shard: usize,
+    /// State-machine steps each in-flight session may take per tick.
+    pub steps_per_tick: usize,
+    /// Ticks a session may stay in flight before it is cut and served as
+    /// a [`SessionOutcome::DeadlineMiss`].
+    pub deadline_ticks: u64,
+    /// Queue occupancy above which lowest-tier queued work is shed.
+    pub shed_watermark: usize,
+    /// Consecutive failed sessions after which a device is
+    /// fleet-quarantined.
+    pub quarantine_threshold: u32,
+    /// How shards fan out per tick (the schedule is bit-identical for
+    /// every policy).
+    pub exec: ExecPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 1024,
+            max_active_per_shard: 64,
+            steps_per_tick: 4,
+            deadline_ticks: 1000,
+            shed_watermark: 768,
+            quarantine_threshold: 3,
+            exec: ExecPolicy::Auto,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Replaces the shard count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Replaces the per-shard queue bound (clamped to ≥ 1) and pins the
+    /// shed watermark to ¾ of it.
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self.shed_watermark = (self.queue_capacity * 3) / 4;
+        self
+    }
+
+    /// Replaces the shed watermark.
+    #[must_use]
+    pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = watermark;
+        self
+    }
+
+    /// Replaces the in-flight session bound per shard (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_max_active(mut self, max_active: usize) -> Self {
+        self.max_active_per_shard = max_active.max(1);
+        self
+    }
+
+    /// Replaces the per-session step budget per tick (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_steps_per_tick(mut self, steps: usize) -> Self {
+        self.steps_per_tick = steps.max(1);
+        self
+    }
+
+    /// Replaces the session deadline in ticks.
+    #[must_use]
+    pub fn with_deadline_ticks(mut self, ticks: u64) -> Self {
+        self.deadline_ticks = ticks;
+        self
+    }
+
+    /// Replaces the quarantine strike threshold (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> Self {
+        self.quarantine_threshold = threshold.max(1);
+        self
+    }
+
+    /// Replaces the execution policy.
+    #[must_use]
+    pub fn with_exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+}
+
+/// How one admitted session left the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOutcome {
+    /// The session ran to completion; the report may still carry QC
+    /// degradation (retries, quarantined electrodes, failed targets).
+    Completed(SessionReport),
+    /// The session overstayed its deadline and was cut; the report holds
+    /// partial results with `deadline_misses ≥ 1`.
+    DeadlineMiss(SessionReport),
+    /// A chaos-injected mid-session abort tore the session down; the
+    /// report holds flagged partial results.
+    Aborted(SessionReport),
+    /// The session was shed from the queue under overload and never ran.
+    Shed,
+    /// A non-recoverable configuration error surfaced while stepping.
+    Failed {
+        /// The typed platform error, rendered.
+        error: String,
+    },
+}
+
+impl SessionOutcome {
+    /// The served report, when one exists (everything but `Shed` and
+    /// `Failed`).
+    pub fn report(&self) -> Option<&SessionReport> {
+        match self {
+            SessionOutcome::Completed(r)
+            | SessionOutcome::DeadlineMiss(r)
+            | SessionOutcome::Aborted(r) => Some(r),
+            SessionOutcome::Shed | SessionOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True only for a completed session whose report is fully clean —
+    /// a shed, cut, aborted or failed session is degradation by
+    /// definition.
+    pub fn is_clean(&self) -> bool {
+        matches!(self, SessionOutcome::Completed(r) if !r.is_degraded())
+    }
+
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SessionOutcome::Completed(_) => "completed",
+            SessionOutcome::DeadlineMiss(_) => "deadline-miss",
+            SessionOutcome::Aborted(_) => "aborted",
+            SessionOutcome::Shed => "shed",
+            SessionOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// One served session: the response side of the batched interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedSession {
+    /// The requesting device.
+    pub device: u64,
+    /// The request's tier.
+    pub tier: ServiceTier,
+    /// The request's seed.
+    pub seed: u64,
+    /// How the session left the server.
+    pub outcome: SessionOutcome,
+}
+
+/// What one [`DiagnosticsServer::tick`] did, fleet-wide.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// State-machine steps executed.
+    pub steps: u64,
+    /// Sessions that reached a terminal outcome this tick.
+    pub completed: usize,
+    /// Queued sessions shed under overload this tick.
+    pub shed: usize,
+    /// Sessions cut by their deadline this tick.
+    pub deadline_misses: usize,
+}
+
+/// Cumulative serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ServerStats {
+    /// Requests admitted to a queue.
+    pub submitted: u64,
+    /// Requests refused with [`ServerError::Overloaded`].
+    pub rejected_overloaded: u64,
+    /// Requests refused with [`ServerError::Quarantined`].
+    pub rejected_quarantined: u64,
+    /// Sessions served to a terminal outcome (any label).
+    pub completed: u64,
+    /// Sessions shed from queues under overload.
+    pub shed: u64,
+    /// Sessions cut by their deadline.
+    pub deadline_misses: u64,
+    /// Sessions torn down by chaos aborts.
+    pub aborted: u64,
+    /// Total state-machine steps executed.
+    pub steps: u64,
+    /// Devices currently fleet-quarantined.
+    pub quarantined_devices: u64,
+}
+
+/// A queued, not-yet-admitted request.
+#[derive(Debug, Clone)]
+struct Pending {
+    device: u64,
+    tier: ServiceTier,
+    sample: Vec<(Analyte, Molar)>,
+    seed: u64,
+    options: SessionOptions,
+}
+
+/// One in-flight session.
+#[derive(Debug, Clone)]
+struct Active {
+    device: u64,
+    tier: ServiceTier,
+    seed: u64,
+    machine: SessionMachine,
+    admitted_tick: u64,
+    /// The session is not stepped before this tick (backoff or stall).
+    wake_tick: u64,
+    /// Chaos: tear the session down once it has taken this many steps.
+    abort_after: Option<u64>,
+}
+
+/// What one shard did during one tick.
+#[derive(Debug, Default)]
+struct ShardTick {
+    steps: u64,
+    completed: usize,
+    shed: usize,
+    deadline_misses: usize,
+    aborted: usize,
+}
+
+/// One independent slice of the fleet: queue + in-flight sessions +
+/// per-device health, never shared with other shards.
+#[derive(Debug)]
+struct Shard {
+    queue: VecDeque<Pending>,
+    active: Vec<Active>,
+    strikes: BTreeMap<u64, u32>,
+    quarantined: BTreeSet<u64>,
+    completed: Vec<CompletedSession>,
+    latencies_nanos: Vec<u64>,
+    peak_queue: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            strikes: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            completed: Vec::new(),
+            latencies_nanos: Vec::new(),
+            peak_queue: 0,
+        }
+    }
+
+    /// Sheds lowest-tier queued work down to the watermark, recording
+    /// every shed unit as a typed outcome.
+    fn shed_excess(&mut self, watermark: usize, tick: &mut ShardTick) {
+        while self.queue.len() > watermark {
+            // Lowest tier first; among equals, the most recently queued
+            // (freshest work is cheapest to abandon). `<=` keeps the last
+            // occurrence during the scan.
+            let mut worst_idx = 0usize;
+            let mut worst_tier = ServiceTier::Stat;
+            for (i, p) in self.queue.iter().enumerate() {
+                if p.tier <= worst_tier {
+                    worst_tier = p.tier;
+                    worst_idx = i;
+                }
+            }
+            let Some(victim) = self.queue.remove(worst_idx) else {
+                break;
+            };
+            self.completed.push(CompletedSession {
+                device: victim.device,
+                tier: victim.tier,
+                seed: victim.seed,
+                outcome: SessionOutcome::Shed,
+            });
+            tick.shed += 1;
+        }
+    }
+
+    /// Admits queued work into the active set up to the concurrency
+    /// bound, instantiating state machines and scheduling chaos.
+    fn admit(
+        &mut self,
+        platform: &Platform,
+        config: &ServerConfig,
+        chaos: Option<&ChaosPlan>,
+        now: u64,
+    ) {
+        while self.active.len() < config.max_active_per_shard {
+            let Some(pending) = self.queue.pop_front() else {
+                break;
+            };
+            let machine = platform.session_machine(&pending.sample, pending.seed, &pending.options);
+            let stall = chaos.and_then(|c| c.stall_for(pending.device)).unwrap_or(0);
+            let abort_after = chaos.and_then(|c| c.abort_after_for(pending.device));
+            self.active.push(Active {
+                device: pending.device,
+                tier: pending.tier,
+                seed: pending.seed,
+                machine,
+                admitted_tick: now,
+                wake_tick: now + stall,
+                abort_after,
+            });
+        }
+    }
+
+    /// Advances every awake in-flight session by up to `steps_per_tick`
+    /// steps, then harvests terminal sessions (done, aborted, past
+    /// deadline).
+    fn step_active(
+        &mut self,
+        platform: &Platform,
+        config: &ServerConfig,
+        clock: &dyn Clock,
+        now: u64,
+        tick: &mut ShardTick,
+    ) {
+        let mut finished: Vec<(usize, SessionOutcome)> = Vec::new();
+        for (idx, session) in self.active.iter_mut().enumerate() {
+            let expired = now.saturating_sub(session.admitted_tick) >= config.deadline_ticks;
+            if session.wake_tick > now {
+                // A sleeping session (backoff or chaos stall) still burns
+                // deadline budget; cut it the moment the deadline passes
+                // rather than when it would have woken.
+                if expired {
+                    finished.push((
+                        idx,
+                        SessionOutcome::DeadlineMiss(
+                            session
+                                .machine
+                                .finish_partial(platform)
+                                .with_deadline_misses(1),
+                        ),
+                    ));
+                }
+                continue;
+            }
+            let mut outcome: Option<SessionOutcome> = None;
+            for _ in 0..config.steps_per_tick {
+                if session.machine.is_done() {
+                    break;
+                }
+                if let Some(limit) = session.abort_after {
+                    if session.machine.steps_taken() >= limit {
+                        outcome = Some(SessionOutcome::Aborted(
+                            session.machine.finish_partial(platform),
+                        ));
+                        break;
+                    }
+                }
+                let t0 = clock.now_nanos();
+                let event = session.machine.step(platform);
+                self.latencies_nanos
+                    .push(clock.now_nanos().saturating_sub(t0));
+                tick.steps += 1;
+                match event {
+                    Ok(bios_platform::StepEvent::BackedOff { delay_ticks, .. }) => {
+                        session.wake_tick = now + delay_ticks.max(1);
+                        break;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        outcome = Some(SessionOutcome::Failed {
+                            error: e.to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            if outcome.is_none() {
+                if session.machine.is_done() {
+                    outcome = match session.machine.finish(platform) {
+                        Ok(report) => Some(SessionOutcome::Completed(report)),
+                        Err(e) => Some(SessionOutcome::Failed {
+                            error: e.to_string(),
+                        }),
+                    };
+                } else if expired {
+                    outcome = Some(SessionOutcome::DeadlineMiss(
+                        session
+                            .machine
+                            .finish_partial(platform)
+                            .with_deadline_misses(1),
+                    ));
+                }
+            }
+            if let Some(outcome) = outcome {
+                finished.push((idx, outcome));
+            }
+        }
+        // Harvest back-to-front so indices stay valid.
+        for (idx, outcome) in finished.into_iter().rev() {
+            let session = self.active.remove(idx);
+            match &outcome {
+                SessionOutcome::DeadlineMiss(_) => tick.deadline_misses += 1,
+                SessionOutcome::Aborted(_) => tick.aborted += 1,
+                _ => {}
+            }
+            self.record_health(session.device, &outcome, config.quarantine_threshold);
+            tick.completed += 1;
+            self.completed.push(CompletedSession {
+                device: session.device,
+                tier: session.tier,
+                seed: session.seed,
+                outcome,
+            });
+        }
+        // Keep completion order deterministic: sessions were harvested in
+        // reverse index order above, restore admission order.
+        let n = tick.completed;
+        let len = self.completed.len();
+        self.completed[len - n..].reverse();
+    }
+
+    /// Fleet-side health accounting: chronic failures quarantine the
+    /// device, a clean session clears its strikes.
+    fn record_health(&mut self, device: u64, outcome: &SessionOutcome, threshold: u32) {
+        let failed = match outcome {
+            SessionOutcome::Completed(r) => {
+                let d = r.degradation();
+                !d.quarantined.is_empty() || !d.failed_targets.is_empty()
+            }
+            SessionOutcome::DeadlineMiss(_)
+            | SessionOutcome::Aborted(_)
+            | SessionOutcome::Failed { .. } => true,
+            SessionOutcome::Shed => false,
+        };
+        if failed {
+            let strikes = self.strikes.entry(device).or_insert(0);
+            *strikes += 1;
+            if *strikes >= threshold {
+                self.quarantined.insert(device);
+            }
+        } else {
+            self.strikes.remove(&device);
+        }
+    }
+
+    /// One full shard tick: shed, admit, step, harvest.
+    fn tick(
+        &mut self,
+        platform: &Platform,
+        config: &ServerConfig,
+        chaos: Option<&ChaosPlan>,
+        clock: &dyn Clock,
+        now: u64,
+    ) -> ShardTick {
+        let mut summary = ShardTick::default();
+        self.shed_excess(config.shed_watermark, &mut summary);
+        self.admit(platform, config, chaos, now);
+        self.step_active(platform, config, clock, now, &mut summary);
+        summary
+    }
+}
+
+/// The diagnostics service: a fleet-facing, deterministic session
+/// scheduler over one [`Platform`]. See the crate docs for the serving
+/// contract and an example.
+#[derive(Debug)]
+pub struct DiagnosticsServer<'p> {
+    platform: &'p Platform,
+    config: ServerConfig,
+    options: SessionOptions,
+    chaos: Option<ChaosPlan>,
+    shards: Vec<Shard>,
+    now: u64,
+    stats: ServerStats,
+}
+
+impl<'p> DiagnosticsServer<'p> {
+    /// A server over `platform` with default session options (no faults,
+    /// standard QC and retry policy).
+    pub fn new(platform: &'p Platform, config: ServerConfig) -> Self {
+        Self::with_options(platform, config, SessionOptions::default())
+    }
+
+    /// A server whose sessions all run under `options` (QC gate, retry
+    /// policy, optional base fault plan). The server forces the
+    /// per-session exec policy to sequential — parallelism lives at the
+    /// shard level, one session machine is stepped by exactly one worker.
+    pub fn with_options(
+        platform: &'p Platform,
+        config: ServerConfig,
+        options: SessionOptions,
+    ) -> Self {
+        let shards = (0..config.shards.max(1)).map(|_| Shard::new()).collect();
+        Self {
+            platform,
+            config,
+            options: options.with_exec(ExecPolicy::Sequential),
+            chaos: None,
+            shards,
+            now: 0,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Installs a chaos plan; subsequent admissions draw stalls, aborts
+    /// and AFE fault overlays from it.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosPlan) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.stats;
+        stats.quarantined_devices = self.shards.iter().map(|s| s.quarantined.len() as u64).sum();
+        stats
+    }
+
+    /// Submits one session request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Quarantined`] for a fleet-quarantined device;
+    /// [`ServerError::Overloaded`] when the target shard's queue is at
+    /// capacity. The queue bound is never exceeded.
+    pub fn submit(&mut self, request: SessionRequest) -> Result<(), ServerError> {
+        let shard_idx = (request.device % self.config.shards as u64) as usize;
+        let capacity = self.config.queue_capacity;
+        let chaos = &self.chaos;
+        let options = &self.options;
+        let platform = self.platform;
+        let Some(shard) = self.shards.get_mut(shard_idx) else {
+            return Err(ServerError::Overloaded {
+                shard: shard_idx,
+                queue_len: 0,
+                capacity,
+            });
+        };
+        if shard.quarantined.contains(&request.device) {
+            self.stats.rejected_quarantined += 1;
+            return Err(ServerError::Quarantined {
+                device: request.device,
+            });
+        }
+        if shard.queue.len() >= capacity {
+            self.stats.rejected_overloaded += 1;
+            return Err(ServerError::Overloaded {
+                shard: shard_idx,
+                queue_len: shard.queue.len(),
+                capacity,
+            });
+        }
+        // Compose the chaos AFE overlay into the session's fault plan at
+        // admission time, so the whole session (including retries) sees
+        // one consistent faulted device.
+        let mut options = options.clone();
+        if let Some(overlay) = chaos
+            .as_ref()
+            .and_then(|c| c.fault_plan_for(request.device, platform.assignments().len()))
+        {
+            options.fault_plan = Some(match options.fault_plan.take() {
+                Some(base) => base.compose(overlay),
+                None => overlay,
+            });
+        }
+        shard.queue.push_back(Pending {
+            device: request.device,
+            tier: request.tier,
+            sample: request.sample,
+            seed: request.seed,
+            options,
+        });
+        shard.peak_queue = shard.peak_queue.max(shard.queue.len());
+        self.stats.submitted += 1;
+        Ok(())
+    }
+
+    /// Advances the whole fleet by one virtual tick: every shard sheds
+    /// excess queue, admits work, and steps its in-flight sessions.
+    /// Shards fan out across the execution engine; the outcome is
+    /// bit-identical for any [`ExecPolicy`].
+    pub fn tick(&mut self, clock: &dyn Clock) -> TickSummary {
+        let platform = self.platform;
+        let config = &self.config;
+        let chaos = self.chaos.as_ref();
+        let now = self.now;
+        let ticks = par_map_mut(config.exec, &mut self.shards, |_, shard| {
+            shard.tick(platform, config, chaos, clock, now)
+        });
+        self.now += 1;
+        let mut summary = TickSummary::default();
+        for t in ticks {
+            summary.steps += t.steps;
+            summary.completed += t.completed;
+            summary.shed += t.shed;
+            summary.deadline_misses += t.deadline_misses;
+            self.stats.aborted += t.aborted as u64;
+        }
+        self.stats.steps += summary.steps;
+        self.stats.completed += summary.completed as u64;
+        self.stats.shed += summary.shed as u64;
+        self.stats.deadline_misses += summary.deadline_misses as u64;
+        summary
+    }
+
+    /// True when no work is queued or in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.active.is_empty())
+    }
+
+    /// Sessions currently in flight fleet-wide.
+    pub fn in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.active.len()).sum()
+    }
+
+    /// Sessions currently queued fleet-wide.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// The highest queue occupancy any shard ever reached — evidence the
+    /// configured bound was respected.
+    pub fn peak_queue_len(&self) -> usize {
+        self.shards.iter().map(|s| s.peak_queue).max().unwrap_or(0)
+    }
+
+    /// Drains every served session, in shard order then service order
+    /// within the shard — a deterministic batch response.
+    pub fn drain_completed(&mut self) -> Vec<CompletedSession> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.append(&mut shard.completed);
+        }
+        out
+    }
+
+    /// Drains the per-step latency samples (nanoseconds, shard order)
+    /// collected through the injected [`Clock`]. All zeros under
+    /// [`NullClock`](crate::NullClock).
+    pub fn drain_latencies(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.append(&mut shard.latencies_nanos);
+        }
+        out
+    }
+
+    /// Devices currently fleet-quarantined, ascending.
+    pub fn quarantined_devices(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.quarantined.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Releases a device from fleet quarantine (e.g. after service),
+    /// clearing its strikes. Returns whether it was quarantined.
+    pub fn release_device(&mut self, device: u64) -> bool {
+        let shard_idx = (device % self.config.shards as u64) as usize;
+        match self.shards.get_mut(shard_idx) {
+            Some(shard) => {
+                shard.strikes.remove(&device);
+                shard.quarantined.remove(&device)
+            }
+            None => false,
+        }
+    }
+
+    /// Runs ticks until idle or `max_ticks` elapse, returning the ticks
+    /// spent.
+    pub fn run_until_idle(&mut self, clock: &dyn Clock, max_ticks: u64) -> u64 {
+        let mut spent = 0;
+        while !self.is_idle() && spent < max_ticks {
+            self.tick(clock);
+            spent += 1;
+        }
+        spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NullClock;
+    use bios_platform::{PanelSpec, PlatformBuilder};
+
+    fn platform() -> Platform {
+        PlatformBuilder::new(PanelSpec::paper_fig4())
+            .build()
+            .expect("build")
+    }
+
+    fn request(device: u64, tier: ServiceTier, seed: u64) -> SessionRequest {
+        SessionRequest {
+            device,
+            tier,
+            sample: vec![(Analyte::Glucose, Molar::from_millimolar(3.0))],
+            seed,
+        }
+    }
+
+    #[test]
+    fn serves_a_session_to_completion() {
+        let p = platform();
+        let mut server = DiagnosticsServer::new(&p, ServerConfig::default());
+        server
+            .submit(request(1, ServiceTier::Stat, 42))
+            .expect("admitted");
+        let spent = server.run_until_idle(&NullClock, 10_000);
+        assert!(spent > 0);
+        let served = server.drain_completed();
+        assert_eq!(served.len(), 1);
+        let report = served[0].outcome.report().expect("served");
+        // Same session through the blocking path: must be bit-identical
+        // (the server pins per-session exec to sequential).
+        let blocking = p
+            .run_session_with(
+                &[(Analyte::Glucose, Molar::from_millimolar(3.0))],
+                42,
+                &SessionOptions::default().with_exec(ExecPolicy::Sequential),
+            )
+            .expect("session");
+        assert_eq!(*report, blocking);
+        assert!(served[0].outcome.is_clean());
+    }
+
+    #[test]
+    fn overload_returns_typed_error_and_bound_is_never_exceeded() {
+        let p = platform();
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(8)
+            .with_shed_watermark(8);
+        let mut server = DiagnosticsServer::new(&p, config);
+        let mut rejected = 0;
+        for k in 0..20 {
+            match server.submit(request(k, ServiceTier::Routine, k)) {
+                Ok(()) => {}
+                Err(ServerError::Overloaded {
+                    shard,
+                    queue_len,
+                    capacity,
+                }) => {
+                    rejected += 1;
+                    assert_eq!(shard, 0);
+                    assert_eq!(queue_len, 8);
+                    assert_eq!(capacity, 8);
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(rejected, 12, "queue admits exactly its capacity");
+        assert_eq!(server.peak_queue_len(), 8, "bound never exceeded");
+        assert_eq!(server.stats().rejected_overloaded, 12);
+    }
+
+    #[test]
+    fn shedding_drops_lowest_tier_first_and_reports_it() {
+        let p = platform();
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(6)
+            .with_shed_watermark(2)
+            .with_max_active(1)
+            .with_steps_per_tick(1);
+        let mut server = DiagnosticsServer::new(&p, config);
+        server
+            .submit(request(0, ServiceTier::Stat, 1))
+            .expect("admitted");
+        server
+            .submit(request(1, ServiceTier::BestEffort, 2))
+            .expect("admitted");
+        server
+            .submit(request(2, ServiceTier::Routine, 3))
+            .expect("admitted");
+        server
+            .submit(request(3, ServiceTier::BestEffort, 4))
+            .expect("admitted");
+        let summary = server.tick(&NullClock);
+        assert_eq!(summary.shed, 2, "queue of 4 sheds down to watermark 2");
+        let served = server.drain_completed();
+        let shed: Vec<(u64, ServiceTier)> = served
+            .iter()
+            .filter(|c| matches!(c.outcome, SessionOutcome::Shed))
+            .map(|c| (c.device, c.tier))
+            .collect();
+        // Both best-effort requests go first (freshest first among
+        // equals); stat and routine survive.
+        assert_eq!(
+            shed,
+            vec![(3, ServiceTier::BestEffort), (1, ServiceTier::BestEffort)]
+        );
+        assert!(!served
+            .iter()
+            .any(|c| matches!(c.outcome, SessionOutcome::Shed) && c.tier == ServiceTier::Stat));
+    }
+
+    #[test]
+    fn deadline_cuts_surface_as_typed_partial_results() {
+        let p = platform();
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_steps_per_tick(1)
+            .with_deadline_ticks(2);
+        let mut server = DiagnosticsServer::new(&p, config);
+        server
+            .submit(request(5, ServiceTier::Routine, 11))
+            .expect("admitted");
+        server.run_until_idle(&NullClock, 100);
+        let served = server.drain_completed();
+        assert_eq!(served.len(), 1);
+        match &served[0].outcome {
+            SessionOutcome::DeadlineMiss(report) => {
+                assert!(report.degradation().deadline_misses >= 1);
+                assert!(report.is_degraded(), "cut session must not be clean");
+            }
+            other => panic!("expected deadline miss, got {}", other.label()),
+        }
+        assert_eq!(server.stats().deadline_misses, 1);
+    }
+
+    #[test]
+    fn stalled_devices_burn_deadline_budget_and_get_cut() {
+        let p = platform();
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_deadline_ticks(5);
+        let mut server =
+            DiagnosticsServer::new(&p, config).with_chaos(ChaosPlan::new(2).with_stalls(1.0, 1000));
+        server
+            .submit(request(3, ServiceTier::Routine, 7))
+            .expect("admitted");
+        let spent = server.run_until_idle(&NullClock, 100);
+        assert!(spent <= 10, "cut at the deadline, not at wake tick {spent}");
+        let served = server.drain_completed();
+        assert_eq!(served.len(), 1);
+        assert!(
+            matches!(served[0].outcome, SessionOutcome::DeadlineMiss(_)),
+            "a stall past the deadline must surface as a cut, got {}",
+            served[0].outcome.label()
+        );
+    }
+
+    #[test]
+    fn chronic_failures_quarantine_the_device_fleet_side() {
+        use bios_afe::{Fault, FaultKind, FaultPlan};
+        use bios_instrument::QcGate;
+
+        let p = platform();
+        // Device whose electrode is dead: every session fails QC.
+        let plan = FaultPlan::new(3).with_fault(
+            0,
+            Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+        );
+        let options = SessionOptions::default()
+            .with_fault_plan(plan)
+            .with_qc(QcGate::default());
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_quarantine_threshold(2);
+        let mut server = DiagnosticsServer::with_options(&p, config, options);
+        for k in 0..2 {
+            server
+                .submit(request(9, ServiceTier::Routine, 100 + k))
+                .expect("admitted");
+            server.run_until_idle(&NullClock, 10_000);
+        }
+        assert_eq!(server.quarantined_devices(), vec![9]);
+        let err = server
+            .submit(request(9, ServiceTier::Routine, 200))
+            .expect_err("quarantined");
+        assert_eq!(err, ServerError::Quarantined { device: 9 });
+        assert_eq!(server.stats().rejected_quarantined, 1);
+        // Serviced device re-admits.
+        assert!(server.release_device(9));
+        server
+            .submit(request(9, ServiceTier::Routine, 201))
+            .expect("released device admits again");
+    }
+
+    #[test]
+    fn fleet_schedule_is_bit_identical_for_any_exec_policy() {
+        let p = platform();
+        let run = |exec: ExecPolicy| {
+            let config = ServerConfig::default().with_shards(4).with_exec(exec);
+            let mut server = DiagnosticsServer::new(&p, config)
+                .with_chaos(ChaosPlan::new(5).with_stalls(0.3, 3).with_aborts(0.2));
+            for k in 0..24u64 {
+                server
+                    .submit(request(k, ServiceTier::Routine, 1000 + k))
+                    .expect("admitted");
+            }
+            server.run_until_idle(&NullClock, 100_000);
+            server.drain_completed()
+        };
+        let seq = run(ExecPolicy::Sequential);
+        let par = run(ExecPolicy::Threads(4));
+        assert_eq!(seq.len(), 24);
+        assert_eq!(seq, par, "shard fan-out must not change outcomes");
+    }
+
+    #[test]
+    fn chaos_aborts_surface_as_flagged_partials_never_clean() {
+        let p = platform();
+        let config = ServerConfig::default().with_shards(2);
+        let mut server =
+            DiagnosticsServer::new(&p, config).with_chaos(ChaosPlan::new(8).with_aborts(1.0));
+        for k in 0..6u64 {
+            server
+                .submit(request(k, ServiceTier::Routine, 500 + k))
+                .expect("admitted");
+        }
+        server.run_until_idle(&NullClock, 10_000);
+        let served = server.drain_completed();
+        assert_eq!(served.len(), 6);
+        for c in &served {
+            match &c.outcome {
+                SessionOutcome::Aborted(report) => {
+                    assert!(!c.outcome.is_clean());
+                    // Every reading from an aborted session is flagged.
+                    assert!(report
+                        .qualities()
+                        .iter()
+                        .all(|q| !q.is_usable() || q.attempts > 0));
+                }
+                other => panic!("abort rate 1.0 must abort all, got {}", other.label()),
+            }
+        }
+        assert_eq!(server.stats().aborted, 6);
+    }
+}

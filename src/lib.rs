@@ -11,7 +11,10 @@
 //! * [`afe`] — behavioral analog front-end,
 //! * [`instrument`] — protocols, peaks and calibration statistics,
 //! * [`platform`] — the paper's platform methodology and design-space
-//!   exploration.
+//!   exploration,
+//! * [`server`] — diagnostics as a service: a sharded deterministic
+//!   scheduler with bounded admission, deadlines, degradation tiers and
+//!   a chaos harness.
 //!
 //! # Quickstart
 //!
@@ -48,4 +51,5 @@ pub use bios_biochem as biochem;
 pub use bios_electrochem as electrochem;
 pub use bios_instrument as instrument;
 pub use bios_platform as platform;
+pub use bios_server as server;
 pub use bios_units as units;

@@ -197,3 +197,67 @@ fn faulted_sessions_are_bit_deterministic_per_seed() {
         .expect("session");
     assert_ne!(a, c, "different seeds must differ");
 }
+
+#[test]
+fn quarantined_sessions_suspend_and_resume_bit_identically() {
+    // A session driven into retries and quarantine by a dead electrode is
+    // suspended mid-retry (right at a backoff), its checkpoint shipped
+    // through serde, and resumed in a fresh machine: the final report
+    // must be bit-identical to the uninterrupted blocking run.
+    use advdiag::afe::{Fault, FaultKind, FaultPlan};
+    use advdiag::instrument::QcGate;
+    use advdiag::platform::{SessionOptions, StepEvent};
+
+    let platform = PlatformBuilder::new(PanelSpec::paper_fig4())
+        .build()
+        .expect("build");
+    let sample = [
+        (Analyte::Glucose, Molar::from_millimolar(3.0)),
+        (Analyte::Lactate, Molar::from_millimolar(1.0)),
+    ];
+    let we = platform
+        .assignments()
+        .iter()
+        .find(|a| a.targets().contains(&Analyte::Glucose))
+        .expect("glucose on panel")
+        .index();
+    let plan = FaultPlan::new(77).with_fault(
+        we,
+        Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid fault"),
+    );
+    let opts = SessionOptions::default()
+        .with_fault_plan(plan)
+        .with_qc(QcGate::default());
+
+    let blocking = platform
+        .run_session_with(&sample, 2011, &opts)
+        .expect("session");
+    assert!(
+        blocking.degradation().quarantined.contains(&we),
+        "a dead electrode must exhaust its retries into quarantine"
+    );
+
+    let mut machine = platform.session_machine(&sample, 2011, &opts);
+    loop {
+        match machine.step(&platform).expect("step") {
+            StepEvent::BackedOff { .. } => break,
+            StepEvent::SessionDone => panic!("session finished without ever backing off"),
+            _ => {}
+        }
+    }
+    // Suspend exactly here — mid-retry, attempt pending — and round-trip
+    // the checkpoint the way a crashed host would.
+    let frozen = serde_json::to_string(&machine.checkpoint()).expect("serialize checkpoint");
+    drop(machine);
+
+    let checkpoint = serde_json::from_str(&frozen).expect("deserialize checkpoint");
+    let mut resumed = platform.resume_session(&sample, 2011, &opts, checkpoint);
+    while !resumed.is_done() {
+        resumed.step(&platform).expect("step");
+    }
+    let report = resumed.finish(&platform).expect("finish");
+    assert_eq!(
+        report, blocking,
+        "suspend/serialize/resume must replay the session bit for bit"
+    );
+}
