@@ -141,6 +141,7 @@ fn bench_solver_kernels(c: &mut Criterion) {
     let options = SimOptions {
         dt: None,
         include_charging: true,
+        grid_gamma: None,
     };
     c.bench_function("cv_reversible_full_cycle", |b| {
         b.iter(|| {

@@ -227,6 +227,7 @@ pub fn swv_advantage() -> Vec<SwvRow> {
                 SimOptions {
                     dt: None,
                     include_charging: false,
+                    grid_gamma: None,
                 },
             )
             .expect("simulation");

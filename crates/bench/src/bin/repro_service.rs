@@ -55,6 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "host cores: {}   threads: {}   policy: {}",
         report.host_cores, report.threads, report.exec_policy
     );
+    if report.host_cores < 2 {
+        eprintln!("╔═══════════════════════════════════════════════════════════════════╗");
+        eprintln!("║ WARNING: single-core host — serving throughput and latency numbers");
+        eprintln!("║ below carry NO parallel signal (shards cannot fan out). The JSON");
+        eprintln!("║ records \"parallelism\": \"single_core_host_no_parallel_signal\".");
+        eprintln!("║ Robustness gates (corruption, chaos, admission) still run in full.");
+        eprintln!("╚═══════════════════════════════════════════════════════════════════╝");
+    }
     println!(
         "load: {} sessions over {} shards, peak {} concurrent, {} ticks, {} steps",
         l.sessions, l.shards, l.concurrent_peak, l.ticks, l.steps

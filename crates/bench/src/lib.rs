@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod batch;
 pub mod fault_matrix;
 pub mod fig1;
 pub mod fig2;

@@ -123,6 +123,18 @@ impl PerfReport {
             .map(WorkloadResult::speedup)
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Gate disposition for this host: on a single-core host no speedup
+    /// is expressible, so the gate is *skipped* — and the committed
+    /// report says so, instead of recording `host_cores: 1` silently
+    /// next to a ~1.0 "speedup" that never gated anything.
+    pub fn speedup_gate(&self) -> &'static str {
+        if self.host_threads < 2 {
+            crate::batch::GATE_SKIPPED_SINGLE_CORE
+        } else {
+            crate::batch::GATE_ENFORCED
+        }
+    }
 }
 
 /// Times one workload under the sequential policy and under `policy`,
@@ -311,9 +323,10 @@ pub fn to_json(report: &PerfReport) -> String {
         report.memo_hits, report.memo_misses
     ));
     out.push_str(&format!(
-        "  \"all_digests_match\": {},\n  \"min_speedup\": {:.2}\n}}\n",
+        "  \"all_digests_match\": {},\n  \"min_speedup\": {:.2},\n  \"speedup_gate\": \"{}\"\n}}\n",
         report.all_digests_match(),
-        report.min_speedup()
+        report.min_speedup(),
+        report.speedup_gate()
     ));
     out
 }
@@ -362,6 +375,7 @@ mod tests {
         assert!(json.contains("\"speedup\": 4.00"));
         assert!(json.contains("\"digests_match\": true"));
         assert!(json.contains("\"min_speedup\": 4.00"));
+        assert!(json.contains("\"speedup_gate\": \"enforced\""));
         // Balanced braces/brackets — cheap structural sanity.
         assert_eq!(
             json.matches('{').count(),

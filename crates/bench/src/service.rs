@@ -203,6 +203,19 @@ impl ServiceReport {
     pub fn admission_contract_held(&self) -> bool {
         self.overload.bound_respected && self.quarantine.rejection_typed
     }
+
+    /// Host-parallelism disposition recorded in the JSON: throughput and
+    /// latency figures measured on a single-core host carry no parallel
+    /// signal, and a committed report must say so explicitly rather than
+    /// leave a silent `host_cores: 1` next to numbers that look like
+    /// fleet-level parallelism.
+    pub fn parallelism_disposition(&self) -> &'static str {
+        if self.host_cores < 2 {
+            "single_core_host_no_parallel_signal"
+        } else {
+            "multi_core"
+        }
+    }
 }
 
 /// Runs all four phases. `sessions` sizes the sustained-load fleet; the
@@ -575,8 +588,11 @@ fn run_quarantine_probe() -> QuarantineProbe {
 pub fn to_json(report: &ServiceReport) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"host_cores\": {},\n  \"threads\": {},\n  \"exec_policy\": \"{}\",\n",
-        report.host_cores, report.threads, report.exec_policy
+        "  \"host_cores\": {},\n  \"threads\": {},\n  \"exec_policy\": \"{}\",\n  \"parallelism\": \"{}\",\n",
+        report.host_cores,
+        report.threads,
+        report.exec_policy,
+        report.parallelism_disposition()
     ));
     let l = &report.load;
     out.push_str(&format!(
@@ -741,6 +757,12 @@ mod tests {
         assert!(json.contains("\"all_chaos_surfaced\": true"));
         assert!(json.contains("\"admission_contract_held\": true"));
         assert!(json.contains("\"exec_policy\": \"Auto\""));
+        assert!(json.contains("\"parallelism\": \"multi_core\""));
+        let single = ServiceReport {
+            host_cores: 1,
+            ..report.clone()
+        };
+        assert!(to_json(&single).contains("single_core_host_no_parallel_signal"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

@@ -79,6 +79,7 @@ pub fn current_at_potential(couple: &RedoxCouple, e: Volts) -> f64 {
     let options = SimOptions {
         dt: Some(Seconds::new(0.15)),
         include_charging: false,
+        grid_gamma: None,
     };
     let tr = simulate_chrono_with(
         &cell,

@@ -192,6 +192,70 @@ fn base_len<R>(buckets: &[Vec<(usize, R)>]) -> usize {
     buckets.iter().map(Vec::len).sum()
 }
 
+/// Maps `f` over *contiguous chunks* of `items` (one chunk per worker,
+/// sized like [`par_map_mut`]) and concatenates the per-chunk outputs in
+/// chunk order. `f` receives `(start_index, chunk)` and must return one
+/// output per element.
+///
+/// This is the batching primitive: a chunk-level `f` can run one batched
+/// kernel across its whole chunk instead of a task per element. The
+/// determinism contract is conditional on the caller — when `f`'s output
+/// for each element is independent of how the slice was chunked (true for
+/// the batched diffusion kernel, whose lanes are bit-identical to scalar
+/// runs), the concatenated result equals `f(0, items)` for any thread
+/// count. The bench harness digest-checks exactly this.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`, and panics if `f` returns a vector whose
+/// length differs from its chunk.
+pub fn par_map_chunks<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
+    let threads = policy.threads_for(items.len());
+    if threads <= 1 || items.len() <= 1 {
+        let out = f(0, items);
+        assert_eq!(out.len(), items.len(), "chunk output length mismatch");
+        return out;
+    }
+    let chunk = items.len().div_ceil(threads);
+    let pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(k, head)| {
+                let f = &f;
+                let start = k * chunk;
+                scope.spawn(move || {
+                    let out = f(start, head);
+                    assert_eq!(out.len(), head.len(), "chunk output length mismatch");
+                    (start, out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(piece) => piece,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (start, piece) in pieces {
+        for (k, r) in piece.into_iter().enumerate() {
+            out[start + k] = Some(r);
+        }
+    }
+    out.into_iter()
+        // advdiag::allow(P1, invariant: chunking covers each index exactly once; a hole here is corruption, so aborting beats returning wrong data)
+        .map(|slot| slot.expect("every index covered exactly once"))
+        .collect()
+}
+
 /// [`par_map`] over fallible work: stops at nothing (all units run), then
 /// returns the first error *by item index* — the same error the sequential
 /// loop would have surfaced first.
@@ -268,6 +332,28 @@ mod tests {
         }
         let mut empty: Vec<u64> = Vec::new();
         assert!(par_map_mut(ExecPolicy::Threads(4), &mut empty, f).is_empty());
+    }
+
+    #[test]
+    fn par_map_chunks_matches_whole_slice_call() {
+        // Element-wise-independent chunk function: partitioning must not
+        // change the concatenated output.
+        let items: Vec<u64> = (0..97).collect();
+        let f = |start: usize, chunk: &[u64]| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(k, x)| ((start + k) as u64).wrapping_mul(0x9e37) ^ (x * 7))
+                .collect::<Vec<u64>>()
+        };
+        let reference = f(0, &items);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = par_map_chunks(ExecPolicy::Threads(threads), &items, f);
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+        assert_eq!(par_map_chunks(ExecPolicy::Sequential, &items, f), reference);
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_chunks(ExecPolicy::Threads(4), &empty, f).is_empty());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use builder::{PlatformBuilder, ProbePreference};
 pub use chamber::{crosstalk_fraction, minimum_pitch, needs_chambers, CAPTURE_EFFICIENCY, D_H2O2};
 pub use cost::{electronics_budget, PlatformCost, ReadoutSharing};
 pub use error::PlatformError;
-pub use exec::{par_map, par_map_mut, try_par_map, ExecPolicy};
+pub use exec::{par_map, par_map_chunks, par_map_mut, try_par_map, ExecPolicy};
 pub use explore::{
     evaluate, explore, explore_with, pareto_front, predict_lod, probes_for_point, DesignPoint,
     DesignSpace, EvaluatedDesign,
@@ -73,5 +73,8 @@ pub use requirements::{PanelSpec, TargetSpec};
 pub use robustness::{DegradationSummary, RetryPolicy, SessionOptions, TargetQuality};
 pub use schedule::{Schedule, ScheduleSlot};
 pub use selectivity::SelectivityMatrix;
-pub use session::{SessionCheckpoint, SessionMachine, SessionStep, StepEvent, StepKind};
+pub use session::{
+    SampleRequest, SampleResult, SessionCheckpoint, SessionMachine, SessionStep, StepEvent,
+    StepKind,
+};
 pub use structure::SensorStructure;

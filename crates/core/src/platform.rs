@@ -3,11 +3,11 @@
 
 use crate::cost::{electronics_budget, PlatformCost, ReadoutSharing};
 use crate::error::PlatformError;
-use crate::exec::try_par_map;
+use crate::exec::{par_map, ExecPolicy};
 use crate::memo;
 use crate::robustness::{DegradationSummary, SessionOptions, TargetQuality};
 use crate::schedule::Schedule;
-use crate::session::{SessionCheckpoint, SessionMachine, WeMachine, WeOutcome};
+use crate::session::{SampleRequest, SampleResult, SessionCheckpoint, SessionMachine, WeOutcome};
 use crate::structure::SensorStructure;
 use bios_afe::{AnalogMux, Fault, ReadoutChain};
 use bios_biochem::Interferent;
@@ -354,28 +354,43 @@ impl Platform {
         seed: u64,
         options: &SessionOptions,
     ) -> Result<SessionReport, PlatformError> {
-        let interferents = Self::interferents_of(sample);
-
         // Every electrode's work — chain selection, BIST, acquisition,
-        // retries — is one [`WeMachine`](crate::session) driven to
-        // completion, and depends only on `(assignment, sample, seed,
-        // options)`, so the engine can run the machines in any order; the
-        // merge below replays the outcomes in assignment order, which
-        // makes the report bit-identical to the sequential loop — and to
-        // any step-interleaved [`SessionMachine`](crate::SessionMachine)
-        // run of the same session.
-        let slots: Vec<usize> = (0..self.assignments.len()).collect();
-        let outcomes = try_par_map(options.exec, &slots, |_, &slot| {
-            WeMachine::new_for_slot(slot).run_to_completion(
-                self,
-                sample,
-                &interferents,
-                seed,
-                options,
-            )
-        })?;
+        // retries — is a [`WeMachine`](crate::session) whose transitions
+        // depend only on `(assignment, sample, seed, options)`. The wave
+        // driver advances all machines through their cheap transitions,
+        // then executes every parked acquisition as one batched
+        // [`Self::run_samples`] dispatch under `options.exec`; the merge
+        // replays outcomes in assignment order, which makes the report
+        // bit-identical to the sequential loop — and to any
+        // step-interleaved [`SessionMachine`](crate::SessionMachine) run
+        // of the same session.
+        let mut machine = self.session_machine(sample, seed, options);
+        while !machine.is_done() {
+            machine.step_wave(self, options.exec)?;
+        }
+        machine.finish(self)
+    }
 
-        Ok(self.merge_outcomes(outcomes))
+    /// Executes a batch of lifted [`SampleRequest`]s — possibly gathered
+    /// from *different* sessions — fanning out across the execution
+    /// engine. Result `i` is exactly what the inline `Sample` transition
+    /// of request `i`'s session would have produced: each acquisition is
+    /// a pure function of its request, so batching (and the merge-by-index
+    /// engine) cannot change any session's outcome.
+    pub fn run_samples(&self, requests: &[SampleRequest], policy: ExecPolicy) -> Vec<SampleResult> {
+        par_map(policy, requests, |_, req| {
+            let assignment = &self.assignments[req.slot];
+            let chain = self.assignment_chain(assignment, &req.options);
+            self.measure_assignment(
+                assignment,
+                &req.sample,
+                &req.interferents,
+                &chain,
+                &req.options,
+                req.reference_noise,
+                req.attempt_seed,
+            )
+        })
     }
 
     /// Electroactive species in the sample that interfere with the anodic

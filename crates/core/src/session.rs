@@ -200,7 +200,7 @@ impl WeMachine {
                 let we_seed = Platform::we_seed(seed, assignment.index());
                 let attempt_seed = options.retry.attempt_seed(we_seed, self.attempt);
                 let chain = platform.assignment_chain(assignment, options);
-                match platform.measure_assignment(
+                let outcome = platform.measure_assignment(
                     assignment,
                     sample,
                     interferents,
@@ -208,20 +208,8 @@ impl WeMachine {
                     options,
                     self.reference_noise,
                     attempt_seed,
-                ) {
-                    Ok((readings, verdict)) => {
-                        self.pending = Some(SampleOutcome::Measured { readings, verdict });
-                    }
-                    Err(e) => {
-                        if !e.severity().is_recoverable() {
-                            return Err(e);
-                        }
-                        self.pending = Some(SampleOutcome::Errored {
-                            detail: e.to_string(),
-                        });
-                    }
-                }
-                self.phase = StepKind::Qc;
+                );
+                self.absorb_sample(outcome)?;
                 Ok(StepEvent::Progressed(descriptor))
             }
             StepKind::Qc => {
@@ -278,6 +266,32 @@ impl WeMachine {
             }
             StepKind::Done => Ok(StepEvent::WeDone(descriptor)),
         }
+    }
+
+    /// Absorbs an acquisition outcome as this machine's `Sample`
+    /// transition — the one state change shared by the inline
+    /// [`Self::advance`] path and the batched
+    /// [`SessionMachine::complete_sample`] path, so the two drivings
+    /// cannot diverge.
+    fn absorb_sample(
+        &mut self,
+        outcome: Result<(Vec<TargetReading>, QcVerdict), PlatformError>,
+    ) -> Result<(), PlatformError> {
+        match outcome {
+            Ok((readings, verdict)) => {
+                self.pending = Some(SampleOutcome::Measured { readings, verdict });
+            }
+            Err(e) => {
+                if !e.severity().is_recoverable() {
+                    return Err(e);
+                }
+                self.pending = Some(SampleOutcome::Errored {
+                    detail: e.to_string(),
+                });
+            }
+        }
+        self.phase = StepKind::Qc;
+        Ok(())
     }
 
     /// Seals the electrode's outcome from the final attempt's readings
@@ -355,22 +369,43 @@ impl WeMachine {
             Ok(StepEvent::WeDone(descriptor))
         }
     }
+}
 
-    /// Drives this electrode's machine to completion (the blocking path
-    /// `run_session_with` fans out over the execution engine).
-    pub(crate) fn run_to_completion(
-        mut self,
-        platform: &Platform,
-        sample: &[(Analyte, Molar)],
-        interferents: &[(Interferent, Molar)],
-        seed: u64,
-        options: &SessionOptions,
-    ) -> Result<WeOutcome, PlatformError> {
-        while !self.is_done() {
-            self.advance(platform, sample, interferents, seed, options)?;
-        }
-        // advdiag::allow(P1, invariant: a Done machine always sealed an outcome in finalize; a hole is state-machine corruption, so aborting beats returning wrong data)
-        Ok(self.outcome.expect("done machine has a sealed outcome"))
+/// The outcome of one acquisition: readings plus the raw QC verdict, or a
+/// typed platform error.
+pub type SampleResult = Result<(Vec<TargetReading>, QcVerdict), PlatformError>;
+
+/// A `Sample` transition lifted out of its session so it can execute in a
+/// batch — the unit of work [`Platform::run_samples`] fans out over the
+/// execution engine, possibly alongside requests from *other* sessions.
+///
+/// The request is self-contained: it carries clones of everything the
+/// acquisition reads (sample, interferents, options) plus the machine
+/// state it consumes (attempt seed, settled reference noise), so executing
+/// it never borrows the session it came from. Because the acquisition is a
+/// pure function of these fields, running it batched, reordered, or on
+/// another thread produces the byte-for-byte result of the inline
+/// transition.
+#[derive(Debug, Clone)]
+pub struct SampleRequest {
+    pub(crate) slot: usize,
+    pub(crate) attempt: usize,
+    pub(crate) reference_noise: Option<Amps>,
+    pub(crate) attempt_seed: u64,
+    pub(crate) sample: Vec<(Analyte, Molar)>,
+    pub(crate) interferents: Vec<(Interferent, Molar)>,
+    pub(crate) options: SessionOptions,
+}
+
+impl SampleRequest {
+    /// Assignment slot the acquisition belongs to.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// 0-based acquisition attempt.
+    pub fn attempt(&self) -> usize {
+        self.attempt
     }
 }
 
@@ -494,6 +529,153 @@ impl SessionMachine {
         // progress before it runs again.
         self.cursor = (slot + 1) % self.machines.len();
         Ok(event)
+    }
+
+    /// True when the next round-robin transition is the expensive
+    /// `Sample` phase — the point where a scheduler should lift the
+    /// acquisition out with [`Self::begin_sample`] and batch it.
+    pub fn next_is_sample(&self) -> bool {
+        self.next_slot()
+            .is_some_and(|slot| self.machines[slot].phase == StepKind::Sample)
+    }
+
+    /// When the next transition is a `Sample`, lifts it out as a
+    /// self-contained [`SampleRequest`] without mutating the session.
+    /// Execute it (batched or alone) with [`Platform::run_samples`], then
+    /// apply the result with [`Self::complete_sample`].
+    pub fn begin_sample(&self, platform: &Platform) -> Option<SampleRequest> {
+        let slot = self.next_slot()?;
+        if self.machines[slot].phase != StepKind::Sample {
+            return None;
+        }
+        Some(self.sample_request_for(platform, slot))
+    }
+
+    fn sample_request_for(&self, platform: &Platform, slot: usize) -> SampleRequest {
+        let m = &self.machines[slot];
+        let assignment = &platform.assignments()[slot];
+        let we_seed = Platform::we_seed(self.seed, assignment.index());
+        let attempt_seed = self.options.retry.attempt_seed(we_seed, m.attempt);
+        SampleRequest {
+            slot,
+            attempt: m.attempt,
+            reference_noise: m.reference_noise,
+            attempt_seed,
+            sample: self.sample.clone(),
+            interferents: self.interferents.clone(),
+            options: self.options.clone(),
+        }
+    }
+
+    /// Applies the result of a lifted acquisition as this session's next
+    /// step — the exact state transition [`Self::step`] would have
+    /// performed had it run the acquisition inline, so batched and inline
+    /// drivings of the same session are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration [`PlatformError`] if `request` does not
+    /// match the session's next transition (wrong slot, phase, or
+    /// attempt), or the acquisition's own error when it is
+    /// non-recoverable — the same contract as [`Self::step`].
+    pub fn complete_sample(
+        &mut self,
+        platform: &Platform,
+        request: &SampleRequest,
+        result: SampleResult,
+    ) -> Result<StepEvent, PlatformError> {
+        let slot = self
+            .next_slot()
+            .ok_or_else(|| PlatformError::invalid("sample_request", "session is already done"))?;
+        if slot != request.slot
+            || self.machines[slot].phase != StepKind::Sample
+            || self.machines[slot].attempt != request.attempt
+        {
+            return Err(PlatformError::invalid(
+                "sample_request",
+                "request does not match the session's next transition",
+            ));
+        }
+        let descriptor = self.machines[slot].step_descriptor(platform);
+        self.machines[slot].absorb_sample(result)?;
+        self.steps_taken += 1;
+        self.cursor = (slot + 1) % self.machines.len();
+        Ok(StepEvent::Progressed(descriptor))
+    }
+
+    /// Advances the whole session one *wave*: every electrode's machine
+    /// runs its cheap transitions until it parks at its next `Sample` (or
+    /// finishes), then all parked acquisitions execute as one batched
+    /// [`Platform::run_samples`] dispatch under `policy` and the results
+    /// are applied in slot order. Driving waves until
+    /// [`Self::is_done`] performs one kernel dispatch per acquisition
+    /// round instead of one per electrode.
+    ///
+    /// Backoff delays are treated as elapsed (the blocking-path
+    /// convention); schedulers that honor delays should drive
+    /// [`Self::step`]/[`Self::complete_sample`] themselves. Every applied
+    /// transition counts toward [`Self::steps_taken`], and because each
+    /// acquisition is a pure function of its [`SampleRequest`], the final
+    /// report is bit-identical to any other driving of the same session.
+    ///
+    /// Returns the number of transitions executed this wave (at least 1
+    /// unless the session was already done).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-slot) non-recoverable [`PlatformError`]
+    /// of the wave — the same contract as [`Platform::run_session_with`].
+    pub fn step_wave(
+        &mut self,
+        platform: &Platform,
+        policy: crate::ExecPolicy,
+    ) -> Result<u64, PlatformError> {
+        let before = self.steps_taken;
+        // Cheap transitions: park every live machine at its next Sample.
+        for slot in 0..self.machines.len() {
+            loop {
+                let m = &self.machines[slot];
+                if m.is_done() || m.phase == StepKind::Sample {
+                    break;
+                }
+                self.machines[slot].advance(
+                    platform,
+                    &self.sample,
+                    &self.interferents,
+                    self.seed,
+                    &self.options,
+                )?;
+                self.steps_taken += 1;
+            }
+        }
+        // One batched dispatch for every parked acquisition.
+        let requests: Vec<SampleRequest> = (0..self.machines.len())
+            .filter(|&slot| self.machines[slot].phase == StepKind::Sample)
+            .map(|slot| self.sample_request_for(platform, slot))
+            .collect();
+        if requests.is_empty() {
+            self.cursor = 0;
+            return Ok(self.steps_taken - before);
+        }
+        let results = platform.run_samples(&requests, policy);
+        // Apply in slot order; surface the lowest-slot fatal error but
+        // still absorb the rest so the surviving machines stay coherent.
+        let mut first_err = None;
+        for (req, res) in requests.iter().zip(results) {
+            match self.machines[req.slot].absorb_sample(res) {
+                Ok(()) => self.steps_taken += 1,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        self.cursor = 0;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(self.steps_taken - before),
+        }
     }
 
     /// Serializes the session's progress. Together with the original

@@ -248,6 +248,316 @@ impl DiffusionSim {
     }
 }
 
+/// One diffusing species across a whole electrode batch, stored as a
+/// structure-of-arrays `[node × lane]` plane: `conc[i * batch + b]` is lane
+/// `b`'s concentration at node `i`. All lanes of a node are contiguous, so
+/// the per-node inner loops of assembly, sweep, and commit are unit-stride
+/// and autovectorizable.
+#[derive(Debug, Clone)]
+struct BatchSpeciesField {
+    conc: Vec<f64>, // mol/cm³, [node × lane]
+    pre: Arc<Prefactorized>,
+    scratch: Vec<f64>, // [node × lane]
+}
+
+impl BatchSpeciesField {
+    fn new(grid: &Grid, d: f64, bulks: &[f64], dt: f64) -> Result<Self, ElectrochemError> {
+        if d <= 0.0 || !d.is_finite() {
+            return Err(ElectrochemError::invalid(
+                "d",
+                "must be positive and finite",
+            ));
+        }
+        if bulks.iter().any(|b| *b < 0.0 || !b.is_finite()) {
+            return Err(ElectrochemError::invalid(
+                "bulk",
+                "must be non-negative and finite",
+            ));
+        }
+        if dt <= 0.0 || !dt.is_finite() {
+            return Err(ElectrochemError::invalid(
+                "dt",
+                "must be positive and finite",
+            ));
+        }
+        let pre = solver_cache::prefactorized(grid, d, dt)?;
+        let n = grid.len();
+        let batch = bulks.len();
+        let mut conc = vec![0.0; n * batch];
+        for row in conc.chunks_exact_mut(batch) {
+            row.copy_from_slice(bulks);
+        }
+        Ok(Self {
+            conc,
+            pre,
+            scratch: vec![0.0; n * batch],
+        })
+    }
+
+    /// Zero-flux solve for every lane at once; results land in `scratch`.
+    fn solve_base(&mut self, dt: f64, bulks: &[f64]) {
+        self.pre
+            .solve_base_batch(&self.conc, &mut self.scratch, bulks, dt);
+    }
+
+    /// Commits `base + (sign·flux_b)·response` per lane. `sign` is ±1.0;
+    /// multiplying by it is an exact IEEE sign flip (or identity), so each
+    /// lane reproduces the scalar `commit(flux)` / `commit(-flux)` bits.
+    fn commit_scaled(&mut self, fluxes: &[f64], sign: f64) {
+        let batch = fluxes.len();
+        for ((crow, brow), r) in self
+            .conc
+            .chunks_exact_mut(batch)
+            .zip(self.scratch.chunks_exact(batch))
+            .zip(self.pre.unit_flux_response.iter())
+        {
+            for ((c, b), f) in crow.iter_mut().zip(brow).zip(fluxes) {
+                *c = b + (sign * f) * r;
+            }
+        }
+    }
+
+    /// Copies lane `b`'s profile out of the strided plane.
+    fn lane_profile(&self, batch: usize, lane: usize) -> Vec<f64> {
+        self.conc[lane..].iter().step_by(batch).copied().collect()
+    }
+}
+
+/// A fleet of [`DiffusionSim`]s sharing one `(grid, dt, D)` — the whole batch
+/// advances with *one* Thomas sweep per species per step instead of one per
+/// electrode.
+///
+/// Concentration planes are stored node-major (`[node × lane]`), so the sweep
+/// streams each node row once and the lane loop vectorizes. Per lane, every
+/// operation (RHS assembly, forward elimination, back substitution, flux
+/// superposition, inventory bookkeeping) is the *same* floating-point
+/// sequence as a standalone [`DiffusionSim`], which makes the batch
+/// bit-identical to `batch` scalar sims — the property the equivalence
+/// proptests and the bench digests pin down.
+///
+/// # Example
+///
+/// ```
+/// use bios_electrochem::{BatchDiffusionSim, Grid};
+/// use bios_units::{DiffusionCoefficient, MolesPerCm3, Seconds};
+///
+/// # fn main() -> Result<(), bios_electrochem::ElectrochemError> {
+/// let d = DiffusionCoefficient::new(1e-5);
+/// let grid = Grid::for_experiment(d, Seconds::new(10.0), Seconds::new(0.01))?;
+/// let bulks = [
+///     (MolesPerCm3::new(1e-6), MolesPerCm3::ZERO),
+///     (MolesPerCm3::new(2e-6), MolesPerCm3::ZERO),
+/// ];
+/// let mut batch = BatchDiffusionSim::new(grid, d, d, &bulks, Seconds::new(0.01))?;
+/// let fluxes = batch.step_with_rate_constants(&[(1e6, 0.0), (1e6, 0.0)]);
+/// assert!(fluxes[1] > fluxes[0]); // twice the bulk, twice the flux
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchDiffusionSim {
+    grid: Grid,
+    dt: f64,
+    batch: usize,
+    bulk_ox: Vec<f64>,
+    bulk_red: Vec<f64>,
+    ox: BatchSpeciesField,
+    red: BatchSpeciesField,
+    consumed_ox: Vec<f64>,
+    initial_inventory_ox: Vec<f64>,
+    initial_inventory_red: Vec<f64>,
+}
+
+impl BatchDiffusionSim {
+    /// Creates a batch of fields, one lane per `(bulk_ox, bulk_red)` pair,
+    /// all starting uniform at their bulk values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElectrochemError::InvalidParameter`] for an empty batch,
+    /// non-positive diffusion coefficients or time step, or negative
+    /// concentrations.
+    pub fn new(
+        grid: Grid,
+        d_ox: DiffusionCoefficient,
+        d_red: DiffusionCoefficient,
+        bulks: &[(MolesPerCm3, MolesPerCm3)],
+        dt: Seconds,
+    ) -> Result<Self, ElectrochemError> {
+        if bulks.is_empty() {
+            return Err(ElectrochemError::invalid(
+                "bulks",
+                "batch must contain at least one lane",
+            ));
+        }
+        let batch = bulks.len();
+        let bulk_ox: Vec<f64> = bulks.iter().map(|(o, _)| o.value()).collect();
+        let bulk_red: Vec<f64> = bulks.iter().map(|(_, r)| r.value()).collect();
+        let ox = BatchSpeciesField::new(&grid, d_ox.value(), &bulk_ox, dt.value())?;
+        let red = BatchSpeciesField::new(&grid, d_red.value(), &bulk_red, dt.value())?;
+        // Per-lane inventories mirror the scalar constructor: integrate the
+        // (uniform) initial profile with the same control-width sum.
+        let n = grid.len();
+        let initial_inventory_ox = bulk_ox
+            .iter()
+            .map(|b| grid.integrate(&vec![*b; n]))
+            .collect();
+        let initial_inventory_red = bulk_red
+            .iter()
+            .map(|b| grid.integrate(&vec![*b; n]))
+            .collect();
+        Ok(Self {
+            grid,
+            dt: dt.value(),
+            batch,
+            bulk_ox,
+            bulk_red,
+            ox,
+            red,
+            consumed_ox: vec![0.0; batch],
+            initial_inventory_ox,
+            initial_inventory_red,
+        })
+    }
+
+    /// Number of lanes in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The time step the batch was built for.
+    pub fn dt(&self) -> Seconds {
+        Seconds::new(self.dt)
+    }
+
+    /// The shared spatial grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Advances every lane one step with its own Butler–Volmer rate constants
+    /// `(kf, kb)`, writing the per-lane reaction fluxes (mol/(cm²·s),
+    /// positive = `O` consumed) into `fluxes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` or `fluxes` don't match the batch width.
+    pub fn step_with_rate_constants_into(&mut self, rates: &[(f64, f64)], fluxes: &mut [f64]) {
+        assert_eq!(rates.len(), self.batch, "rate batch width mismatch");
+        assert_eq!(fluxes.len(), self.batch, "flux batch width mismatch");
+        self.ox.solve_base(self.dt, &self.bulk_ox);
+        self.red.solve_base(self.dt, &self.bulk_red);
+        let s_o0 = self.ox.pre.unit_flux_response[0];
+        let s_r0 = self.red.pre.unit_flux_response[0];
+        for ((f, (kf, kb)), (base_o0, base_r0)) in fluxes.iter_mut().zip(rates).zip(
+            self.ox.scratch[..self.batch]
+                .iter()
+                .zip(&self.red.scratch[..self.batch]),
+        ) {
+            let denom = 1.0 - kf * s_o0 - kb * s_r0;
+            *f = (kf * base_o0 - kb * base_r0) / denom;
+        }
+        self.ox.commit_scaled(fluxes, 1.0);
+        self.red.commit_scaled(fluxes, -1.0);
+        for (acc, f) in self.consumed_ox.iter_mut().zip(fluxes.iter()) {
+            *acc += f * self.dt;
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`Self::step_with_rate_constants_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` doesn't match the batch width.
+    pub fn step_with_rate_constants(&mut self, rates: &[(f64, f64)]) -> Vec<f64> {
+        let mut fluxes = vec![0.0; self.batch];
+        self.step_with_rate_constants_into(rates, &mut fluxes);
+        fluxes
+    }
+
+    /// Advances every lane one step with a prescribed surface flux
+    /// (positive = `O` consumed, `R` produced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fluxes` doesn't match the batch width.
+    pub fn step_with_flux(&mut self, fluxes: &[f64]) {
+        assert_eq!(fluxes.len(), self.batch, "flux batch width mismatch");
+        self.ox.solve_base(self.dt, &self.bulk_ox);
+        self.red.solve_base(self.dt, &self.bulk_red);
+        self.ox.commit_scaled(fluxes, 1.0);
+        self.red.commit_scaled(fluxes, -1.0);
+        for (acc, f) in self.consumed_ox.iter_mut().zip(fluxes.iter()) {
+            *acc += f * self.dt;
+        }
+    }
+
+    /// Surface concentration of the oxidized species in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn surface_ox(&self, lane: usize) -> MolesPerCm3 {
+        assert!(lane < self.batch, "lane out of bounds");
+        MolesPerCm3::new(self.ox.conc[lane])
+    }
+
+    /// Surface concentration of the reduced species in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn surface_red(&self, lane: usize) -> MolesPerCm3 {
+        assert!(lane < self.batch, "lane out of bounds");
+        MolesPerCm3::new(self.red.conc[lane])
+    }
+
+    /// Concentration profile of the oxidized species in lane `lane`
+    /// (mol/cm³ per node, copied out of the strided plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn profile_ox(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < self.batch, "lane out of bounds");
+        self.ox.lane_profile(self.batch, lane)
+    }
+
+    /// Concentration profile of the reduced species in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn profile_red(&self, lane: usize) -> Vec<f64> {
+        assert!(lane < self.batch, "lane out of bounds");
+        self.red.lane_profile(self.batch, lane)
+    }
+
+    /// Cumulative `O` consumed through lane `lane`'s electrode (mol/cm²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn consumed_ox(&self, lane: usize) -> f64 {
+        self.consumed_ox[lane]
+    }
+
+    /// Relative mass-balance error of lane `lane`'s `O + R` inventory; same
+    /// contract as [`DiffusionSim::mass_balance_error`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of bounds.
+    pub fn mass_balance_error(&self, lane: usize) -> f64 {
+        let now_o = self.grid.integrate(&self.profile_ox(lane));
+        let now_r = self.grid.integrate(&self.profile_red(lane));
+        let initial = self.initial_inventory_ox[lane] + self.initial_inventory_red[lane];
+        let scale = initial.abs().max(1e-30);
+        ((now_o + now_r) - initial).abs() / scale
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +657,108 @@ mod tests {
         // O was consumed, R produced.
         assert!(sim.surface_ox().value() < 1e-6);
         assert!(sim.surface_red().value() > 0.0);
+    }
+
+    #[test]
+    fn batch_matches_scalar_sims_bit_for_bit() {
+        let d = DiffusionCoefficient::new(6.7e-6);
+        let dt = 0.005;
+        let grid = Grid::for_experiment(d, Seconds::new(1.0), Seconds::new(dt)).expect("grid");
+        let bulks = [
+            (MolesPerCm3::new(1e-6), MolesPerCm3::ZERO),
+            (MolesPerCm3::new(2.5e-6), MolesPerCm3::new(1e-7)),
+            (MolesPerCm3::ZERO, MolesPerCm3::new(5e-7)),
+        ];
+        let mut batch =
+            BatchDiffusionSim::new(grid.clone(), d, d, &bulks, Seconds::new(dt)).expect("batch");
+        let mut scalars: Vec<DiffusionSim> = bulks
+            .iter()
+            .map(|(o, r)| {
+                DiffusionSim::new(grid.clone(), d, d, *o, *r, Seconds::new(dt)).expect("sim")
+            })
+            .collect();
+        // Heterogeneous per-lane kinetics, varying per step.
+        for k in 0..50usize {
+            let rates: Vec<(f64, f64)> = (0..bulks.len())
+                .map(|b| {
+                    let kf = 1e-3 * (1.0 + b as f64) * (1.0 + 0.1 * (k % 7) as f64);
+                    let kb = 2e-4 * (1.0 + 0.05 * b as f64);
+                    (kf, kb)
+                })
+                .collect();
+            let fluxes = batch.step_with_rate_constants(&rates);
+            for (b, sim) in scalars.iter_mut().enumerate() {
+                let f = sim.step_with_rate_constants(rates[b].0, rates[b].1);
+                assert_eq!(f.to_bits(), fluxes[b].to_bits(), "step {k} lane {b}");
+            }
+        }
+        for (b, sim) in scalars.iter().enumerate() {
+            assert_eq!(
+                batch.surface_ox(b).value().to_bits(),
+                sim.surface_ox().value().to_bits()
+            );
+            assert_eq!(batch.consumed_ox(b).to_bits(), sim.consumed_ox().to_bits());
+            let bp = batch.profile_ox(b);
+            for (x, y) in bp.iter().zip(sim.profile_ox()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "lane {b}");
+            }
+            let bp = batch.profile_red(b);
+            for (x, y) in bp.iter().zip(sim.profile_red()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "lane {b}");
+            }
+            assert_eq!(
+                batch.mass_balance_error(b).to_bits(),
+                sim.mass_balance_error().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_prescribed_flux_matches_scalar() {
+        let d = DiffusionCoefficient::new(1e-5);
+        let dt = 0.01;
+        let grid = Grid::for_experiment(d, Seconds::new(5.0), Seconds::new(dt)).expect("grid");
+        let bulks = [
+            (MolesPerCm3::ZERO, MolesPerCm3::ZERO),
+            (MolesPerCm3::new(1e-6), MolesPerCm3::ZERO),
+        ];
+        let mut batch =
+            BatchDiffusionSim::new(grid.clone(), d, d, &bulks, Seconds::new(dt)).expect("batch");
+        let mut scalars: Vec<DiffusionSim> = bulks
+            .iter()
+            .map(|(o, r)| {
+                DiffusionSim::new(grid.clone(), d, d, *o, *r, Seconds::new(dt)).expect("sim")
+            })
+            .collect();
+        for k in 0..40usize {
+            let fluxes = [-1e-12 * (1.0 + k as f64 * 0.01), 3e-13];
+            batch.step_with_flux(&fluxes);
+            for (b, sim) in scalars.iter_mut().enumerate() {
+                sim.step_with_flux(fluxes[b]);
+            }
+        }
+        for (b, sim) in scalars.iter().enumerate() {
+            assert_eq!(
+                batch.surface_ox(b).value().to_bits(),
+                sim.surface_ox().value().to_bits()
+            );
+            assert_eq!(batch.consumed_ox(b).to_bits(), sim.consumed_ox().to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_rejects_degenerate_inputs() {
+        let d = DiffusionCoefficient::new(1e-5);
+        let grid = Grid::for_experiment(d, Seconds::new(1.0), Seconds::new(0.01)).expect("grid");
+        assert!(BatchDiffusionSim::new(grid.clone(), d, d, &[], Seconds::new(0.01)).is_err());
+        assert!(BatchDiffusionSim::new(
+            grid,
+            d,
+            d,
+            &[(MolesPerCm3::new(-1.0), MolesPerCm3::ZERO)],
+            Seconds::new(0.01),
+        )
+        .is_err());
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * [`DiffusionSim`] — an implicit (backward-Euler, Thomas-solver) 1-D
 //!   finite-volume solver for Fick's second law with an exact linear
 //!   Butler–Volmer boundary,
-//! * [`simulate_chrono`] / [`simulate_cv`] — experiment drivers producing
-//!   [`Transient`]s and [`Voltammogram`]s,
+//! * [`BatchDiffusionSim`] — the same solver vectorized across an electrode
+//!   fleet: structure-of-arrays `[node × lane]` planes and one batched
+//!   Thomas sweep per species per step, bit-identical per lane,
+//! * [`simulate_chrono`] / [`simulate_cv`] / [`simulate_chrono_fleet`] —
+//!   experiment drivers producing [`Transient`]s and [`Voltammogram`]s,
 //! * closed-form cross-checks: [`cottrell_current`],
 //!   [`randles_sevcik_peak`], microelectrode steady states.
 //!
@@ -61,7 +64,7 @@ pub use cell::{Cell, CellBuilder};
 pub use cottrell::{
     cottrell_charge, cottrell_current, microdisk_settling_time, microdisk_steady_state,
 };
-pub use diffusion::DiffusionSim;
+pub use diffusion::{BatchDiffusionSim, DiffusionSim};
 pub use double_layer::{
     charging_settling_time, step_charging_current, sweep_charging_current, ChargingFilter,
 };
@@ -75,7 +78,8 @@ pub use randles_sevcik::{
     reversible_peak_separation,
 };
 pub use simulate::{
-    simulate_chrono, simulate_chrono_with, simulate_cv, simulate_cv_with, SimOptions,
+    simulate_chrono, simulate_chrono_fleet, simulate_chrono_with, simulate_cv, simulate_cv_with,
+    SimOptions,
 };
 pub use solver_cache::{clear_solver_cache, solver_cache_stats};
 pub use species::{RedoxCouple, RedoxCoupleBuilder};

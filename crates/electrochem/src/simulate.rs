@@ -2,7 +2,7 @@
 //! couple, producing sampled records.
 
 use crate::cell::Cell;
-use crate::diffusion::DiffusionSim;
+use crate::diffusion::{BatchDiffusionSim, DiffusionSim};
 use crate::double_layer::ChargingFilter;
 use crate::error::ElectrochemError;
 use crate::grid::Grid;
@@ -19,6 +19,11 @@ pub struct SimOptions {
     pub dt: Option<Seconds>,
     /// Whether to add the double-layer charging current to the output.
     pub include_charging: bool,
+    /// Geometric expansion ratio of the spatial grid; `None` uses
+    /// [`Grid::DEFAULT_GAMMA`] (bit-identical to the pre-option behaviour).
+    /// Coarser ratios (e.g. `1.4`) shrink the system ~3× at a few-percent
+    /// accuracy cost — see [`Grid::for_experiment_with`].
+    pub grid_gamma: Option<f64>,
 }
 
 impl Default for SimOptions {
@@ -26,6 +31,7 @@ impl Default for SimOptions {
         Self {
             dt: None,
             include_charging: true,
+            grid_gamma: None,
         }
     }
 }
@@ -64,7 +70,12 @@ fn run<F: FnMut(Seconds, bios_units::Volts, Amps)>(
         .diffusion_ox()
         .value()
         .max(couple.diffusion_red().value());
-    let grid = Grid::for_experiment(bios_units::DiffusionCoefficient::new(d_max), duration, dt)?;
+    let grid = Grid::for_experiment_with(
+        bios_units::DiffusionCoefficient::new(d_max),
+        duration,
+        dt,
+        options.grid_gamma.unwrap_or(Grid::DEFAULT_GAMMA),
+    )?;
     let mut sim = DiffusionSim::new(
         grid,
         couple.diffusion_ox(),
@@ -173,6 +184,129 @@ pub fn simulate_chrono_with(
     Ok(out)
 }
 
+/// Simulates one chronoamperometry program against a whole electrode fleet
+/// with a single batched diffusion kernel.
+///
+/// Every lane shares the `(couple, program, options)` triple — and therefore
+/// the grid, time step, and factorized operator — while `cells[b]`,
+/// `bulk_ox[b]`, `bulk_red[b]` vary per lane (different electrode areas,
+/// kinetic factors, temperatures, concentrations). Each time step performs
+/// *one* Thomas sweep per species across the batch via
+/// [`BatchDiffusionSim`] instead of one per electrode.
+///
+/// Lane `b` of the result is bit-identical to
+/// [`simulate_chrono_with`]`(cells[b], couple, bulk_ox[b], bulk_red[b],
+/// program, options)`: the batched kernel performs the scalar kernel's exact
+/// per-lane operation sequence, and everything outside the kernel (rate
+/// constants, current conversion, charging filter) is already per-lane. The
+/// equivalence proptests and the bench digest gates pin this down.
+///
+/// # Errors
+///
+/// Returns [`ElectrochemError::InvalidParameter`] for an empty fleet or
+/// mismatched slice lengths, plus everything [`simulate_chrono_with`]
+/// rejects.
+pub fn simulate_chrono_fleet(
+    cells: &[Cell],
+    couple: &RedoxCouple,
+    bulk_ox: &[Molar],
+    bulk_red: &[Molar],
+    program: &PotentialProgram,
+    options: SimOptions,
+) -> Result<Vec<Transient>, ElectrochemError> {
+    let lanes = cells.len();
+    if lanes == 0 {
+        return Err(ElectrochemError::invalid(
+            "cells",
+            "fleet must contain at least one electrode",
+        ));
+    }
+    if bulk_ox.len() != lanes || bulk_red.len() != lanes {
+        return Err(ElectrochemError::invalid(
+            "bulk concentrations",
+            "must match the fleet size",
+        ));
+    }
+    program.validate()?;
+    if bulk_ox
+        .iter()
+        .chain(bulk_red.iter())
+        .any(|c| c.value() < 0.0)
+    {
+        return Err(ElectrochemError::invalid(
+            "bulk concentration",
+            "must be non-negative",
+        ));
+    }
+    let dt = options.dt.unwrap_or_else(|| program.suggested_dt());
+    if dt.value() <= 0.0 {
+        return Err(ElectrochemError::invalid("dt", "must be positive"));
+    }
+    let duration = program.duration();
+    let steps = (duration.value() / dt.value()).round() as usize;
+    if steps == 0 {
+        return Err(ElectrochemError::EmptyProgram);
+    }
+    let d_max = couple
+        .diffusion_ox()
+        .value()
+        .max(couple.diffusion_red().value());
+    let grid = Grid::for_experiment_with(
+        bios_units::DiffusionCoefficient::new(d_max),
+        duration,
+        dt,
+        options.grid_gamma.unwrap_or(Grid::DEFAULT_GAMMA),
+    )?;
+    let bulks: Vec<(bios_units::MolesPerCm3, bios_units::MolesPerCm3)> = bulk_ox
+        .iter()
+        .zip(bulk_red)
+        .map(|(o, r)| (o.to_moles_per_cm3(), r.to_moles_per_cm3()))
+        .collect();
+    let mut sim = BatchDiffusionSim::new(
+        grid,
+        couple.diffusion_ox(),
+        couple.diffusion_red(),
+        &bulks,
+        dt,
+    )?;
+    let areas: Vec<f64> = cells
+        .iter()
+        .map(|c| c.working().active_area().value())
+        .collect();
+    let kinetic_factors: Vec<f64> = cells.iter().map(|c| c.working().kinetic_factor()).collect();
+    let n = couple.electrons() as f64;
+    let e0 = program.potential_at(Seconds::ZERO);
+    let mut chargers: Vec<ChargingFilter> =
+        cells.iter().map(|c| ChargingFilter::new(c, e0)).collect();
+
+    let mut out = vec![Transient::new(); lanes];
+    for tr in &mut out {
+        tr.push(Seconds::ZERO, Amps::ZERO);
+    }
+    let mut rates = vec![(0.0, 0.0); lanes];
+    let mut fluxes = vec![0.0; lanes];
+    for k in 1..=steps {
+        let t = Seconds::new((k as f64 * dt.value()).min(duration.value()));
+        // The potential program is shared: evaluated once per step for the
+        // whole fleet instead of once per electrode.
+        let e = program.potential_at(t);
+        for ((rate, cell), kfac) in rates.iter_mut().zip(cells).zip(&kinetic_factors) {
+            *rate = rate_constants(couple, e, cell.temperature(), *kfac);
+        }
+        sim.step_with_rate_constants_into(&rates, &mut fluxes);
+        for (b, tr) in out.iter_mut().enumerate() {
+            let i_far = Amps::new(-n * FARADAY * areas[b] * fluxes[b]);
+            let i_c = if options.include_charging {
+                chargers[b].step(e, dt)
+            } else {
+                Amps::ZERO
+            };
+            tr.push(t, i_far + i_c);
+        }
+    }
+    Ok(out)
+}
+
 /// Simulates a voltammetry experiment (typically a [`PotentialProgram::Cyclic`]
 /// sweep), returning the voltammogram.
 ///
@@ -274,6 +408,7 @@ mod tests {
         let options = SimOptions {
             dt: Some(Seconds::from_millis(5.0)),
             include_charging: false,
+            grid_gamma: None,
         };
         let tr = simulate_chrono_with(&cell(), &couple, bulk, Molar::ZERO, &program, options)
             .expect("simulation");
@@ -310,6 +445,7 @@ mod tests {
         let options = SimOptions {
             dt: None,
             include_charging: false,
+            grid_gamma: None,
         };
         let cv = simulate_cv_with(&cell(), &couple, bulk, Molar::ZERO, &program, options)
             .expect("simulation");
@@ -402,6 +538,108 @@ mod tests {
         .expect("simulation");
         let (_, i_end) = tr.last().expect("nonempty");
         assert!(i_end.value() > 0.0, "oxidation must be anodic-positive");
+    }
+
+    #[test]
+    fn fleet_matches_scalar_map_bit_for_bit() {
+        use crate::electrode::{Electrode, ElectrodeMaterial};
+        use bios_units::SquareCentimeters;
+        // Heterogeneous fleet: different areas (→ different currents and
+        // charging filters) and different concentrations per lane.
+        let cells: Vec<Cell> = [0.23, 0.5, 1.0, 2.0, 0.1]
+            .iter()
+            .map(|mm2| {
+                let we = Electrode::new(
+                    ElectrodeMaterial::Gold,
+                    SquareCentimeters::from_square_millimeters(*mm2),
+                )
+                .expect("electrode");
+                Cell::builder(we).build().expect("cell")
+            })
+            .collect();
+        let bulk_ox: Vec<Molar> = (0..cells.len())
+            .map(|b| Molar::from_millimolar(0.2 + 0.3 * b as f64))
+            .collect();
+        let bulk_red: Vec<Molar> = (0..cells.len())
+            .map(|b| Molar::from_millimolar(0.05 * b as f64))
+            .collect();
+        let couple = RedoxCouple::ferrocyanide();
+        let program = PotentialProgram::Step {
+            initial: Volts::new(0.5),
+            stepped: Volts::new(-0.2),
+            at: Seconds::new(0.1),
+            duration: Seconds::new(1.0),
+        };
+        for gamma in [None, Some(1.4)] {
+            let options = SimOptions {
+                dt: Some(Seconds::from_millis(5.0)),
+                include_charging: true,
+                grid_gamma: gamma,
+            };
+            let fleet =
+                simulate_chrono_fleet(&cells, &couple, &bulk_ox, &bulk_red, &program, options)
+                    .expect("fleet");
+            for (b, cell) in cells.iter().enumerate() {
+                let scalar =
+                    simulate_chrono_with(cell, &couple, bulk_ox[b], bulk_red[b], &program, options)
+                        .expect("scalar");
+                assert_eq!(fleet[b], scalar, "gamma {gamma:?} lane {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_rejects_mismatched_lanes() {
+        let couple = RedoxCouple::ferrocyanide();
+        let program = PotentialProgram::Hold {
+            potential: Volts::ZERO,
+            duration: Seconds::new(1.0),
+        };
+        assert!(
+            simulate_chrono_fleet(&[], &couple, &[], &[], &program, SimOptions::default()).is_err()
+        );
+        assert!(simulate_chrono_fleet(
+            &[cell()],
+            &couple,
+            &[Molar::ZERO, Molar::ZERO],
+            &[Molar::ZERO],
+            &program,
+            SimOptions::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn coarse_gamma_stays_close_to_default_grid() {
+        // The coarse-grid option trades a little accuracy for ~3× fewer
+        // nodes; sampled currents must stay within a few percent.
+        let couple = RedoxCouple::hydrogen_peroxide();
+        let program = PotentialProgram::Hold {
+            potential: Volts::from_millivolts(650.0),
+            duration: Seconds::new(20.0),
+        };
+        let run_with = |gamma| {
+            let options = SimOptions {
+                dt: None,
+                include_charging: false,
+                grid_gamma: gamma,
+            };
+            simulate_chrono_with(
+                &cell(),
+                &couple,
+                Molar::ZERO,
+                Molar::from_millimolar(1.0),
+                &program,
+                options,
+            )
+            .expect("sim")
+            .tail_mean(0.1)
+            .expect("nonempty")
+        };
+        let fine = run_with(None);
+        let coarse = run_with(Some(1.4));
+        let rel = (coarse.value() - fine.value()).abs() / fine.value().abs();
+        assert!(rel < 0.03, "coarse-grid deviation {rel}");
     }
 
     #[test]

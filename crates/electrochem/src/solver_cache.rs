@@ -40,6 +40,43 @@ pub(crate) struct Prefactorized {
 }
 
 impl Prefactorized {
+    /// Assembles the zero-flux backward-Euler RHS for a whole `[node × lane]`
+    /// concentration plane and solves it with one batched Thomas sweep,
+    /// leaving the zero-flux solutions in `scratch` (same layout). Lane `b`
+    /// performs the exact scalar operation sequence (`c·w/dt` assembly, then
+    /// the factorized sweep), so each lane is bit-identical to a scalar
+    /// `SpeciesField` stepping alone — the factorization is computed once per
+    /// `(grid, dt, D)` and amortized across the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bulks` is empty or the plane sizes don't match
+    /// `nodes × bulks.len()`.
+    pub(crate) fn solve_base_batch(
+        &self,
+        conc: &[f64],
+        scratch: &mut [f64],
+        bulks: &[f64],
+        dt: f64,
+    ) {
+        let n = self.widths.len();
+        let batch = bulks.len();
+        assert!(batch > 0, "batch must be nonzero");
+        assert_eq!(conc.len(), n * batch, "concentration plane size mismatch");
+        assert_eq!(scratch.len(), n * batch, "scratch plane size mismatch");
+        for (i, w) in self.widths[..n - 1].iter().enumerate() {
+            let row = i * batch;
+            for (s, c) in scratch[row..row + batch]
+                .iter_mut()
+                .zip(&conc[row..row + batch])
+            {
+                *s = c * w / dt;
+            }
+        }
+        scratch[(n - 1) * batch..].copy_from_slice(bulks);
+        self.sys.solve_batch_in_place(scratch, batch);
+    }
+
     /// Assembles and factorizes the system — the code that used to live in
     /// `SpeciesField::new`, unchanged operation for operation.
     fn build(grid: &Grid, d: f64, dt: f64) -> Result<Self, ElectrochemError> {

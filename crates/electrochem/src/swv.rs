@@ -268,6 +268,7 @@ mod tests {
             SimOptions {
                 dt: None,
                 include_charging: false,
+                grid_gamma: None,
             },
         )
         .expect("simulation");

@@ -42,7 +42,11 @@ impl Tridiagonal {
     /// # Errors
     ///
     /// Returns [`ElectrochemError::InvalidParameter`] on mismatched diagonal
-    /// lengths and [`ElectrochemError::SingularSystem`] if a pivot vanishes.
+    /// lengths or non-finite entries, and
+    /// [`ElectrochemError::SingularSystem`] if a pivot vanishes — including
+    /// pivots that survive the naive `!= 0` test but are pure cancellation
+    /// noise (e.g. `main = [1, 1 + 4ε]` with unit off-diagonals factors to a
+    /// ~1e-16 pivot whose "solution" is garbage amplified by ~1e16).
     pub fn new(lower: Vec<f64>, main: Vec<f64>, upper: Vec<f64>) -> Result<Self, ElectrochemError> {
         let n = main.len();
         if n == 0 {
@@ -59,6 +63,25 @@ impl Tridiagonal {
                 ),
             ));
         }
+        if lower
+            .iter()
+            .chain(main.iter())
+            .chain(upper.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(ElectrochemError::invalid(
+                "diagonals",
+                "entries must be finite",
+            ));
+        }
+        // A factored pivot smaller than this, relative to the operands whose
+        // subtraction produced it, is catastrophic-cancellation noise: every
+        // significant bit of `main[i]` was annihilated by `m·upper[i-1]` and
+        // the residue is rounding error, so a solve through it returns
+        // garbage scaled by ~1/pivot. The diffusion operators this solver
+        // exists for are strictly diagonally dominant (pivot ≥ row scale),
+        // so the threshold is unreachable for any well-posed system.
+        const PIVOT_RTOL: f64 = 1e-12;
         // Factorize once: forward elimination multipliers.
         let mut factor_main = main.clone();
         let mut factor_lower = vec![0.0; n.saturating_sub(1)];
@@ -68,8 +91,13 @@ impl Tridiagonal {
                 return Err(ElectrochemError::SingularSystem);
             }
             let m = lower[i - 1] / pivot;
+            let correction = m * upper[i - 1];
+            let next = main[i] - correction;
+            if !next.is_finite() || next.abs() < PIVOT_RTOL * main[i].abs().max(correction.abs()) {
+                return Err(ElectrochemError::SingularSystem);
+            }
             factor_lower[i - 1] = m;
-            factor_main[i] = main[i] - m * upper[i - 1];
+            factor_main[i] = next;
         }
         if factor_main[n - 1].abs() < 1e-300 {
             return Err(ElectrochemError::SingularSystem);
@@ -142,6 +170,55 @@ impl Tridiagonal {
         {
             *di = (*di - u * next) / fm;
             next = *di;
+        }
+    }
+
+    /// Solves `A·X = D` for `batch` right-hand sides with one sweep.
+    ///
+    /// `d` is a node-major `[node × lane]` plane: `d[i * batch + b]` holds
+    /// lane `b`'s value at node `i`, so all lanes of a node are contiguous
+    /// and the inner lane loops are straight-line, unit-stride, and
+    /// autovectorizable. Per lane the arithmetic is exactly the operation
+    /// sequence of [`Self::solve_in_place`] (same multiplies, subtracts, and
+    /// divides, in the same order), so lane `b` of the batched result is
+    /// bit-identical to a scalar solve of lane `b` alone — batching shares
+    /// the factorization sweep across lanes without reassociating anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero or `d.len() != self.len() * batch`.
+    pub fn solve_batch_in_place(&self, d: &mut [f64], batch: usize) {
+        assert!(batch > 0, "batch must be nonzero");
+        let n = self.len();
+        assert_eq!(d.len(), n * batch, "right-hand side plane size mismatch");
+        if batch == 1 {
+            return self.solve_in_place(d);
+        }
+        // Forward elimination: row i -= m[i-1] · row (i-1), lane-wise.
+        for i in 1..n {
+            let m = self.factor_lower[i - 1];
+            let (head, tail) = d.split_at_mut(i * batch);
+            let prev = &head[(i - 1) * batch..];
+            let cur = &mut tail[..batch];
+            for (x, p) in cur.iter_mut().zip(prev) {
+                *x -= m * p;
+            }
+        }
+        // Back substitution. Division (not multiplication by a reciprocal)
+        // keeps every lane bit-identical to the scalar path.
+        let fm_last = self.factor_main[n - 1];
+        for x in &mut d[(n - 1) * batch..] {
+            *x /= fm_last;
+        }
+        for i in (0..n - 1).rev() {
+            let u = self.upper[i];
+            let fm = self.factor_main[i];
+            let (head, tail) = d.split_at_mut((i + 1) * batch);
+            let cur = &mut head[i * batch..];
+            let next = &tail[..batch];
+            for (x, nx) in cur.iter_mut().zip(next) {
+                *x = (*x - u * nx) / fm;
+            }
         }
     }
 
@@ -226,6 +303,80 @@ mod tests {
             Tridiagonal::new(vec![1.0], vec![1.0, 1.0], vec![1.0]),
             Err(ElectrochemError::SingularSystem)
         ));
+    }
+
+    #[test]
+    fn detects_cancellation_singularity() {
+        // [[1, 1], [1, 1 + 4ε]] is numerically singular: elimination leaves
+        // factor_main[1] ≈ 4.4e-16, pure rounding residue. The old absolute
+        // 1e-300 check accepted it and "solved" through the noise pivot,
+        // returning values amplified by ~1e16.
+        let eps = 4.0 * f64::EPSILON;
+        assert!(matches!(
+            Tridiagonal::new(vec![1.0], vec![1.0, 1.0 + eps], vec![1.0]),
+            Err(ElectrochemError::SingularSystem)
+        ));
+        // Same shape at a different scale — the check is relative.
+        assert!(matches!(
+            Tridiagonal::new(vec![1e8], vec![1e8, 1e8 * (1.0 + eps)], vec![1e8]),
+            Err(ElectrochemError::SingularSystem)
+        ));
+        // A well-separated pivot of the same magnitude is still accepted.
+        assert!(Tridiagonal::new(vec![1.0], vec![1.0, 1.5], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite_entries() {
+        assert!(Tridiagonal::new(vec![1.0], vec![f64::NAN, 2.0], vec![1.0]).is_err());
+        assert!(Tridiagonal::new(vec![f64::INFINITY], vec![2.0, 2.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn batch_solve_matches_scalar_bit_for_bit() {
+        let n = 37;
+        let lower: Vec<f64> = (0..n - 1).map(|i| -0.3 - 0.001 * i as f64).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|i| -0.4 + 0.002 * i as f64).collect();
+        let main: Vec<f64> = (0..n).map(|i| 2.0 + 0.01 * i as f64).collect();
+        let sys = Tridiagonal::new(lower, main, upper).expect("valid");
+        let batch = 7;
+        // Distinct right-hand side per lane.
+        let mut plane = vec![0.0; n * batch];
+        let mut lanes: Vec<Vec<f64>> = (0..batch)
+            .map(|b| {
+                (0..n)
+                    .map(|i| ((i * batch + b) as f64 * 0.61).sin() + 0.1 * b as f64)
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            for (b, lane) in lanes.iter().enumerate() {
+                plane[i * batch + b] = lane[i];
+            }
+        }
+        sys.solve_batch_in_place(&mut plane, batch);
+        for lane in &mut lanes {
+            sys.solve_in_place(lane);
+        }
+        for i in 0..n {
+            for (b, lane) in lanes.iter().enumerate() {
+                assert_eq!(
+                    plane[i * batch + b].to_bits(),
+                    lane[i].to_bits(),
+                    "node {i} lane {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_scalar() {
+        let sys =
+            Tridiagonal::new(vec![1.0, 1.0], vec![2.0, 2.0, 2.0], vec![1.0, 1.0]).expect("valid");
+        let mut a = vec![3.0, 4.0, 3.0];
+        let mut b = a.clone();
+        sys.solve_in_place(&mut a);
+        sys.solve_batch_in_place(&mut b, 1);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property-based tests for the electrochemistry engine.
 
 use bios_electrochem::{
-    rate_constants, simulate_cv_with, Cell, DiffusionSim, Electrode, ElectrodeMaterial, Grid,
+    cottrell_current, rate_constants, simulate_chrono_fleet, simulate_chrono_with,
+    simulate_cv_with, BatchDiffusionSim, Cell, DiffusionSim, Electrode, ElectrodeMaterial, Grid,
     PotentialProgram, RedoxCouple, SimOptions, Tridiagonal,
 };
 use bios_units::{
@@ -135,7 +136,7 @@ proptest! {
             e0 - Volts::new(0.25),
             VoltsPerSecond::new(0.1),
         );
-        let opts = SimOptions { dt: Some(Seconds::new(0.025)), include_charging: false };
+        let opts = SimOptions { dt: Some(Seconds::new(0.025)), include_charging: false, grid_gamma: None };
         let run = |c_mm: f64| {
             simulate_cv_with(&cell, &couple, Molar::from_millimolar(c_mm), Molar::ZERO, &program, opts)
                 .expect("sim")
@@ -150,5 +151,171 @@ proptest! {
         prop_assert!(i2 > i1, "peak must grow with concentration");
         // And approximately linearly.
         prop_assert!(((i2 / i1) - factor).abs() < 0.1 * factor);
+    }
+
+    /// The batched SoA kernel is bit-identical to per-lane scalar sims for
+    /// any batch width, expanding grid and kinetics program: every step's
+    /// flux, every surface value and every profile node, compared by bit
+    /// pattern.
+    #[test]
+    fn batch_kernel_bit_identical_to_scalar(
+        lanes in 1usize..5,
+        gamma in 1.02f64..1.6,
+        steps in 5usize..60,
+        seed in 0u64..1000,
+    ) {
+        let r = |k: usize| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((k as u64).wrapping_mul(1442695040888963407)) as f64;
+            x / u64::MAX as f64
+        };
+        let d = DiffusionCoefficient::new(6.7e-6);
+        let dt = Seconds::new(0.005);
+        let grid = Grid::for_experiment_with(
+            d,
+            Seconds::new(steps as f64 * 0.005 + 0.5),
+            dt,
+            gamma,
+        ).expect("grid");
+        let bulks: Vec<(bios_units::MolesPerCm3, bios_units::MolesPerCm3)> = (0..lanes)
+            .map(|b| (
+                Molar::from_millimolar(0.5 + 5.0 * r(b)).to_moles_per_cm3(),
+                Molar::from_millimolar(2.0 * r(b + 100)).to_moles_per_cm3(),
+            ))
+            .collect();
+        let mut batch = BatchDiffusionSim::new(grid.clone(), d, d, &bulks, dt).expect("batch");
+        let mut scalars: Vec<DiffusionSim> = bulks
+            .iter()
+            .map(|&(o, rd)| DiffusionSim::new(grid.clone(), d, d, o, rd, dt).expect("sim"))
+            .collect();
+        for k in 0..steps {
+            let rates: Vec<(f64, f64)> = (0..lanes)
+                .map(|b| (
+                    10f64.powf(4.0 * r(7 * k + b) - 3.0),
+                    10f64.powf(4.0 * r(11 * k + b + 5000) - 3.0),
+                ))
+                .collect();
+            let fluxes = batch.step_with_rate_constants(&rates);
+            for (b, s) in scalars.iter_mut().enumerate() {
+                let f = s.step_with_rate_constants(rates[b].0, rates[b].1);
+                prop_assert_eq!(f.to_bits(), fluxes[b].to_bits(), "flux lane {} step {}", b, k);
+            }
+        }
+        for (b, s) in scalars.iter().enumerate() {
+            prop_assert_eq!(
+                batch.surface_ox(b).value().to_bits(),
+                s.surface_ox().value().to_bits()
+            );
+            prop_assert_eq!(
+                batch.surface_red(b).value().to_bits(),
+                s.surface_red().value().to_bits()
+            );
+            for (x, y) in batch.profile_ox(b).iter().zip(s.profile_ox()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "ox profile lane {}", b);
+            }
+            for (x, y) in batch.profile_red(b).iter().zip(s.profile_red()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "red profile lane {}", b);
+            }
+        }
+    }
+
+    /// The fleet chrono driver equals the per-cell scalar driver exactly
+    /// — full `Transient` equality lane by lane — for random fleets,
+    /// waveforms and grid ratios.
+    #[test]
+    fn fleet_driver_bit_identical_to_scalar_map(
+        lanes in 1usize..4,
+        gamma_pick in 0usize..3,
+        hold_mv in 200.0f64..700.0,
+        seed in 0u64..500,
+    ) {
+        let r = |k: usize| {
+            let x = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add((k as u64).wrapping_mul(1442695040888963407)) as f64;
+            x / u64::MAX as f64
+        };
+        let gamma = [None, Some(1.2), Some(1.5)][gamma_pick];
+        let couple = RedoxCouple::ferrocyanide();
+        let program = PotentialProgram::Hold {
+            potential: Volts::from_millivolts(hold_mv),
+            duration: Seconds::new(0.1),
+        };
+        let cells: Vec<Cell> = (0..lanes)
+            .map(|b| {
+                let area = SquareCentimeters::new(5e-4 + 3e-3 * r(b + 40));
+                Cell::builder(
+                    Electrode::new(ElectrodeMaterial::Gold, area).expect("area"),
+                )
+                .build()
+                .expect("cell")
+            })
+            .collect();
+        let bulk_ox: Vec<Molar> = (0..lanes)
+            .map(|b| Molar::from_millimolar(0.3 + 3.0 * r(b + 80)))
+            .collect();
+        let bulk_red: Vec<Molar> = (0..lanes)
+            .map(|b| Molar::from_millimolar(r(b + 120)))
+            .collect();
+        let options = SimOptions { dt: None, include_charging: true, grid_gamma: gamma };
+        let fleet = simulate_chrono_fleet(&cells, &couple, &bulk_ox, &bulk_red, &program, options)
+            .expect("fleet");
+        for b in 0..lanes {
+            let scalar = simulate_chrono_with(
+                &cells[b], &couple, bulk_ox[b], bulk_red[b], &program, options,
+            ).expect("scalar");
+            prop_assert_eq!(&fleet[b], &scalar, "lane {} diverged", b);
+        }
+    }
+
+    /// Nonuniform (expanding) grids converge to the analytic Cottrell
+    /// reference: for any ratio up to 1.5, the diffusion-limited transient
+    /// stays within 5% of `cottrell_current` over the mid/late transient,
+    /// while coarser ratios use strictly fewer nodes than the default.
+    #[test]
+    fn expanding_grid_converges_to_cottrell(
+        gamma in 1.05f64..1.5,
+        bulk_mm in 0.5f64..3.0,
+    ) {
+        let couple = RedoxCouple::ferrocyanide();
+        let cell = Cell::builder(Electrode::paper_gold_we()).build().expect("cell");
+        let e0 = couple.formal_potential();
+        // Hold far below E0: reduction is diffusion-limited and the
+        // current follows Cottrell decay.
+        let program = PotentialProgram::Hold {
+            potential: e0 - Volts::new(0.4),
+            duration: Seconds::new(2.0),
+        };
+        let dt = Seconds::new(0.005);
+        let options = SimOptions {
+            dt: Some(dt),
+            include_charging: false,
+            grid_gamma: Some(gamma),
+        };
+        let bulk = Molar::from_millimolar(bulk_mm);
+        let transient = simulate_chrono_with(&cell, &couple, bulk, Molar::ZERO, &program, options)
+            .expect("transient");
+        let area = cell.working().active_area();
+        for t_s in [0.5, 1.0, 1.5, 2.0] {
+            let t = Seconds::new(t_s);
+            let simulated = transient.current_at(t).expect("in range").value();
+            let analytic = -cottrell_current(&couple, area, bulk, t).value();
+            let rel = (simulated - analytic).abs() / analytic.abs();
+            prop_assert!(
+                rel < 0.05,
+                "gamma {gamma}: {rel:.4} relative error vs Cottrell at t = {t_s}s"
+            );
+        }
+        // The coarse grid must actually be smaller than the default.
+        let d_max = couple.diffusion_ox().value().max(couple.diffusion_red().value());
+        let nodes = |g: f64| {
+            Grid::for_experiment_with(
+                DiffusionCoefficient::new(d_max), program.duration(), dt, g,
+            ).expect("grid").len()
+        };
+        if gamma > Grid::DEFAULT_GAMMA + 0.05 {
+            prop_assert!(nodes(gamma) < nodes(Grid::DEFAULT_GAMMA));
+        }
     }
 }

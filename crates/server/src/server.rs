@@ -9,6 +9,15 @@
 //! bit-reproducible under any [`ExecPolicy`], which is what lets the
 //! chaos harness compare faulted runs against clean references.
 //!
+//! Within a shard, `Sample`-phase acquisitions from *different* in-flight
+//! sessions are coalesced: each tick the shard parks every awake session
+//! at its next acquisition ([`SessionMachine::begin_sample`]) and serves
+//! the whole batch through one
+//! [`run_samples`](Platform::run_samples) dispatch before absorbing the
+//! results ([`SessionMachine::complete_sample`]). Acquisitions are pure
+//! functions of their requests, so coalescing changes dispatch count —
+//! not one bit of any report.
+//!
 //! The request/response interface is deliberately narrow and batched —
 //! [`submit`](DiagnosticsServer::submit) in,
 //! [`drain_completed`](DiagnosticsServer::drain_completed) out, plain
@@ -388,8 +397,16 @@ impl Shard {
     }
 
     /// Advances every awake in-flight session by up to `steps_per_tick`
-    /// steps, then harvests terminal sessions (done, aborted, past
-    /// deadline).
+    /// steps, coalescing `Sample`-phase acquisitions across interleaved
+    /// sessions into batched [`Platform::run_samples`] dispatches, then
+    /// harvests terminal sessions (done, aborted, past deadline).
+    ///
+    /// Batching is invisible in the results: each acquisition is a pure
+    /// function of its [`SampleRequest`], so every per-session transition
+    /// sequence — and every served report — is bit-identical to stepping
+    /// the machines one by one. The batch itself runs sequentially inside
+    /// the shard; shards remain the parallel axis (no nested
+    /// parallelism).
     fn step_active(
         &mut self,
         platform: &Platform,
@@ -398,68 +415,23 @@ impl Shard {
         now: u64,
         tick: &mut ShardTick,
     ) {
-        let mut finished: Vec<(usize, SessionOutcome)> = Vec::new();
+        let lane_count = self.active.len();
+        let mut budgets = vec![config.steps_per_tick; lane_count];
+        let mut outcomes: Vec<Option<SessionOutcome>> = vec![None; lane_count];
+        let mut stopped = vec![false; lane_count];
+        let mut sleeping = vec![false; lane_count];
+        let mut expired_flags = vec![false; lane_count];
         for (idx, session) in self.active.iter_mut().enumerate() {
             let expired = now.saturating_sub(session.admitted_tick) >= config.deadline_ticks;
+            expired_flags[idx] = expired;
             if session.wake_tick > now {
                 // A sleeping session (backoff or chaos stall) still burns
                 // deadline budget; cut it the moment the deadline passes
                 // rather than when it would have woken.
+                sleeping[idx] = true;
+                stopped[idx] = true;
                 if expired {
-                    finished.push((
-                        idx,
-                        SessionOutcome::DeadlineMiss(
-                            session
-                                .machine
-                                .finish_partial(platform)
-                                .with_deadline_misses(1),
-                        ),
-                    ));
-                }
-                continue;
-            }
-            let mut outcome: Option<SessionOutcome> = None;
-            for _ in 0..config.steps_per_tick {
-                if session.machine.is_done() {
-                    break;
-                }
-                if let Some(limit) = session.abort_after {
-                    if session.machine.steps_taken() >= limit {
-                        outcome = Some(SessionOutcome::Aborted(
-                            session.machine.finish_partial(platform),
-                        ));
-                        break;
-                    }
-                }
-                let t0 = clock.now_nanos();
-                let event = session.machine.step(platform);
-                self.latencies_nanos
-                    .push(clock.now_nanos().saturating_sub(t0));
-                tick.steps += 1;
-                match event {
-                    Ok(bios_platform::StepEvent::BackedOff { delay_ticks, .. }) => {
-                        session.wake_tick = now + delay_ticks.max(1);
-                        break;
-                    }
-                    Ok(_) => {}
-                    Err(e) => {
-                        outcome = Some(SessionOutcome::Failed {
-                            error: e.to_string(),
-                        });
-                        break;
-                    }
-                }
-            }
-            if outcome.is_none() {
-                if session.machine.is_done() {
-                    outcome = match session.machine.finish(platform) {
-                        Ok(report) => Some(SessionOutcome::Completed(report)),
-                        Err(e) => Some(SessionOutcome::Failed {
-                            error: e.to_string(),
-                        }),
-                    };
-                } else if expired {
-                    outcome = Some(SessionOutcome::DeadlineMiss(
+                    outcomes[idx] = Some(SessionOutcome::DeadlineMiss(
                         session
                             .machine
                             .finish_partial(platform)
@@ -467,8 +439,120 @@ impl Shard {
                     ));
                 }
             }
-            if let Some(outcome) = outcome {
+        }
+        // Rounds: (A) run each live session's cheap transitions until it
+        // parks at its next Sample, stalls, errors or exhausts its budget;
+        // (B) serve every parked acquisition in one coalesced dispatch;
+        // (C) absorb the results and loop until nothing parks.
+        loop {
+            let mut lanes: Vec<usize> = Vec::new();
+            let mut requests: Vec<bios_platform::SampleRequest> = Vec::new();
+            for idx in 0..lane_count {
+                if stopped[idx] {
+                    continue;
+                }
+                let session = &mut self.active[idx];
+                loop {
+                    if budgets[idx] == 0 {
+                        stopped[idx] = true;
+                        break;
+                    }
+                    if session.machine.is_done() {
+                        stopped[idx] = true;
+                        break;
+                    }
+                    if let Some(limit) = session.abort_after {
+                        if session.machine.steps_taken() >= limit {
+                            outcomes[idx] = Some(SessionOutcome::Aborted(
+                                session.machine.finish_partial(platform),
+                            ));
+                            stopped[idx] = true;
+                            break;
+                        }
+                    }
+                    if session.machine.next_is_sample() {
+                        if let Some(request) = session.machine.begin_sample(platform) {
+                            lanes.push(idx);
+                            requests.push(request);
+                            break;
+                        }
+                    }
+                    let t0 = clock.now_nanos();
+                    let event = session.machine.step(platform);
+                    self.latencies_nanos
+                        .push(clock.now_nanos().saturating_sub(t0));
+                    tick.steps += 1;
+                    budgets[idx] -= 1;
+                    match event {
+                        Ok(bios_platform::StepEvent::BackedOff { delay_ticks, .. }) => {
+                            session.wake_tick = now + delay_ticks.max(1);
+                            stopped[idx] = true;
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            outcomes[idx] = Some(SessionOutcome::Failed {
+                                error: e.to_string(),
+                            });
+                            stopped[idx] = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if requests.is_empty() {
+                break;
+            }
+            // One dispatch serves every parked session's acquisition;
+            // latency is attributed evenly across the batch.
+            let t0 = clock.now_nanos();
+            let results = platform.run_samples(&requests, ExecPolicy::Sequential);
+            let elapsed = clock.now_nanos().saturating_sub(t0);
+            let per_sample = elapsed / requests.len() as u64;
+            for ((idx, request), result) in lanes.iter().copied().zip(&requests).zip(results) {
+                let session = &mut self.active[idx];
+                self.latencies_nanos.push(per_sample);
+                tick.steps += 1;
+                budgets[idx] -= 1;
+                if let Err(e) = session.machine.complete_sample(platform, request, result) {
+                    outcomes[idx] = Some(SessionOutcome::Failed {
+                        error: e.to_string(),
+                    });
+                    stopped[idx] = true;
+                }
+            }
+        }
+        // Terminal harvest, identical to the unbatched scheduler: abort,
+        // failure and sleeping cuts were recorded above; the rest finish
+        // when done or get cut on an expired deadline.
+        let mut finished: Vec<(usize, SessionOutcome)> = Vec::new();
+        for idx in 0..lane_count {
+            if let Some(outcome) = outcomes[idx].take() {
                 finished.push((idx, outcome));
+                continue;
+            }
+            if sleeping[idx] {
+                continue;
+            }
+            let session = &mut self.active[idx];
+            if session.machine.is_done() {
+                let outcome = match session.machine.finish(platform) {
+                    Ok(report) => SessionOutcome::Completed(report),
+                    Err(e) => SessionOutcome::Failed {
+                        error: e.to_string(),
+                    },
+                };
+                finished.push((idx, outcome));
+            } else if expired_flags[idx] {
+                finished.push((
+                    idx,
+                    SessionOutcome::DeadlineMiss(
+                        session
+                            .machine
+                            .finish_partial(platform)
+                            .with_deadline_misses(1),
+                    ),
+                ));
             }
         }
         // Harvest back-to-front so indices stay valid.
@@ -814,6 +898,39 @@ mod tests {
             .expect("session");
         assert_eq!(*report, blocking);
         assert!(served[0].outcome.is_clean());
+    }
+
+    #[test]
+    fn coalesced_interleaved_sessions_match_the_blocking_path() {
+        let p = platform();
+        // Many sessions interleave inside one shard with a healthy step
+        // budget, so every tick batches several sessions' acquisitions
+        // into one `run_samples` dispatch. Each served report must still
+        // be bit-identical to running its session alone.
+        let config = ServerConfig::default()
+            .with_shards(1)
+            .with_max_active(8)
+            .with_steps_per_tick(6);
+        let mut server = DiagnosticsServer::new(&p, config);
+        for k in 0..8u64 {
+            server
+                .submit(request(k, ServiceTier::Routine, 900 + k))
+                .expect("admitted");
+        }
+        server.run_until_idle(&NullClock, 10_000);
+        let served = server.drain_completed();
+        assert_eq!(served.len(), 8);
+        for c in &served {
+            let report = c.outcome.report().expect("served");
+            let blocking = p
+                .run_session_with(
+                    &[(Analyte::Glucose, Molar::from_millimolar(3.0))],
+                    c.seed,
+                    &SessionOptions::default().with_exec(ExecPolicy::Sequential),
+                )
+                .expect("session");
+            assert_eq!(*report, blocking, "device {} diverged", c.device);
+        }
     }
 
     #[test]

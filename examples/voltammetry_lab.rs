@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let options = SimOptions {
         dt: None,
         include_charging: false,
+        grid_gamma: None,
     };
 
     // 1. Cottrell: step to a diffusion-limited potential.
@@ -37,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimOptions {
             dt: Some(Seconds::from_millis(5.0)),
             include_charging: false,
+            grid_gamma: None,
         },
     )?;
     println!(

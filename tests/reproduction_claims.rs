@@ -96,6 +96,7 @@ fn solver_validates_against_randles_sevcik() {
         SimOptions {
             dt: None,
             include_charging: false,
+            grid_gamma: None,
         },
     )
     .expect("simulation");
