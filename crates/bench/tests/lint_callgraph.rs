@@ -1,0 +1,167 @@
+//! Properties of the hot-path call-graph analysis (DESIGN.md §6e).
+//!
+//! Two contracts keep the analysis trustworthy: reachability is
+//! *monotone* in the edge set (adding a call can only grow the hot
+//! region and raise cadence levels — so a refactor that introduces a
+//! call path can never silently un-guard a kernel), and the
+//! workspace-grained incremental cache is *transparent* (invalidating
+//! one hot-region file and relinting warm reproduces a cold lint of the
+//! same tree bit-for-bit, even when the edit rewires the call graph).
+
+use bios_lint::cache::findings_digest;
+use bios_lint::{lint_files_cached, CallGraph, Level, LintCache, MemFile};
+use proptest::prelude::*;
+
+/// Deterministically builds a call graph from packed u64 seeds over a
+/// small closed name universe, so shrinking stays meaningful.
+const NAMES: &[&str] = &[
+    "kernel_a", "kernel_b", "helper_0", "helper_1", "helper_2", "twin", "shared", "leaf",
+];
+
+fn graph_from(def_bits: u64, edges: &[u64], roots: u64, cold_bits: u64) -> CallGraph {
+    let mut g = CallGraph::new();
+    for (i, name) in NAMES.iter().enumerate() {
+        // 1..=3 definitions: exercises both sides of the twin bound.
+        let defs = ((def_bits >> (2 * i)) % 3 + 1) as usize;
+        for _ in 0..defs {
+            g.add_def(name);
+        }
+    }
+    for &e in edges {
+        let caller = NAMES[(e % NAMES.len() as u64) as usize];
+        let callee = NAMES[((e >> 8) % NAMES.len() as u64) as usize];
+        g.add_call(caller, callee, (e >> 16) & 1 == 1);
+    }
+    // At least one root; cold names that collide with roots are simply
+    // skipped by the fixpoint, which is itself part of the contract.
+    g.add_root(NAMES[(roots % NAMES.len() as u64) as usize], Level::PerIter);
+    g.add_root(
+        NAMES[((roots >> 8) % NAMES.len() as u64) as usize],
+        Level::Warm,
+    );
+    for (i, name) in NAMES.iter().enumerate() {
+        if (cold_bits >> i) & 1 == 1 {
+            g.add_cold(name);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding one call edge never shrinks the hot region and never
+    /// lowers a cadence level: reachability is monotone, so lossiness
+    /// stays in the false-negative direction as the graph grows.
+    fn adding_an_edge_never_shrinks_the_hot_region(
+        def_bits in 0u64..1u64 << 48,
+        edges in prop::collection::vec(0u64..1u64 << 48, 0..24),
+        roots in 0u64..1u64 << 48,
+        cold_bits in 0u64..1 << NAMES.len(),
+        extra_edge in 0u64..1u64 << 48,
+    ) {
+        let before = graph_from(def_bits, &edges, roots, cold_bits).hot_levels();
+        let mut grown_edges = edges.clone();
+        grown_edges.push(extra_edge);
+        let after = graph_from(def_bits, &grown_edges, roots, cold_bits).hot_levels();
+        for (name, level) in &before {
+            let now = after.get(name);
+            prop_assert!(
+                now.is_some_and(|l| l >= level),
+                "{name} was {level:?}, now {now:?} after adding an edge"
+            );
+        }
+    }
+
+    /// The fixpoint is deterministic: the same graph built from the same
+    /// seeds yields the same levels, and edge insertion order is
+    /// irrelevant (edges OR-merge).
+    fn hot_levels_are_order_independent(
+        def_bits in 0u64..1u64 << 48,
+        edges in prop::collection::vec(0u64..1u64 << 48, 0..24),
+        roots in 0u64..1u64 << 48,
+    ) {
+        let forward = graph_from(def_bits, &edges, roots, 0).hot_levels();
+        let reversed: Vec<u64> = edges.iter().rev().copied().collect();
+        let backward = graph_from(def_bits, &reversed, roots, 0).hot_levels();
+        prop_assert_eq!(forward, backward);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental-cache transparency for the workspace-grained hot pass.
+// ---------------------------------------------------------------------
+
+fn mem(crate_name: &str, rel_path: &str, source: &str) -> MemFile {
+    MemFile {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        source: source.to_string(),
+        lintable: true,
+    }
+}
+
+/// A three-file synthetic workspace whose hot-path findings span file
+/// boundaries: the kernel root lives in one file, the allocating helper
+/// it reaches in another, so invalidating either must rerun the
+/// workspace-grained analysis.
+fn base_files() -> Vec<MemFile> {
+    vec![
+        mem(
+            "bios-electrochem",
+            "crates/electrochem/src/kernel.rs",
+            "pub fn step_with_rate_constants(xs: &[f64]) -> f64 {\n    helper_accumulate(xs)\n}\n",
+        ),
+        mem(
+            "bios-electrochem",
+            "crates/electrochem/src/helper.rs",
+            "pub fn helper_accumulate(xs: &[f64]) -> f64 {\n    let buf = xs.to_vec();\n    buf.len() as f64\n}\n",
+        ),
+        mem(
+            "bios-server",
+            "crates/server/src/shard.rs",
+            "pub fn step_active(n: usize) -> usize {\n    n + 1\n}\n",
+        ),
+    ]
+}
+
+/// Edits appended to the invalidated file. Each changes the content
+/// hash; several also rewire the call graph or hot region, so a warm
+/// replay that kept stale workspace facts would diverge from cold.
+const EDITS: &[&str] = &[
+    "\n// cache-buster comment, findings unchanged\n",
+    "\npub fn step_wave(xs: &[f64]) -> f64 {\n    let v = xs.to_vec();\n    v.len() as f64\n}\n",
+    "\npub fn cold_report(n: usize) -> f64 {\n    n as f64\n}\n",
+    "\npub fn step_active(xs: &[f64]) -> f64 {\n    let m = std::sync::Mutex::new(0.0);\n    *m.lock()\n}\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invalidating a single hot-region file and relinting warm yields
+    /// the same findings digest as a cold lint of the edited tree, and
+    /// the untouched files still replay from cache.
+    fn warm_relint_after_single_file_edit_matches_cold(
+        file_idx in 0usize..3,
+        edit_idx in 0usize..EDITS.len(),
+    ) {
+        let base = base_files();
+        let (_, _, cache, _) = lint_files_cached(&base, &LintCache::default(), &[]);
+
+        let mut edited = base;
+        edited[file_idx].source.push_str(EDITS[edit_idx]);
+
+        let (warm_findings, _, _, stats) = lint_files_cached(&edited, &cache, &[]);
+        let (cold_findings, _, _, _) = lint_files_cached(&edited, &LintCache::default(), &[]);
+
+        prop_assert_eq!(
+            findings_digest(&warm_findings),
+            findings_digest(&cold_findings),
+            "warm {:?} != cold {:?}",
+            warm_findings,
+            cold_findings
+        );
+        prop_assert_eq!(stats.files_total, 3);
+        prop_assert_eq!(stats.files_reused, 2, "only the edited file should re-analyze");
+    }
+}

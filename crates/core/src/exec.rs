@@ -76,6 +76,8 @@ impl ExecPolicy {
 /// # Panics
 ///
 /// Propagates a panic from `f` (the first observed worker panic).
+// advdiag::cold(dispatch machinery: allocates O(workers) scratch and joins at the
+// barrier by design; per-element work is checked through the closure root)
 pub fn par_map<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -138,6 +140,8 @@ where
 /// # Panics
 ///
 /// Propagates a panic from `f` (the first observed worker panic).
+// advdiag::cold(dispatch machinery: allocates O(workers) scratch and joins at the
+// barrier by design; per-element work is checked through the closure root)
 pub fn par_map_mut<T, R, F>(policy: ExecPolicy, items: &mut [T], f: F) -> Vec<R>
 where
     T: Send,
@@ -209,6 +213,8 @@ fn base_len<R>(buckets: &[Vec<(usize, R)>]) -> usize {
 ///
 /// Propagates a panic from `f`, and panics if `f` returns a vector whose
 /// length differs from its chunk.
+// advdiag::cold(dispatch machinery: allocates O(workers) scratch and joins at the
+// barrier by design; per-element work is checked through the closure root)
 pub fn par_map_chunks<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -263,6 +269,8 @@ where
 /// # Errors
 ///
 /// The lowest-index `Err` produced by `f`, if any.
+// advdiag::cold(dispatch machinery: allocates O(workers) scratch and joins at the
+// barrier by design; per-element work is checked through the closure root)
 pub fn try_par_map<T, R, E, F>(policy: ExecPolicy, items: &[T], f: F) -> Result<Vec<R>, E>
 where
     T: Sync,

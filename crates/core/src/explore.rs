@@ -247,6 +247,8 @@ pub fn explore_with(
 /// # Errors
 ///
 /// Returns [`PlatformError`] if the platform cannot be assembled.
+// advdiag::cold(whole design-point evaluation: assembles a platform and runs full
+// sessions; per-point cadence by contract)
 pub fn evaluate(panel: &PanelSpec, point: &DesignPoint) -> Result<EvaluatedDesign, PlatformError> {
     // Assemble the platform (probe selection, structure, schedule).
     let electrode =

@@ -528,6 +528,8 @@ impl Platform {
     /// options' fault plan schedules faults on it. The fault realization
     /// is fixed across retries — a broken electrode stays broken, only
     /// the noise is fresh.
+    // advdiag::cold(per-acquisition AFE chain assembly: runs once per acquisition
+    // by contract, not once per step)
     pub(crate) fn assignment_chain(
         &self,
         assignment: &WeAssignment,
@@ -560,6 +562,8 @@ impl Platform {
     /// fault-free chain's commissioning response. Gain faults that hide
     /// below one ADC code at quiescent input cannot hide under a test
     /// signal. Both traces run under fixed seeds, so they memoize.
+    // advdiag::cold(built-in self-test: memoized whole-trace simulation, runs once
+    // per electrode commissioning step)
     pub(crate) fn bist_verdict(
         &self,
         assignment: &WeAssignment,
@@ -620,6 +624,8 @@ impl Platform {
     /// The `Settle` step's stored calibration record: the QC gate
     /// compares live baselines against the chain's commissioning
     /// self-noise — always taken from the fault-free base chain.
+    // advdiag::cold(memoized commissioning-time noise reference: the trace is
+    // simulated once per electrode and served from the memo cache thereafter)
     pub(crate) fn reference_noise_for(&self, assignment: &WeAssignment) -> Option<Amps> {
         match &assignment.sensor {
             SensorModel::Oxidase(_) => memo::baseline_noise_reference(
@@ -637,6 +643,8 @@ impl Platform {
     /// (possibly faulted) chain and screens the measurement through the
     /// session's QC gate.
     #[allow(clippy::too_many_arguments)]
+    // advdiag::cold(whole-acquisition entry: one call simulates a full experiment;
+    // everything below runs at per-acquisition cadence by contract)
     pub(crate) fn measure_assignment(
         &self,
         assignment: &WeAssignment,

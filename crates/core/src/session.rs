@@ -227,6 +227,7 @@ impl WeMachine {
                         mut verdict,
                     } => {
                         if let Some(bist) = &self.bist {
+                            // advdiag::allow(H1, merging the cached commissioning BIST verdict happens once per acquisition result, not per step)
                             verdict.merge(bist.clone());
                         }
                         match verdict.decision(exhausted) {
@@ -273,6 +274,8 @@ impl WeMachine {
     /// [`Self::advance`] path and the batched
     /// [`SessionMachine::complete_sample`] path, so the two drivings
     /// cannot diverge.
+    // advdiag::cold(per-result absorption: grades QC and merges one finished
+    // acquisition; per-acquisition cadence by contract)
     fn absorb_sample(
         &mut self,
         outcome: Result<(Vec<TargetReading>, QcVerdict), PlatformError>,
@@ -296,6 +299,8 @@ impl WeMachine {
 
     /// Seals the electrode's outcome from the final attempt's readings
     /// (or placeholders when every attempt errored out).
+    // advdiag::cold(terminal per-electrode outcome construction: runs once per
+    // electrode, when its acquisition budget resolves)
     fn finalize(
         &mut self,
         assignment: &crate::platform::WeAssignment,
@@ -551,6 +556,8 @@ impl SessionMachine {
         Some(self.sample_request_for(platform, slot))
     }
 
+    // advdiag::cold(per-acquisition request construction: clones the session inputs
+    // once per parked acquisition, not per step)
     fn sample_request_for(&self, platform: &Platform, slot: usize) -> SampleRequest {
         let m = &self.machines[slot];
         let assignment = &platform.assignments()[slot];
@@ -697,6 +704,7 @@ impl SessionMachine {
     /// Returns a configuration [`PlatformError`] if any electrode is
     /// still in flight (use [`finish_partial`](Self::finish_partial) to
     /// harvest an interrupted session).
+    // advdiag::cold(terminal report construction: runs once per completed session)
     pub fn finish(&self, platform: &Platform) -> Result<crate::SessionReport, PlatformError> {
         if !self.is_done() {
             return Err(PlatformError::invalid(
@@ -722,6 +730,7 @@ impl SessionMachine {
     /// cut in [`DegradationSummary::deadline_misses`].
     ///
     /// [`DegradationSummary::deadline_misses`]: crate::DegradationSummary
+    // advdiag::cold(terminal report construction: runs once per abandoned session)
     pub fn finish_partial(&self, platform: &Platform) -> crate::SessionReport {
         let outcomes: Vec<WeOutcome> = self
             .machines

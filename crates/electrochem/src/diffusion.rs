@@ -366,6 +366,9 @@ pub struct BatchDiffusionSim {
     consumed_ox: Vec<f64>,
     initial_inventory_ox: Vec<f64>,
     initial_inventory_red: Vec<f64>,
+    /// Reused by [`Self::step_with_rate_constants`] so the convenience
+    /// entry stays allocation-free per step (H1).
+    flux_scratch: Vec<f64>,
 }
 
 impl BatchDiffusionSim {
@@ -417,6 +420,7 @@ impl BatchDiffusionSim {
             consumed_ox: vec![0.0; batch],
             initial_inventory_ox,
             initial_inventory_red,
+            flux_scratch: vec![0.0; batch],
         })
     }
 
@@ -464,16 +468,19 @@ impl BatchDiffusionSim {
         }
     }
 
-    /// Allocating convenience wrapper around
-    /// [`Self::step_with_rate_constants_into`].
+    /// Convenience wrapper around
+    /// [`Self::step_with_rate_constants_into`] that lends the per-lane
+    /// fluxes from a persistent scratch buffer (allocated once at
+    /// construction, so stepping through here stays allocation-free).
     ///
     /// # Panics
     ///
     /// Panics if `rates` doesn't match the batch width.
-    pub fn step_with_rate_constants(&mut self, rates: &[(f64, f64)]) -> Vec<f64> {
-        let mut fluxes = vec![0.0; self.batch];
+    pub fn step_with_rate_constants(&mut self, rates: &[(f64, f64)]) -> &[f64] {
+        let mut fluxes = std::mem::take(&mut self.flux_scratch);
         self.step_with_rate_constants_into(rates, &mut fluxes);
-        fluxes
+        self.flux_scratch = fluxes;
+        &self.flux_scratch
     }
 
     /// Advances every lane one step with a prescribed surface flux

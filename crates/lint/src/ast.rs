@@ -202,7 +202,13 @@ pub enum Expr {
     Seq { items: Vec<Expr>, span: Span },
     /// `Path { field: expr, … }` struct literal (field values kept).
     StructLit { fields: Vec<Expr>, span: Span },
-    /// Anything unmodeled (macro invocation, range, `?`-chain tail, …).
+    /// `name!(…)` macro invocation. `name` is the last path segment;
+    /// the token soup inside the delimiters is dropped, so a macro body
+    /// can only hide violations (false-negative direction), never fire
+    /// them — but the *name* is visible to allocation/blocking rules
+    /// (`format!`, `vec!`, `println!`).
+    MacroCall { name: String, span: Span },
+    /// Anything unmodeled (range, `?`-chain tail, …).
     Opaque { span: Span },
 }
 
@@ -227,6 +233,7 @@ impl Expr {
             | Expr::Cast { span, .. }
             | Expr::Seq { span, .. }
             | Expr::StructLit { span, .. }
+            | Expr::MacroCall { span, .. }
             | Expr::Opaque { span } => *span,
             Expr::Block(b) => b.span,
         }
@@ -234,10 +241,11 @@ impl Expr {
 
     /// Calls `f` on this expression and every sub-expression, pre-order.
     /// Blocks recurse through their statements (items included).
-    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         f(self);
         match self {
-            Expr::Path { .. } | Expr::Lit { .. } | Expr::Opaque { .. } => {}
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Opaque { .. } => {
+            }
             Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr.visit(f),
             Expr::Binary { lhs, rhs, .. } => {
                 lhs.visit(f);
@@ -298,11 +306,82 @@ impl Expr {
             }
         }
     }
+
+    /// As [`Self::visit`], but passes each visited expression's *loop
+    /// depth*: how many `for`/`while` bodies enclose it, starting from
+    /// `depth`. Closure bodies do not add depth — whether a closure runs
+    /// per element is its caller's contract, and guessing would move the
+    /// engine's lossiness out of the false-negative direction.
+    pub fn visit_depth<'a>(&'a self, depth: u32, f: &mut impl FnMut(&'a Expr, u32)) {
+        f(self, depth);
+        match self {
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Opaque { .. } => {
+            }
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => expr.visit_depth(depth, f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_depth(depth, f);
+                rhs.visit_depth(depth, f);
+            }
+            Expr::Assign { target, value, .. } => {
+                target.visit_depth(depth, f);
+                value.visit_depth(depth, f);
+            }
+            Expr::MethodCall { recv, args, .. } => {
+                recv.visit_depth(depth, f);
+                for a in args {
+                    a.visit_depth(depth, f);
+                }
+            }
+            Expr::Field { recv, .. } => recv.visit_depth(depth, f),
+            Expr::Call { callee, args, .. } => {
+                callee.visit_depth(depth, f);
+                for a in args {
+                    a.visit_depth(depth, f);
+                }
+            }
+            Expr::Index { recv, index, .. } => {
+                recv.visit_depth(depth, f);
+                index.visit_depth(depth, f);
+            }
+            Expr::Closure { body, .. } => body.visit_depth(depth, f),
+            Expr::Block(b) => b.visit_depth(depth, f),
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                cond.visit_depth(depth, f);
+                then.visit_depth(depth, f);
+                if let Some(e) = els {
+                    e.visit_depth(depth, f);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                scrutinee.visit_depth(depth, f);
+                for a in arms {
+                    a.visit_depth(depth, f);
+                }
+            }
+            Expr::For { iter, body, .. } => {
+                iter.visit_depth(depth, f);
+                body.visit_depth(depth + 1, f);
+            }
+            Expr::While { cond, body, .. } => {
+                cond.visit_depth(depth, f);
+                body.visit_depth(depth + 1, f);
+            }
+            Expr::Seq { items, .. } | Expr::StructLit { fields: items, .. } => {
+                for e in items {
+                    e.visit_depth(depth, f);
+                }
+            }
+        }
+    }
 }
 
 impl Block {
     /// Calls `f` on every expression in the block, pre-order.
-    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         for stmt in &self.stmts {
             match stmt {
                 Stmt::Let { init: Some(e), .. } => e.visit(f),
@@ -312,12 +391,25 @@ impl Block {
             }
         }
     }
+
+    /// Depth-tracking variant of [`Self::visit`]. Nested items are
+    /// skipped: a function defined inside a loop does not *run* there.
+    pub fn visit_depth<'a>(&'a self, depth: u32, f: &mut impl FnMut(&'a Expr, u32)) {
+        for stmt in &self.stmts {
+            match stmt {
+                Stmt::Let { init: Some(e), .. } => e.visit_depth(depth, f),
+                Stmt::Let { .. } => {}
+                Stmt::Expr(e) => e.visit_depth(depth, f),
+                Stmt::Item(_) => {}
+            }
+        }
+    }
 }
 
 impl Item {
     /// Calls `f` on every expression in every function body under this
     /// item (recursing through mods, impls and traits).
-    pub fn visit_exprs(&self, f: &mut impl FnMut(&Expr)) {
+    pub fn visit_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
         match &self.kind {
             ItemKind::Fn(func) => {
                 if let Some(body) = &func.body {

@@ -32,7 +32,7 @@ use crate::fixer::{Fix, FixSafety};
 use crate::rules::{AllowSite, Finding, Severity, RULE_IDS};
 
 /// Bumped whenever the serialized shape changes incompatibly.
-const CACHE_VERSION: u32 = 1;
+const CACHE_VERSION: u32 = 2;
 
 /// FNV-1a over a byte string — the same dependency-free hash everywhere
 /// the cache needs one (file contents, crate keys, the engine
@@ -88,12 +88,30 @@ pub struct RangeEntry {
     pub findings: Vec<Finding>,
 }
 
+/// The cached hot-path analysis (H1–H4). The call graph crosses *crate*
+/// boundaries (`step_wave` in core reaches kernels in electrochem), so
+/// the key covers every lintable file in the workspace: any edit
+/// anywhere re-runs the analysis — the whole-workspace analogue of the
+/// range analysis' crate grain, for the same soundness reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotEntry {
+    /// [`crate_key`] over ALL lintable files' `(rel_path, hash)` pairs.
+    pub key: u64,
+    /// H1–H4 findings *before* suppression, finished.
+    pub findings: Vec<Finding>,
+    /// Hot-region overlay for `--emit-dot`: resolved roots, sorted.
+    pub roots: Vec<String>,
+    /// The full hot set, sorted.
+    pub hot: Vec<String>,
+}
+
 /// The whole cache: per-file entries keyed by rel-path, per-crate range
-/// entries keyed by crate name.
+/// entries keyed by crate name, plus the workspace-grained hot entry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LintCache {
     pub files: BTreeMap<String, CacheEntry>,
     pub ranges: BTreeMap<String, RangeEntry>,
+    pub hot: Option<HotEntry>,
 }
 
 impl LintCache {
@@ -150,7 +168,32 @@ impl LintCache {
             findings_json(&mut out, &r.findings);
             out.push('}');
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n  \"hot\": ");
+        match &self.hot {
+            None => out.push_str("null"),
+            Some(h) => {
+                out.push_str("{\"key\": ");
+                out.push_str(&escape(&hex(h.key)));
+                out.push_str(", \"findings\": ");
+                findings_json(&mut out, &h.findings);
+                out.push_str(", \"roots\": [");
+                for (i, r) in h.roots.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(r));
+                }
+                out.push_str("], \"hot\": [");
+                for (i, n) in h.hot.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape(n));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -327,6 +370,26 @@ fn parse_cache(text: &str) -> Option<LintCache> {
         };
         cache.ranges.insert(krate, entry);
     }
+    cache.hot = match field(obj, "hot")? {
+        Json::Null => None,
+        hv => {
+            let ho = hv.as_object()?;
+            let mut roots = Vec::new();
+            for r in field(ho, "roots")?.as_array()? {
+                roots.push(r.as_str()?.to_string());
+            }
+            let mut hot = Vec::new();
+            for n in field(ho, "hot")?.as_array()? {
+                hot.push(n.as_str()?.to_string());
+            }
+            Some(HotEntry {
+                key: hash_field(ho, "key")?,
+                findings: parse_findings(field(ho, "findings")?)?,
+                roots,
+                hot,
+            })
+        }
+    };
     Some(cache)
 }
 
@@ -508,6 +571,22 @@ mod tests {
                 }],
             },
         );
+        cache.hot = Some(HotEntry {
+            key: crate_key(&[("crates/core/src/lib.rs", fnv1a(b"fn main() {}"))]),
+            findings: vec![Finding {
+                rule: "H1",
+                file: "crates/core/src/lib.rs".to_string(),
+                line: 9,
+                col: 4,
+                end_col: 14,
+                severity: Severity::Error,
+                message: "allocation in hot code".to_string(),
+                excerpt: "let v = Vec::new();".to_string(),
+                fix: None,
+            }],
+            roots: vec!["step_wave".to_string()],
+            hot: vec!["hot_helper".to_string(), "step_wave".to_string()],
+        });
         cache
     }
 

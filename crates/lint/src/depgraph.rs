@@ -91,16 +91,33 @@ pub struct DepEdge {
     pub col: u32,
 }
 
+/// The hot region inferred by [`crate::hotpath`], carried on the graph so
+/// `--emit-dot` can overlay it: declared roots (kernel entries, markers,
+/// `par_map*` closures) and every function name the call-graph fixpoint
+/// reached from them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotOverlay {
+    /// Declared hot roots that resolved to a workspace definition, sorted.
+    pub roots: Vec<String>,
+    /// The full hot set (roots included), sorted.
+    pub hot: Vec<String>,
+}
+
 /// The workspace crate dependency graph.
 #[derive(Debug, Default)]
 pub struct DepGraph {
     /// Deduplicated edges, sorted by `(from, to, file)`.
     pub edges: Vec<DepEdge>,
+    /// Hot-region overlay, when the hot-path analysis ran.
+    pub hot: Option<HotOverlay>,
 }
 
 impl DepGraph {
     /// Renders the graph as Graphviz DOT, layers as `rank` labels, with
-    /// upward (violating) edges highlighted. Deterministic output.
+    /// upward (violating) edges highlighted. When a [`HotOverlay`] is
+    /// attached, the hot region renders as a colored cluster: roots in
+    /// red (labelled `(root)`), reached functions in orange.
+    /// Deterministic output.
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph bios_layers {\n    rankdir=BT;\n");
         let mut nodes: BTreeSet<&str> = BTreeSet::new();
@@ -131,6 +148,26 @@ impl DepGraph {
             } else {
                 out.push_str(&format!("    \"{}\" -> \"{}\";\n", e.from, e.to));
             }
+        }
+        if let Some(hot) = &self.hot {
+            out.push_str("    subgraph cluster_hot {\n");
+            out.push_str("        label=\"hot region (H1-H4)\";\n");
+            out.push_str("        style=filled;\n        color=\"#fff3e0\";\n");
+            let roots: BTreeSet<&str> = hot.roots.iter().map(String::as_str).collect();
+            for name in &hot.hot {
+                if roots.contains(name.as_str()) {
+                    out.push_str(&format!(
+                        "        \"fn {name}\" [label=\"{name}\\n(root)\", style=filled, \
+                         fillcolor=\"#ef5350\", shape=box];\n"
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "        \"fn {name}\" [label=\"{name}\", style=filled, \
+                         fillcolor=\"#ffb74d\", shape=box];\n"
+                    ));
+                }
+            }
+            out.push_str("    }\n");
         }
         out.push_str("}\n");
         out
@@ -294,7 +331,7 @@ pub fn analyze_facts(files: &[FactsRef<'_>]) -> (Vec<Finding>, DepGraph) {
         }
     }
     edges.sort_by(|a, b| (&a.from, &a.to, &a.file).cmp(&(&b.from, &b.to, &b.file)));
-    let graph = DepGraph { edges };
+    let graph = DepGraph { edges, hot: None };
     rule_a1(&graph, &mut findings);
     rule_a2_facts(files, &mut findings);
     (findings, graph)

@@ -217,7 +217,7 @@ impl Checker<'_, '_> {
                 [name] => env.get(name).copied(),
                 _ => None,
             },
-            Expr::Lit { .. } | Expr::Opaque { .. } => None,
+            Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Opaque { .. } => None,
             Expr::Unary { expr, .. } => self.check(env, expr),
             Expr::Cast { expr, .. } => {
                 self.check(env, expr);

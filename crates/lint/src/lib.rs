@@ -25,10 +25,12 @@
 pub mod ast;
 pub mod baseline;
 pub mod cache;
+pub mod callgraph;
 pub mod dataflow;
 pub mod depgraph;
 pub mod dimension;
 pub mod fixer;
+pub mod hotpath;
 pub mod lexer;
 pub mod parser;
 pub mod range;
@@ -38,7 +40,8 @@ pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
 pub use cache::LintCache;
-pub use depgraph::DepGraph;
+pub use callgraph::{CallGraph, Level};
+pub use depgraph::{DepGraph, HotOverlay};
 pub use fixer::{Fix, FixOutcome, FixSafety};
 pub use report::Report;
 pub use rules::{

@@ -1143,11 +1143,14 @@ impl<'a> Parser<'a> {
             }
             break;
         }
-        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`.
+        // Macro invocation: `name!(…)` / `name![…]` / `name!{…}`. The
+        // body is skipped (lossy, false-negative direction) but the name
+        // survives so hot-path rules can see `format!`/`vec!`/`println!`.
         if self.text() == "!" && matches!(self.text_at(1), "(" | "[" | "{") {
             self.pos += 1;
             self.skip_balanced();
-            return Expr::Opaque { span };
+            let name = segments.last().cloned().unwrap_or_default();
+            return Expr::MacroCall { name, span };
         }
         // Struct literal.
         if allow_struct && self.text() == "{" && self.looks_like_struct_lit() {
@@ -1327,17 +1330,20 @@ mod tests {
     }
 
     #[test]
-    fn macro_invocations_become_opaque() {
-        let items = parse("fn f() { assert!(x > 0.0); let v = vec![1.0, 2.0]; }");
+    fn macro_invocations_keep_name_drop_body() {
+        let items = parse("fn f() { assert!(x > 0.0); let v = std::vec![1.0, 2.0]; }");
         let f = only_fn(&items);
         let body = f.body.as_ref().expect("body");
-        assert!(matches!(&body.stmts[0], Stmt::Expr(Expr::Opaque { .. })));
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Expr(Expr::MacroCall { name, .. }) if name == "assert"
+        ));
         assert!(matches!(
             &body.stmts[1],
             Stmt::Let {
-                init: Some(Expr::Opaque { .. }),
+                init: Some(Expr::MacroCall { name, .. }),
                 ..
-            }
+            } if name == "vec"
         ));
     }
 

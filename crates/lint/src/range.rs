@@ -284,7 +284,7 @@ impl<'a> Analyzer<'a> {
                     *self.path_uses.entry(name.clone()).or_default() += 1;
                 }
             }
-            Expr::Lit { .. } | Expr::Opaque { .. } => {}
+            Expr::Lit { .. } | Expr::MacroCall { .. } | Expr::Opaque { .. } => {}
             Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => self.scan_expr(expr),
             Expr::Binary { lhs, rhs, .. } => {
                 self.scan_expr(lhs);
@@ -592,7 +592,7 @@ impl<'a> Analyzer<'a> {
                 _ => None,
             },
             Expr::Lit { value, .. } => value.and_then(Interval::point),
-            Expr::Opaque { .. } => None,
+            Expr::MacroCall { .. } | Expr::Opaque { .. } => None,
             Expr::Unary { op, expr, .. } => {
                 let v = self.eval_expr(env, expr);
                 match op.as_str() {

@@ -19,6 +19,10 @@
 //! | D3 | semantic | no order-sensitive reductions in `par_map` closures | deterministic crates |
 //! | A1 | workspace | crate layering (units → physics → afe → instrument → core → bench) | whole workspace |
 //! | A2 | workspace (warn) | no dead `pub` items unreferenced outside their crate | library crates |
+//! | H1 | hot-path | no allocation (`Vec::new`/`vec!`/`format!`/`Box::new`/`to_vec`/`clone`/unreserved `push`) in hot code | all but bench/lint |
+//! | H2 | hot-path | no iterator float reductions (`sum`/`product`/`fold`) in hot code | all but bench/lint |
+//! | H3 | hot-path | no blocking/I-O call reachable from the shard stepping loop | all but bench/lint |
+//! | H4 | hot-path | no pure-constructor recomputation inside a hot loop body | all but bench/lint |
 //! | W0 | meta | no stale `advdiag::allow` suppressions | everywhere |
 //!
 //! Some rules attach a [`Fix`] to their findings (F1, U1, D1, W0); see
@@ -165,7 +169,8 @@ const DIMENSIONED_SUFFIXES: &[(&str, &str)] = &[
 
 /// All shipped rule IDs, in catalogue order.
 pub const RULE_IDS: &[&str] = &[
-    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "N1", "N2", "N3", "A1", "A2", "D3", "W0",
+    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "N1", "N2", "N3", "A1", "A2", "D3", "H1", "H2", "H3",
+    "H4", "W0",
 ];
 
 /// Rules resolved at workspace scope, not per file: their allows cannot
@@ -212,7 +217,8 @@ pub fn lint_file_prepared(
 }
 
 /// Single-file convenience: [`lint_file`] plus the range analysis (the
-/// file stands alone as its crate) plus W0 for stale allows.
+/// file stands alone as its crate) plus the hot-path analysis (the file
+/// stands alone as its workspace) plus W0 for stale allows.
 /// Workspace-scoped rules (A1/A2) never run in this mode, so their
 /// allows are exempt from W0 here.
 pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
@@ -221,6 +227,12 @@ pub fn lint_source(ctx: &FileContext<'_>, source: &str) -> Vec<Finding> {
     let mut fl = lint_file_prepared(ctx, source, &lexed, &items);
     let lines: Vec<&str> = source.lines().collect();
     let mut ranged = crate::range::analyze_crate(&[(*ctx, &items)]);
+    let (hot, _overlay) = crate::hotpath::analyze_workspace(&[crate::hotpath::HotFile {
+        ctx: *ctx,
+        items: &items,
+        source,
+    }]);
+    ranged.extend(hot);
     ranged.retain(|f| !suppress(f, &mut fl.allows));
     for f in &mut ranged {
         finish(&lines, f);

@@ -32,8 +32,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::ast::Item;
-use crate::cache::{self, CacheEntry, LintCache, RangeEntry};
+use crate::cache::{self, CacheEntry, HotEntry, LintCache, RangeEntry};
 use crate::depgraph::{self, DepGraph, FactsRef, FileFacts};
+use crate::hotpath;
 use crate::lexer::lex;
 use crate::parser::parse_items;
 use crate::rules::{self, lint_file_prepared, suppress, AllowSite, FileContext, Finding};
@@ -309,9 +310,75 @@ pub fn lint_files_cached(
         range_findings.extend(found);
     }
 
+    // Workspace-grained hot-path analysis (H1–H4). The call graph spans
+    // crates, so the cache key covers every lintable file: any edit
+    // re-runs the analysis, a clean warm run replays it. Findings are
+    // cached pre-suppression (like range entries) so warm digests equal
+    // cold by construction.
+    let all_lintable: Vec<usize> = per_file
+        .iter()
+        .enumerate()
+        .filter(|(_, pf)| pf.file.lintable)
+        .map(|(i, _)| i)
+        .collect();
+    let hot_pairs: Vec<(&str, u64)> = all_lintable
+        .iter()
+        .map(|&i| (per_file[i].file.rel_path.as_str(), per_file[i].hash))
+        .collect();
+    let hot_key = cache::crate_key(&hot_pairs);
+    let (hot_findings, hot_overlay) = match cache.hot.as_ref().filter(|e| e.key == hot_key) {
+        Some(e) => {
+            new_cache.hot = Some(e.clone());
+            (
+                e.findings.clone(),
+                depgraph::HotOverlay {
+                    roots: e.roots.clone(),
+                    hot: e.hot.clone(),
+                },
+            )
+        }
+        None => {
+            for &i in &all_lintable {
+                if per_file[i].items.is_none() {
+                    let src = per_file[i].file.source.as_str();
+                    let lexed = lex(src);
+                    per_file[i].items = Some(parse_items(&lexed));
+                }
+            }
+            let hot_files: Vec<hotpath::HotFile<'_>> = all_lintable
+                .iter()
+                .map(|&i| hotpath::HotFile {
+                    ctx: FileContext {
+                        crate_name: per_file[i].file.crate_name.as_str(),
+                        rel_path: per_file[i].file.rel_path.as_str(),
+                    },
+                    items: per_file[i].items.as_deref().unwrap_or(&[]),
+                    source: per_file[i].file.source.as_str(),
+                })
+                .collect();
+            let (mut found, overlay) = hotpath::analyze_workspace(&hot_files);
+            for f in &mut found {
+                if let Some(&i) = all_lintable
+                    .iter()
+                    .find(|&&i| per_file[i].file.rel_path == f.file)
+                {
+                    let lines: Vec<&str> = per_file[i].file.source.lines().collect();
+                    rules::finish(&lines, f);
+                }
+            }
+            new_cache.hot = Some(HotEntry {
+                key: hot_key,
+                findings: found.clone(),
+                roots: overlay.roots.clone(),
+                hot: overlay.hot.clone(),
+            });
+            (found, overlay)
+        }
+    };
+
     // Workspace-scope rules over the merged facts (pure in the facts, so
     // cached and fresh files are indistinguishable here).
-    let (ws_findings, graph) = {
+    let (ws_findings, mut graph) = {
         let facts_refs: Vec<FactsRef<'_>> = per_file
             .iter()
             .map(|pf| FactsRef {
@@ -323,6 +390,7 @@ pub fn lint_files_cached(
             .collect();
         depgraph::analyze_facts(&facts_refs)
     };
+    graph.hot = Some(hot_overlay);
 
     // Suppress crate- and workspace-scope findings against their file's
     // allows (marking usage), then fill excerpts.
@@ -333,6 +401,7 @@ pub fn lint_files_cached(
         .collect();
     let mut late = ws_findings;
     late.extend(range_findings);
+    late.extend(hot_findings);
     late.retain(|f| {
         let covered = index
             .get(f.file.as_str())

@@ -1,0 +1,27 @@
+//! H2 negative fixture: reductions that must stay silent.
+
+/// Cold code may reduce however it likes.
+pub fn report_mean(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    s / xs.len() as f64
+}
+
+/// Warm driver setup: the reduction runs once per experiment, before
+/// the step loop, so the op order is not per-step state.
+pub fn simulate_chrono_fleet(xs: &[f64], steps: usize) -> f64 {
+    let total: f64 = xs.iter().sum();
+    let mut acc = total;
+    for _ in 0..steps {
+        acc += 1.0;
+    }
+    acc
+}
+
+/// An explicit index loop is the blessed hot accumulation shape.
+pub fn step_with_rate_constants(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += xs[i];
+    }
+    acc
+}

@@ -1,0 +1,17 @@
+//! H2 positive fixture: iterator float reductions in per-iteration hot
+//! code. Each hides the accumulation order the digest gates pin down.
+
+pub fn step_with_rate_constants(xs: &[f64]) -> f64 {
+    let a: f64 = xs.iter().sum(); // site 1
+    let b: f64 = xs.iter().product(); // site 2
+    let c = xs.iter().fold(0.0, |acc, x| acc + x); // site 3
+    a + b + c
+}
+
+/// The `par_map` closure is a hot root: reductions in it are flagged.
+pub fn dispatch(chunks: &[Vec<f64>]) -> Vec<f64> {
+    par_map(chunks, |chunk| {
+        let s: f64 = chunk.iter().sum(); // site 4
+        s
+    })
+}

@@ -1,0 +1,20 @@
+//! H3 negative fixture: the same calls outside the server loop's
+//! reachability, plus the injected-`Clock` exemption, stay silent.
+
+/// Hot (kernel root) but NOT reachable from `step_active`: H3 does not
+/// bind here (H1/H2 still would — keep the body allocation-free).
+pub fn step_wave(m: &Mutex) -> u64 {
+    m.lock()
+}
+
+/// In the stepping loop, the injected telemetry clock is exempt.
+pub fn step_active(clock: &Clock) -> u64 {
+    let t0 = clock.now_nanos();
+    t0
+}
+
+/// Cold code may block.
+pub fn shutdown(h: Handle) {
+    h.join();
+    println!("done");
+}

@@ -1,0 +1,18 @@
+//! H3 positive fixture: blocking and I/O calls reachable from the shard
+//! stepping loop (`step_active`).
+
+pub fn step_active(m: &Mutex, rx: &Receiver, p: &str) -> u64 {
+    let guard = m.lock(); // site 1: lock
+    let msg = rx.recv(); // site 2: channel receive
+    println!("serving"); // site 3: stream I/O macro
+    std::thread::sleep(10); // site 4: sleep
+    let t = std::time::Instant::now(); // site 5: wall clock
+    let data = std::fs::read(p); // site 6: file I/O
+    helper_wait(guard, msg, t, data)
+}
+
+/// Reached from the stepping loop: still in the H3 region.
+fn helper_wait(_g: u64, _m: u64, _t: u64, _d: u64) -> u64 {
+    let h = spawn_worker();
+    h.join() // site 7: thread join
+}

@@ -1,0 +1,125 @@
+//! Fixture-driven integration tests for the hot-path rules (H1
+//! allocation, H2 float-reduction order, H3 blocking calls, H4 invariant
+//! recomputation): every rule must fire on each seeded site of its
+//! positive fixture and stay silent on its negative one. The fixtures
+//! under `tests/fixtures/` are linted in memory — they are never
+//! compiled, so they can model violations without breaking the build.
+
+use bios_lint::{lint_source, FileContext};
+
+fn ctx() -> FileContext<'static> {
+    FileContext {
+        crate_name: "bios-electrochem",
+        rel_path: "crates/electrochem/src/fixture.rs",
+    }
+}
+
+fn rule_hits(src: &str, rule: &str) -> Vec<String> {
+    lint_source(&ctx(), src)
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{}:{} {}", f.line, f.col, f.message))
+        .collect()
+}
+
+#[test]
+fn h1_fires_on_every_seeded_allocation() {
+    let src = include_str!("fixtures/h1_positive.rs");
+    let hits = rule_hits(src, "H1");
+    // Sites 1-9: Vec::new ×2, vec!, to_vec ×2 (one in the
+    // par_map_chunks closure root), clone, Box::new, unreserved push,
+    // format! under an `advdiag::hot` marker.
+    assert_eq!(hits.len(), 9, "{hits:#?}");
+}
+
+#[test]
+fn h1_flags_the_par_map_chunks_closure_root() {
+    let src = include_str!("fixtures/h1_positive.rs");
+    let hits = rule_hits(src, "H1");
+    // The cold `dispatch` fn's closure body is a hot root of its own.
+    assert!(
+        hits.iter()
+            .any(|h| h.contains("to_vec") && h.starts_with("32:")),
+        "{hits:#?}"
+    );
+}
+
+#[test]
+fn h1_stays_silent_on_negative_fixture() {
+    // Covers: warm-driver setup allocation, with_capacity'd push,
+    // field-receiver push, cold code, an `advdiag::cold`-marked root
+    // name, and the Opaque-recovery zero-false-positive case.
+    let src = include_str!("fixtures/h1_negative.rs");
+    let hits = rule_hits(src, "H1");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn h2_fires_on_every_seeded_reduction() {
+    let src = include_str!("fixtures/h2_positive.rs");
+    let hits = rule_hits(src, "H2");
+    // sum, product, fold in the kernel + sum in the par_map closure.
+    assert_eq!(hits.len(), 4, "{hits:#?}");
+}
+
+#[test]
+fn h2_stays_silent_on_negative_fixture() {
+    let src = include_str!("fixtures/h2_negative.rs");
+    let hits = rule_hits(src, "H2");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn h3_fires_on_every_blocking_call_in_the_server_loop() {
+    let src = include_str!("fixtures/h3_positive.rs");
+    let hits = rule_hits(src, "H3");
+    // lock, recv, println!, sleep, Instant::now, fs::read, and a join
+    // in a helper reached from `step_active`.
+    assert_eq!(hits.len(), 7, "{hits:#?}");
+}
+
+#[test]
+fn h3_stays_silent_outside_the_server_loop() {
+    // `step_wave` is hot but not in `step_active`'s reachability; the
+    // injected `Clock` is exempt; cold code may block.
+    let src = include_str!("fixtures/h3_negative.rs");
+    let hits = rule_hits(src, "H3");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn h4_fires_on_every_recomputed_invariant() {
+    let src = include_str!("fixtures/h4_positive.rs");
+    let hits = rule_hits(src, "H4");
+    // Grid::for_experiment in a for loop, Prefactorized::new in a while
+    // loop, Grid::uniform in a PerIter helper.
+    assert_eq!(hits.len(), 3, "{hits:#?}");
+}
+
+#[test]
+fn h4_stays_silent_on_negative_fixture() {
+    let src = include_str!("fixtures/h4_negative.rs");
+    let hits = rule_hits(src, "H4");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn hot_findings_obey_inline_allows() {
+    let src = "pub fn step_active(x: &Thing) -> Thing {\n\
+               // advdiag::allow(H1, fixture: the copy is once per admission, not per step)\n\
+               x.clone()\n\
+               }\n";
+    let hits = rule_hits(src, "H1");
+    assert!(hits.is_empty(), "{hits:#?}");
+}
+
+#[test]
+fn torture_fixture_parses_without_hot_false_positives() {
+    // The recovery torture file exercises every parser fallback; none
+    // of its fns are hot roots, so the hot pass must stay silent.
+    let src = include_str!("fixtures/torture.rs");
+    for rule in ["H1", "H2", "H3", "H4"] {
+        let hits = rule_hits(src, rule);
+        assert!(hits.is_empty(), "{rule}: {hits:#?}");
+    }
+}

@@ -314,6 +314,22 @@ struct ShardTick {
     aborted: usize,
 }
 
+/// Per-tick working buffers reused across [`Shard::step_active`] calls so
+/// the stepping loop performs no per-tick allocation (lint rule H1): each
+/// vector is cleared and refilled in place, growing once to the shard's
+/// high-water lane count and staying there.
+#[derive(Debug, Default)]
+struct StepScratch {
+    budgets: Vec<usize>,
+    outcomes: Vec<Option<SessionOutcome>>,
+    stopped: Vec<bool>,
+    sleeping: Vec<bool>,
+    expired: Vec<bool>,
+    lanes: Vec<usize>,
+    requests: Vec<bios_platform::SampleRequest>,
+    finished: Vec<(usize, SessionOutcome)>,
+}
+
 /// One independent slice of the fleet: queue + in-flight sessions +
 /// per-device health, never shared with other shards.
 #[derive(Debug)]
@@ -325,6 +341,7 @@ struct Shard {
     completed: Vec<CompletedSession>,
     latencies_nanos: Vec<u64>,
     peak_queue: usize,
+    scratch: StepScratch,
 }
 
 impl Shard {
@@ -337,6 +354,7 @@ impl Shard {
             completed: Vec::new(),
             latencies_nanos: Vec::new(),
             peak_queue: 0,
+            scratch: StepScratch::default(),
         }
     }
 
@@ -416,11 +434,24 @@ impl Shard {
         tick: &mut ShardTick,
     ) {
         let lane_count = self.active.len();
-        let mut budgets = vec![config.steps_per_tick; lane_count];
-        let mut outcomes: Vec<Option<SessionOutcome>> = vec![None; lane_count];
-        let mut stopped = vec![false; lane_count];
-        let mut sleeping = vec![false; lane_count];
-        let mut expired_flags = vec![false; lane_count];
+        // Reuse the shard's persistent scratch: clear + refill in place,
+        // no per-tick allocation once the buffers reach high water.
+        let scratch = &mut self.scratch;
+        scratch.budgets.clear();
+        scratch.budgets.resize(lane_count, config.steps_per_tick);
+        scratch.outcomes.clear();
+        scratch.outcomes.resize_with(lane_count, || None);
+        scratch.stopped.clear();
+        scratch.stopped.resize(lane_count, false);
+        scratch.sleeping.clear();
+        scratch.sleeping.resize(lane_count, false);
+        scratch.expired.clear();
+        scratch.expired.resize(lane_count, false);
+        let budgets = &mut scratch.budgets;
+        let outcomes = &mut scratch.outcomes;
+        let stopped = &mut scratch.stopped;
+        let sleeping = &mut scratch.sleeping;
+        let expired_flags = &mut scratch.expired;
         for (idx, session) in self.active.iter_mut().enumerate() {
             let expired = now.saturating_sub(session.admitted_tick) >= config.deadline_ticks;
             expired_flags[idx] = expired;
@@ -445,8 +476,10 @@ impl Shard {
         // (B) serve every parked acquisition in one coalesced dispatch;
         // (C) absorb the results and loop until nothing parks.
         loop {
-            let mut lanes: Vec<usize> = Vec::new();
-            let mut requests: Vec<bios_platform::SampleRequest> = Vec::new();
+            let lanes = &mut scratch.lanes;
+            let requests = &mut scratch.requests;
+            lanes.clear();
+            requests.clear();
             for idx in 0..lane_count {
                 if stopped[idx] {
                     continue;
@@ -506,10 +539,11 @@ impl Shard {
             // One dispatch serves every parked session's acquisition;
             // latency is attributed evenly across the batch.
             let t0 = clock.now_nanos();
-            let results = platform.run_samples(&requests, ExecPolicy::Sequential);
+            let results = platform.run_samples(requests, ExecPolicy::Sequential);
             let elapsed = clock.now_nanos().saturating_sub(t0);
             let per_sample = elapsed / requests.len() as u64;
-            for ((idx, request), result) in lanes.iter().copied().zip(&requests).zip(results) {
+            for ((idx, request), result) in lanes.iter().copied().zip(requests.iter()).zip(results)
+            {
                 let session = &mut self.active[idx];
                 self.latencies_nanos.push(per_sample);
                 tick.steps += 1;
@@ -525,7 +559,8 @@ impl Shard {
         // Terminal harvest, identical to the unbatched scheduler: abort,
         // failure and sleeping cuts were recorded above; the rest finish
         // when done or get cut on an expired deadline.
-        let mut finished: Vec<(usize, SessionOutcome)> = Vec::new();
+        scratch.finished.clear();
+        let finished = &mut scratch.finished;
         for idx in 0..lane_count {
             if let Some(outcome) = outcomes[idx].take() {
                 finished.push((idx, outcome));
@@ -555,8 +590,11 @@ impl Shard {
                 ));
             }
         }
-        // Harvest back-to-front so indices stay valid.
-        for (idx, outcome) in finished.into_iter().rev() {
+        // Harvest back-to-front so indices stay valid. The buffer is
+        // lifted out of the scratch while `record_health` needs `&mut
+        // self`, then returned with its capacity intact.
+        let mut finished = std::mem::take(&mut self.scratch.finished);
+        for (idx, outcome) in finished.drain(..).rev() {
             let session = self.active.remove(idx);
             match &outcome {
                 SessionOutcome::DeadlineMiss(_) => tick.deadline_misses += 1,
@@ -572,6 +610,7 @@ impl Shard {
                 outcome,
             });
         }
+        self.scratch.finished = finished;
         // Keep completion order deterministic: sessions were harvested in
         // reverse index order above, restore admission order.
         let n = tick.completed;
