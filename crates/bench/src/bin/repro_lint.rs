@@ -141,6 +141,13 @@ const SEEDS: &[Seed] = &[
         code: "pub fn step_wave(n: usize) -> f64 {\n    let grid = Grid::uniform(n);\n    grid.len() as f64\n}\n",
         hot_line: 1,
     },
+    Seed {
+        rule: "M1",
+        crate_name: "bios-server",
+        rel_path: "crates/server/src/seeded.rs",
+        code: "pub fn f(t: ServiceTier) -> u8 {\n    match t {\n        ServiceTier::Stat => 0,\n        _ => 9,\n    }\n}\n",
+        hot_line: 3,
+    },
 ];
 
 fn findings_for(seed: &Seed, code: &str) -> Vec<&'static str> {

@@ -320,7 +320,10 @@ fn run_load(policy: ExecPolicy, sessions: usize) -> LoadResult {
                     mismatches += 1;
                 }
             }
-            _ => non_completed += 1,
+            SessionOutcome::DeadlineMiss(_)
+            | SessionOutcome::Aborted(_)
+            | SessionOutcome::Shed
+            | SessionOutcome::Failed { .. } => non_completed += 1,
         }
     }
 

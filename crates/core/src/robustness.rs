@@ -73,10 +73,14 @@ impl RetryPolicy {
         if self.backoff_base_ticks == 0 {
             return 0;
         }
-        let doubled = match u32::try_from(attempt) {
-            Ok(shift) => self.backoff_base_ticks.checked_shl(shift),
-            Err(_) => None,
-        };
+        // `checked_shl` only rejects shifts >= 64; a shift that spills the
+        // base's high bits out (e.g. `2 << 63`) wraps silently and would
+        // break monotonicity at large attempts. Compute `base * 2^attempt`
+        // with overflow-checked arithmetic instead, saturating to the cap.
+        let doubled = u32::try_from(attempt)
+            .ok()
+            .and_then(|shift| 2u64.checked_pow(shift))
+            .and_then(|mult| self.backoff_base_ticks.checked_mul(mult));
         doubled
             .unwrap_or(self.backoff_cap_ticks)
             .min(self.backoff_cap_ticks)
@@ -299,6 +303,28 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert_eq!(eager.backoff_ticks(5), 0);
+    }
+
+    #[test]
+    fn backoff_never_wraps_at_shift_spill_out() {
+        // Regression: `checked_shl` only rejects shifts >= 64, so
+        // `2 << 63` used to wrap to 0 — a huge attempt got an *immediate*
+        // retry instead of a capped wait, breaking monotonicity exactly
+        // where a runaway retry loop needs the brake most.
+        let policy = RetryPolicy {
+            backoff_base_ticks: 2,
+            backoff_cap_ticks: 64,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_ticks(63), 64, "spill-out saturates at cap");
+        assert_eq!(policy.backoff_ticks(64), 64);
+        assert_eq!(policy.backoff_ticks(usize::MAX), 64);
+        let wide = RetryPolicy {
+            backoff_base_ticks: u64::MAX,
+            backoff_cap_ticks: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(wide.backoff_ticks(1), u64::MAX, "mul overflow saturates");
     }
 
     #[test]

@@ -257,3 +257,35 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Backoff saturation over the *full* `u32` attempt range: no shift
+    /// or multiply can wrap, huge attempts saturate at the cap, the
+    /// delay is monotone non-decreasing in the attempt, and below the
+    /// cap it is exactly `base * 2^attempt`.
+    #[test]
+    fn backoff_ticks_saturate_over_the_full_attempt_range(
+        base in 1u64..u64::MAX / 2,
+        cap in 1u64..u64::MAX,
+        attempt in 0u32..u32::MAX,
+    ) {
+        let policy = bios_platform::RetryPolicy {
+            backoff_base_ticks: base,
+            backoff_cap_ticks: cap,
+            ..bios_platform::RetryPolicy::default()
+        };
+        let delay = policy.backoff_ticks(attempt as usize);
+        prop_assert!(delay <= cap, "delay must never exceed the cap");
+        if attempt < u32::MAX {
+            prop_assert!(
+                policy.backoff_ticks(attempt as usize + 1) >= delay,
+                "delay must be monotone non-decreasing in the attempt"
+            );
+        }
+        // Exact doubling below the cap; saturation at or past it.
+        match 2u64.checked_pow(attempt).and_then(|m| base.checked_mul(m)) {
+            Some(exact) => prop_assert_eq!(delay, exact.min(cap)),
+            None => prop_assert_eq!(delay, cap, "overflowed product saturates at the cap"),
+        }
+    }
+}

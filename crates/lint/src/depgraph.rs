@@ -41,8 +41,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("bios-instrument", 3),
     ("bios-platform", 4),
     ("bios-server", 5),
-    ("bios-bench", 6),
-    ("advanced-diagnostics", 7),
+    ("bios-model", 6),
+    ("bios-bench", 7),
+    ("advanced-diagnostics", 8),
 ];
 
 /// Crates whose dead `pub` items A2 reports. The root binary, the bench
@@ -75,6 +76,7 @@ fn crate_for_ident(ident: &str) -> Option<&'static str> {
         "bios_instrument" => Some("bios-instrument"),
         "bios_platform" => Some("bios-platform"),
         "bios_server" => Some("bios-server"),
+        "bios_model" => Some("bios-model"),
         "bios_bench" => Some("bios-bench"),
         "advanced_diagnostics" => Some("advanced-diagnostics"),
         _ => None,

@@ -17,12 +17,13 @@
 //! | N2 | semantic | no `exp()` of a provably-overflowing argument | unit-consuming crates |
 //! | N3 | semantic | no subtraction of provably near-equal constants | unit-consuming crates |
 //! | D3 | semantic | no order-sensitive reductions in `par_map` closures | deterministic crates |
-//! | A1 | workspace | crate layering (units → physics → afe → instrument → core → bench) | whole workspace |
+//! | A1 | workspace | crate layering (units → physics → afe → instrument → core → server → model → bench) | whole workspace |
 //! | A2 | workspace (warn) | no dead `pub` items unreferenced outside their crate | library crates |
 //! | H1 | hot-path | no allocation (`Vec::new`/`vec!`/`format!`/`Box::new`/`to_vec`/`clone`/unreserved `push`) in hot code | all but bench/lint |
 //! | H2 | hot-path | no iterator float reductions (`sum`/`product`/`fold`) in hot code | all but bench/lint |
 //! | H3 | hot-path | no blocking/I-O call reachable from the shard stepping loop | all but bench/lint |
 //! | H4 | hot-path | no pure-constructor recomputation inside a hot loop body | all but bench/lint |
+//! | M1 | token | no wildcard `_ =>` arm in a `match` over a protocol enum (`SessionStep`/`StepEvent`/`SessionOutcome`/`ServerError`/`ServiceTier`) | everywhere |
 //! | W0 | meta | no stale `advdiag::allow` suppressions | everywhere |
 //!
 //! Some rules attach a [`Fix`] to their findings (F1, U1, D1, W0); see
@@ -169,8 +170,8 @@ const DIMENSIONED_SUFFIXES: &[(&str, &str)] = &[
 
 /// All shipped rule IDs, in catalogue order.
 pub const RULE_IDS: &[&str] = &[
-    "D1", "D2", "P1", "U1", "S1", "F1", "U2", "N1", "N2", "N3", "A1", "A2", "D3", "H1", "H2", "H3",
-    "H4", "W0",
+    "D1", "D2", "P1", "U1", "S1", "F1", "M1", "U2", "N1", "N2", "N3", "A1", "A2", "D3", "H1", "H2",
+    "H3", "H4", "W0",
 ];
 
 /// Rules resolved at workspace scope, not per file: their allows cannot
@@ -205,6 +206,7 @@ pub fn lint_file_prepared(
     rule_u1(ctx, lexed, &mut findings);
     rule_s1(ctx, lexed, &mut findings);
     rule_f1(ctx, lexed, &mut findings);
+    rule_m1(ctx, lexed, &mut findings);
     crate::dimension::rule_u2(ctx, items, &mut findings);
     crate::dataflow::rule_d3(ctx, items, &mut findings);
     for f in &mut findings {
@@ -808,6 +810,126 @@ fn f1_fix(toks: &[Token], i: usize) -> Option<(Fix, u32)> {
     ))
 }
 
+/// The protocol enums whose `match`es must stay exhaustive (M1). A
+/// wildcard arm over one of these silently absorbs every variant a
+/// future PR adds — exactly how the shard loop's outcome handling
+/// once swallowed a `SessionOutcome` case instead of failing the build.
+const PROTOCOL_ENUMS: &[&str] = &[
+    "SessionStep",
+    "StepEvent",
+    "SessionOutcome",
+    "ServerError",
+    "ServiceTier",
+];
+
+/// M1: wildcard `_ =>` arms in `match`es over protocol enums.
+///
+/// The rule is token-level but type-aware-ish: a lone `_` arm is
+/// flagged only when a *sibling* arm's pattern in the same `match`
+/// names one of [`PROTOCOL_ENUMS`], so `Ok(_) =>`, tuple wildcards
+/// (`(_, x) =>`) and matches over unrelated types never fire. Guarded
+/// wildcards (`_ if … =>`) are a deliberate catch-all and exempt.
+/// Nested matches are judged each by their own arms: an inner `match`'s
+/// patterns are not siblings of the outer one.
+fn rule_m1(ctx: &FileContext<'_>, lexed: &Lexed, findings: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test || t.kind != TokenKind::Ident || t.text != "match" {
+            continue;
+        }
+        // The body `{` is the first brace outside parens/brackets: a
+        // bare scrutinee cannot contain a struct literal, so any earlier
+        // brace would have to sit inside `(…)` / `[…]`.
+        let mut paren = 0i64;
+        let mut bracket = 0i64;
+        let mut j = i + 1;
+        let body_open = loop {
+            let Some(n) = toks.get(j) else { break None };
+            match n.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "{" if paren == 0 && bracket == 0 => break Some(j),
+                ";" | "}" if paren == 0 && bracket == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else { continue };
+        // Walk the arms at brace depth 1, tracking whether we are in a
+        // pattern region (arm start up to its `=>`) or an arm body
+        // (after `=>` up to the separating `,` or the `}` of a braced
+        // body). Collect protocol mentions from patterns and the sites
+        // of lone-`_` arms; flag the latter only if the former exist.
+        let mut brace = 1i64;
+        paren = 0;
+        bracket = 0;
+        let mut in_pattern = true;
+        let mut protocol = false;
+        let mut wildcards: Vec<usize> = Vec::new();
+        let mut k = open + 1;
+        while let Some(n) = toks.get(k) {
+            match n.text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                    if brace == 1 && paren == 0 && bracket == 0 {
+                        in_pattern = true;
+                    }
+                }
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "," if brace == 1 && paren == 0 && bracket == 0 => {
+                    in_pattern = true;
+                }
+                "=>" if brace == 1 && paren == 0 && bracket == 0 => {
+                    in_pattern = false;
+                    if toks
+                        .get(k.wrapping_sub(1))
+                        .is_some_and(|p| p.kind == TokenKind::Ident && p.text == "_")
+                    {
+                        wildcards.push(k - 1);
+                    }
+                }
+                _ => {
+                    if in_pattern
+                        && brace == 1
+                        && n.kind == TokenKind::Ident
+                        && PROTOCOL_ENUMS.contains(&n.text.as_str())
+                    {
+                        protocol = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if !protocol {
+            continue;
+        }
+        for &w in &wildcards {
+            let wt = &toks[w];
+            push(
+                findings,
+                "M1",
+                ctx,
+                wt.line,
+                wt.col,
+                "wildcard `_ =>` arm in a `match` over a protocol enum: a \
+                 variant added later is silently absorbed instead of failing \
+                 the build; enumerate the remaining variants (use `_ if …` \
+                 with a reason if a guarded catch-all is intended)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -935,5 +1057,61 @@ mod tests {
             rel_path: "crates/bench/src/x.rs",
         };
         assert!(lint_source(&bench, src).is_empty());
+    }
+
+    fn ctx_server() -> FileContext<'static> {
+        FileContext {
+            crate_name: "bios-server",
+            rel_path: "crates/server/src/x.rs",
+        }
+    }
+
+    #[test]
+    fn m1_flags_wildcard_arms_over_protocol_enums() {
+        let src = "fn f(o: SessionOutcome) {\n    match o {\n        SessionOutcome::Quarantined(d) => handle(d),\n        _ => {}\n    }\n}\n";
+        let findings = lint_source(&ctx_server(), src);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(
+            (findings[0].rule, findings[0].line, findings[0].severity),
+            ("M1", 4, Severity::Error)
+        );
+        // Expression-bodied wildcard arms are caught too.
+        let expr = "fn g(t: ServiceTier) -> u8 {\n    match t {\n        ServiceTier::Stat => 0,\n        _ => 9,\n    }\n}\n";
+        let hits = lint_source(&ctx_server(), expr);
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].rule, hits[0].line), ("M1", 4));
+    }
+
+    #[test]
+    fn m1_ignores_wildcards_over_unrelated_types_and_inner_patterns() {
+        // No protocol enum among the sibling patterns: stay silent.
+        let plain =
+            "fn f(x: u8) -> u8 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
+        assert!(lint_source(&ctx_server(), plain).is_empty());
+        // `Ok(_)` / `(_, x)` wildcards are not wildcard *arms*.
+        let inner = "fn g(r: Result<SessionOutcome, E>) {\n    match r {\n        Ok(SessionOutcome::Shed) => shed(),\n        Ok(_) => other(),\n        Err(e) => fail(e),\n    }\n}\n";
+        assert!(lint_source(&ctx_server(), inner).is_empty());
+        // A guarded wildcard is a deliberate catch-all.
+        let guarded = "fn h(o: SessionOutcome) {\n    match o {\n        SessionOutcome::Shed => shed(),\n        _ if degraded() => log(),\n        SessionOutcome::Failed { .. } => fail(),\n    }\n}\n";
+        assert!(lint_source(&ctx_server(), guarded).is_empty());
+    }
+
+    #[test]
+    fn m1_judges_nested_matches_independently_and_skips_tests() {
+        // Outer match is over a protocol enum; the inner one is not.
+        // Only the outer wildcard arm may fire.
+        let nested = "fn f(e: StepEvent, x: u8) {\n    match e {\n        StepEvent::SessionDone => match x {\n            0 => done(),\n            _ => retry(),\n        },\n        _ => {}\n    }\n}\n";
+        let hits = lint_source(&ctx_server(), nested);
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert_eq!((hits[0].rule, hits[0].line), ("M1", 7));
+        // Test modules are exempt, like every other token rule.
+        let in_test = "#[cfg(test)]\nmod t {\n    fn f(o: SessionOutcome) {\n        match o {\n            SessionOutcome::Shed => {}\n            _ => {}\n        }\n    }\n}\n";
+        assert!(lint_source(&ctx_server(), in_test).is_empty());
+    }
+
+    #[test]
+    fn m1_suppression_works() {
+        let src = "fn f(o: SessionOutcome) {\n    match o {\n        SessionOutcome::Shed => shed(),\n        // advdiag::allow(M1, exhaustiveness audited in PR9)\n        _ => {}\n    }\n}\n";
+        assert!(lint_source(&ctx_server(), src).is_empty());
     }
 }

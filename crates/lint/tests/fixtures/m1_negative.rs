@@ -1,0 +1,60 @@
+//! M1 negative fixture: wildcard shapes the rule must stay silent on —
+//! matches over unrelated types, inner-pattern wildcards, guarded
+//! catch-alls, and exhaustive protocol matches with no wildcard at all.
+//! Linted in memory only — never compiled.
+
+fn unrelated_scrutinee(code: u8) -> &'static str {
+    match code {
+        0 => "ok",
+        1 => "warn",
+        _ => "unknown",
+    }
+}
+
+fn inner_wildcards_are_not_arms(result: Result<SessionOutcome, ParseError>) {
+    match result {
+        Ok(SessionOutcome::Shed) => shed(),
+        Ok(_) => other(),
+        Err(e) => fail(e),
+    }
+}
+
+fn tuple_wildcards_are_not_arms(pair: (ServiceTier, u8)) -> u8 {
+    match pair {
+        (ServiceTier::Stat, n) => n,
+        (_, n) => n / 2,
+    }
+}
+
+fn guarded_wildcard_is_deliberate(outcome: SessionOutcome) {
+    match outcome {
+        SessionOutcome::Completed(report) => record(report),
+        _ if replaying() => skip(),
+        SessionOutcome::Shed => shed(),
+        SessionOutcome::Quarantined(device) => isolate(device),
+        SessionOutcome::Failed { .. } => fail(),
+    }
+}
+
+fn exhaustive_protocol_match(event: StepEvent) -> bool {
+    match event {
+        StepEvent::Progressed(_) => false,
+        StepEvent::BackedOff { .. } => false,
+        StepEvent::Quarantined(_) => true,
+        StepEvent::WeDone(_) => false,
+        StepEvent::SessionDone => true,
+    }
+}
+
+fn nested_unrelated_match(event: StepEvent, x: u8) -> u8 {
+    match event {
+        StepEvent::SessionDone => match x {
+            0 => 1,
+            _ => 2,
+        },
+        StepEvent::Progressed(_) => 3,
+        StepEvent::BackedOff { .. } => 4,
+        StepEvent::Quarantined(_) => 5,
+        StepEvent::WeDone(_) => 6,
+    }
+}

@@ -1,0 +1,41 @@
+//! M1 positive fixture: every function contains exactly one wildcard
+//! `_ =>` arm in a `match` whose sibling patterns name a protocol enum.
+//! Linted in memory only — never compiled.
+
+fn braced_body_wildcard(outcome: SessionOutcome) {
+    match outcome {
+        SessionOutcome::Completed(report) => record(report),
+        SessionOutcome::Quarantined(device) => isolate(device),
+        _ => {}
+    }
+}
+
+fn expression_body_wildcard(tier: ServiceTier) -> u8 {
+    match tier {
+        ServiceTier::Stat => 0,
+        ServiceTier::Routine => 1,
+        _ => 9,
+    }
+}
+
+fn wildcard_in_reference_match(event: &StepEvent) -> bool {
+    match event {
+        StepEvent::SessionDone => true,
+        StepEvent::BackedOff { delay_ticks, .. } => *delay_ticks > 0,
+        _ => false,
+    }
+}
+
+fn alternation_ending_in_wildcard(err: ServerError) -> &'static str {
+    match err {
+        ServerError::QueueFull { .. } => "full",
+        ServerError::Quarantined(_) | _ => "other",
+    }
+}
+
+fn wildcard_beside_nested_step_pattern(event: StepEvent) -> usize {
+    match event {
+        StepEvent::Progressed(SessionStep { attempt, .. }) => attempt,
+        _ => 0,
+    }
+}

@@ -1,0 +1,50 @@
+//! The model checker's typed error: configuration mistakes and replay
+//! traces that do not fit the model they claim to drive. Invariant
+//! *violations* are not errors — they are the checker's product, carried
+//! as [`Counterexample`](crate::Counterexample)s.
+
+/// Why a model operation could not run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The configuration is not a well-formed bounded universe.
+    Config(String),
+    /// A replayed choice does not match the state it was applied to —
+    /// the trace belongs to a different config or was corrupted.
+    InvalidChoice(String),
+    /// The model reached a state its own transition relation cannot
+    /// explain (an internal bug in the model, not in the protocol).
+    Internal(String),
+    /// A trace artifact failed to serialize or deserialize.
+    Artifact(String),
+}
+
+impl ModelError {
+    pub(crate) fn config(msg: impl Into<String>) -> Self {
+        ModelError::Config(msg.into())
+    }
+
+    pub(crate) fn invalid_choice(msg: impl Into<String>) -> Self {
+        ModelError::InvalidChoice(msg.into())
+    }
+
+    pub(crate) fn internal(msg: impl Into<String>) -> Self {
+        ModelError::Internal(msg.into())
+    }
+
+    pub(crate) fn artifact(msg: impl Into<String>) -> Self {
+        ModelError::Artifact(msg.into())
+    }
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::Config(m) => write!(f, "model config error: {m}"),
+            ModelError::InvalidChoice(m) => write!(f, "invalid choice in trace: {m}"),
+            ModelError::Internal(m) => write!(f, "model internal error: {m}"),
+            ModelError::Artifact(m) => write!(f, "trace artifact error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,86 @@
+//! `bios-model` — bounded exhaustive model checking for the
+//! session/server protocol.
+//!
+//! The platform's correctness story so far rests on example-based tests
+//! and property tests: both sample the behavior space. This crate closes
+//! the gap for the *protocol* layer — the resumable
+//! [`SessionMachine`](bios_platform::SessionMachine) and the sharded
+//! `DiagnosticsServer` scheduler — by exploring **every** reachable
+//! state of a faithful, bounded mirror of each and checking invariants
+//! at each one:
+//!
+//! * **Session level** ([`SessionModel`]) — every interleaving of QC
+//!   verdicts and acquisition errors across every electrode and retry
+//!   attempt. Invariants: no stuck non-terminal state, the retry budget
+//!   moves in lock-step with spent retry slots, the backoff schedule
+//!   terminates, outcomes are sealed exactly at terminal phases, and —
+//!   generalizing the single-path checkpoint test in `bios-platform` —
+//!   **every** reachable checkpoint re-converges after serialize/resume
+//!   (checkpoint closure).
+//! * **Server level** ([`ServerModel`]) — every shard interleaving,
+//!   chaos draw and QC verdict for a bounded request batch. Invariants:
+//!   conservation (admitted = served + shed + in-flight, every shed unit
+//!   reported), stats/outcome agreement, queue and concurrency bounds,
+//!   deadline and quarantine enforcement, quiescence, and the
+//!   **single-digest theorem**: all interleavings under one resolved
+//!   nondeterminism reach one terminal state. Pruned mode explores one
+//!   canonical interleaving per round (DPOR-style), with the
+//!   independence justification *verified* by commutation probes at
+//!   every branch point rather than assumed.
+//!
+//! The abstraction boundary is deliberately thin: backoff arithmetic
+//! comes from the real [`RetryPolicy`](bios_platform::RetryPolicy), shed
+//! ordering from the real [`ServiceTier`](bios_server::ServiceTier)
+//! `Ord`, and the conformance tests in `tests/conformance.rs` replay
+//! model traces against the real machines, transition for transition.
+//!
+//! Violations are not panics: the explorer returns a
+//! [`Counterexample`] — a minimal (BFS-shortest) choice trace — which
+//! [`TraceArtifact`] packages with the full config as a self-contained
+//! JSON artifact. `repro_model` (in `bios-bench`) replays artifacts
+//! deterministically and seeds deliberate mutations to prove the checker
+//! catches them.
+//!
+//! # Example
+//!
+//! ```
+//! use bios_model::{explore, ExploreLimits, SessionModel, SessionModelConfig};
+//! use bios_platform::RetryPolicy;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SessionModelConfig::new(2, RetryPolicy::default());
+//! let model = SessionModel::new(config)?;
+//! let report = explore(&model, &ExploreLimits::default());
+//! assert!(report.violation.is_none(), "protocol invariant broken");
+//! assert!(!report.truncated, "space fully explored");
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+
+mod canon;
+mod config;
+mod dot;
+mod error;
+mod explore;
+mod server;
+mod session;
+mod trace;
+
+pub use canon::{canon_bytes, canon_hash, fnv128, CanonEncode};
+pub use config::{Interleave, MRequest, MVerdict, Mutation, ServerModelConfig, SessionModelConfig};
+pub use dot::render_dot;
+pub use error::ModelError;
+pub use explore::{
+    explore, replay, Choice, Counterexample, ExploreLimits, ExploreReport, ExploreStats, GraphEdge,
+    GraphNode, Model, ReplayOutcome, StateGraph,
+};
+pub use server::{
+    MActive, MCompleted, MOutcomeLabel, MPending, MShard, MStats, OracleKey, OracleVal, SPhase,
+    ServerModel, ServerState,
+};
+pub use session::{
+    close_session, MEvent, MPhase, MSessionState, MStepRecord, MWe, MWeOutcome, NeedVerdict,
+    SessionModel,
+};
+pub use trace::TraceArtifact;

@@ -1,0 +1,1091 @@
+//! Server-level model: exhaustive interleaving exploration of the
+//! sharded `DiagnosticsServer` scheduler.
+//!
+//! The mirror keeps the real shard tick structure — shed, admit, step
+//! with per-lane budgets, harvest in admission order, per-device health
+//! strikes — and replaces the two physical inputs with oracle draws:
+//! QC verdicts (per acquisition attempt) and chaos stalls/aborts (per
+//! admitted device). The *oracle* — the map of resolved draws — lives in
+//! the state, so a terminal state's identity includes exactly which
+//! nondeterminism produced it; that is what makes the single-digest
+//! theorem expressible: all interleavings under one oracle must reach
+//! one terminal state.
+//!
+//! Shard ticks are made atomic through *park-and-rerun*: a tick runs
+//! over a clone of the shard, and the moment it needs an oracle entry
+//! that does not exist yet it discards the clone and parks on the
+//! missing key. The explorer then branches on that key's menu, extends
+//! the oracle, and reruns the tick — which, being deterministic, repeats
+//! itself exactly up to the park point. No half-ticked shard is ever a
+//! state, so interleaving granularity is whole shard ticks, matching the
+//! real server's `par_map_mut` fan-out.
+
+use crate::canon::{canon_hash, CanonEncode};
+use crate::config::{Interleave, MVerdict, Mutation, ServerModelConfig};
+use crate::error::ModelError;
+use crate::explore::{Choice, Model};
+use crate::session::{check_machine, MSessionState};
+use bios_server::ServiceTier;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Stable rank for canonical encoding of the real [`ServiceTier`].
+fn tier_rank(tier: ServiceTier) -> u8 {
+    match tier {
+        ServiceTier::BestEffort => 0,
+        ServiceTier::Routine => 1,
+        ServiceTier::Stat => 2,
+    }
+}
+
+/// One undrawn unit of nondeterminism the oracle can be asked for.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum OracleKey {
+    /// The QC verdict of one acquisition attempt.
+    Verdict {
+        /// Requesting device.
+        device: u64,
+        /// Electrode slot within the session.
+        we: u8,
+        /// 0-based attempt.
+        attempt: u32,
+    },
+    /// One device's admission-time chaos draw.
+    Chaos {
+        /// The admitted device.
+        device: u64,
+    },
+}
+
+impl CanonEncode for OracleKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OracleKey::Verdict {
+                device,
+                we,
+                attempt,
+            } => {
+                0u8.encode(out);
+                device.encode(out);
+                we.encode(out);
+                attempt.encode(out);
+            }
+            OracleKey::Chaos { device } => {
+                1u8.encode(out);
+                device.encode(out);
+            }
+        }
+    }
+}
+
+/// A resolved oracle entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVal {
+    /// A drawn QC verdict.
+    Verdict(MVerdict),
+    /// A drawn chaos assignment.
+    Chaos {
+        /// Stall ticks before the session first wakes.
+        stall: u64,
+        /// Abort after this many session steps, if set.
+        abort: Option<u64>,
+    },
+}
+
+impl CanonEncode for OracleVal {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OracleVal::Verdict(v) => {
+                0u8.encode(out);
+                v.encode(out);
+            }
+            OracleVal::Chaos { stall, abort } => {
+                1u8.encode(out);
+                stall.encode(out);
+                abort.encode(out);
+            }
+        }
+    }
+}
+
+/// A queued, not-yet-admitted request (mirror of `Pending`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MPending {
+    /// Requesting device.
+    pub device: u64,
+    /// Real service tier (its real `Ord` drives the shed scan).
+    pub tier: ServiceTier,
+}
+
+impl CanonEncode for MPending {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.device.encode(out);
+        tier_rank(self.tier).encode(out);
+    }
+}
+
+/// One in-flight session (mirror of `Active`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MActive {
+    /// Requesting device.
+    pub device: u64,
+    /// Real service tier.
+    pub tier: ServiceTier,
+    /// The embedded session mirror.
+    pub session: MSessionState,
+    /// Tick the session was admitted.
+    pub admitted: u64,
+    /// Not stepped before this tick (chaos stall or backoff).
+    pub wake: u64,
+    /// Chaos: tear down once `session.steps_taken` reaches this.
+    pub abort_after: Option<u64>,
+}
+
+impl CanonEncode for MActive {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.device.encode(out);
+        tier_rank(self.tier).encode(out);
+        self.session.encode(out);
+        self.admitted.encode(out);
+        self.wake.encode(out);
+        self.abort_after.encode(out);
+    }
+}
+
+/// How one admitted unit left the model server (mirror of the
+/// `SessionOutcome` label space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MOutcomeLabel {
+    /// Ran to completion (possibly degraded).
+    Completed,
+    /// Cut by the deadline.
+    DeadlineMiss,
+    /// Torn down by a chaos abort.
+    Aborted,
+    /// Shed from the queue under overload; never ran.
+    Shed,
+}
+
+impl MOutcomeLabel {
+    fn tag(self) -> u8 {
+        match self {
+            MOutcomeLabel::Completed => 0,
+            MOutcomeLabel::DeadlineMiss => 1,
+            MOutcomeLabel::Aborted => 2,
+            MOutcomeLabel::Shed => 3,
+        }
+    }
+}
+
+impl CanonEncode for MOutcomeLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag().encode(out);
+    }
+}
+
+/// One served unit (mirror of `CompletedSession`, payloads abstracted
+/// to the bits health accounting and conservation read).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MCompleted {
+    /// Requesting device.
+    pub device: u64,
+    /// Real service tier.
+    pub tier: ServiceTier,
+    /// Terminal label.
+    pub label: MOutcomeLabel,
+    /// The health-accounting bit: counts as a failure strike.
+    pub failed: bool,
+}
+
+impl CanonEncode for MCompleted {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.device.encode(out);
+        tier_rank(self.tier).encode(out);
+        self.label.encode(out);
+        self.failed.encode(out);
+    }
+}
+
+/// One shard (mirror of `Shard`, minus latency plumbing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MShard {
+    /// Admission queue, front first.
+    pub queue: Vec<MPending>,
+    /// In-flight sessions, admission order.
+    pub active: Vec<MActive>,
+    /// Consecutive-failure strikes per device.
+    pub strikes: BTreeMap<u64, u32>,
+    /// Fleet-quarantined devices.
+    pub quarantined: BTreeSet<u64>,
+    /// Served units, completion order.
+    pub completed: Vec<MCompleted>,
+}
+
+impl CanonEncode for MShard {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.queue.encode(out);
+        self.active.encode(out);
+        self.strikes.encode(out);
+        self.quarantined.encode(out);
+        self.completed.encode(out);
+    }
+}
+
+/// Cumulative counters (mirror of the relevant `ServerStats` slice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MStats {
+    /// Units harvested to a terminal outcome (not counting sheds).
+    pub served: u64,
+    /// Units shed under overload.
+    pub shed: u64,
+    /// Deadline cuts among the served.
+    pub deadline_misses: u64,
+    /// Chaos aborts among the served.
+    pub aborted: u64,
+    /// Session steps executed.
+    pub steps: u64,
+}
+
+impl CanonEncode for MStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.served.encode(out);
+        self.shed.encode(out);
+        self.deadline_misses.encode(out);
+        self.aborted.encode(out);
+        self.steps.encode(out);
+    }
+}
+
+/// Where the scheduler is between choices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SPhase {
+    /// Mid-round: unticked shards are enabled.
+    Running,
+    /// A shard's tick parked on a missing oracle entry; the only enabled
+    /// choices extend the oracle at `key`.
+    NeedChoice {
+        /// The parked shard.
+        shard: u8,
+        /// The missing entry.
+        key: OracleKey,
+    },
+    /// The server is idle: every queue and active set drained.
+    Done,
+}
+
+impl CanonEncode for SPhase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SPhase::Running => 0u8.encode(out),
+            SPhase::NeedChoice { shard, key } => {
+                1u8.encode(out);
+                shard.encode(out);
+                key.encode(out);
+            }
+            SPhase::Done => 2u8.encode(out),
+        }
+    }
+}
+
+/// The whole server-model state: shards, clock, resolved nondeterminism
+/// and scheduler phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerState {
+    /// The shard fleet.
+    pub shards: Vec<MShard>,
+    /// Virtual tick.
+    pub now: u64,
+    /// Shards already ticked this round.
+    pub ticked: BTreeSet<u8>,
+    /// Every draw resolved so far.
+    pub oracle: BTreeMap<OracleKey, OracleVal>,
+    /// Cumulative counters.
+    pub stats: MStats,
+    /// Scheduler phase.
+    pub phase: SPhase,
+}
+
+impl CanonEncode for ServerState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shards.encode(out);
+        self.now.encode(out);
+        self.ticked.encode(out);
+        self.oracle.encode(out);
+        self.stats.encode(out);
+        self.phase.encode(out);
+    }
+}
+
+impl ServerState {
+    /// True once every queue and active set is empty.
+    pub fn idle(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.active.is_empty())
+    }
+}
+
+/// What one shard-tick attempt produced.
+enum TickOutcome {
+    /// The tick needs an oracle entry that does not exist; the shard was
+    /// left untouched.
+    Parked(OracleKey),
+    /// The tick ran to completion over a clone.
+    Ran {
+        shard: MShard,
+        served: u64,
+        shed: u64,
+        deadline_misses: u64,
+        aborted: u64,
+        steps: u64,
+    },
+}
+
+/// The server-level model.
+#[derive(Debug, Clone)]
+pub struct ServerModel {
+    cfg: ServerModelConfig,
+    /// Requests each shard starts with (conservation baseline).
+    initial_load: Vec<u64>,
+    /// Upper bound on `now` before quiescence must have happened.
+    quiesce_bound: u64,
+}
+
+impl ServerModel {
+    /// Builds the model, validating the config.
+    pub fn new(cfg: ServerModelConfig) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        let shards = cfg.shards as u64;
+        let mut initial_load = vec![0u64; cfg.shards as usize];
+        for r in &cfg.requests {
+            initial_load[(r.device % shards) as usize] += 1;
+        }
+        let max_stall = cfg.stall_choices.iter().copied().max().unwrap_or(0);
+        let quiesce_bound =
+            (cfg.requests.len() as u64 + 1) * (cfg.deadline_ticks + max_stall + 2) + 8;
+        Ok(Self {
+            cfg,
+            initial_load,
+            quiesce_bound,
+        })
+    }
+
+    /// The configuration being explored.
+    pub fn config(&self) -> &ServerModelConfig {
+        &self.cfg
+    }
+
+    /// Shards enabled at a `Running` state, lowest first.
+    fn enabled(&self, state: &ServerState) -> Vec<u8> {
+        (0..self.cfg.shards)
+            .filter(|s| !state.ticked.contains(s))
+            .collect()
+    }
+
+    /// Runs one whole shard tick over a clone (pure in `state`); parks
+    /// instead of guessing whenever a draw is unresolved.
+    fn run_shard_tick(
+        &self,
+        state: &ServerState,
+        shard_idx: u8,
+    ) -> Result<TickOutcome, ModelError> {
+        let shard_ref = state
+            .shards
+            .get(shard_idx as usize)
+            .ok_or_else(|| ModelError::internal("shard index out of range"))?;
+        let mut shard = shard_ref.clone();
+        let now = state.now;
+        let cfg = &self.cfg;
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        let mut deadline_misses = 0u64;
+        let mut aborted = 0u64;
+        let mut steps = 0u64;
+
+        // Phase 1 — shed: mirror of `shed_excess` (lowest tier first;
+        // among equals the freshest, via the `<=` scan keeping the last).
+        while shard.queue.len() > cfg.shed_watermark {
+            let mut worst_idx = 0usize;
+            let mut worst_tier = ServiceTier::Stat;
+            for (i, p) in shard.queue.iter().enumerate() {
+                if p.tier <= worst_tier {
+                    worst_tier = p.tier;
+                    worst_idx = i;
+                }
+            }
+            let victim = shard.queue.remove(worst_idx);
+            if cfg.session.mutation == Mutation::SilentShed {
+                // Seeded corruption: the unit vanishes with no record.
+                continue;
+            }
+            shard.completed.push(MCompleted {
+                device: victim.device,
+                tier: victim.tier,
+                label: MOutcomeLabel::Shed,
+                failed: false,
+            });
+            shed += 1;
+        }
+
+        // Phase 2 — admit: mirror of `admit`, drawing chaos from the
+        // oracle (parking when the draw is unresolved).
+        while shard.active.len() < cfg.max_active_per_shard && !shard.queue.is_empty() {
+            let key = OracleKey::Chaos {
+                device: shard.queue[0].device,
+            };
+            let (stall, abort_after) = match state.oracle.get(&key) {
+                Some(OracleVal::Chaos { stall, abort }) => (*stall, *abort),
+                Some(OracleVal::Verdict(_)) => {
+                    return Err(ModelError::internal("verdict stored under a chaos key"));
+                }
+                None => return Ok(TickOutcome::Parked(key)),
+            };
+            let pending = shard.queue.remove(0);
+            shard.active.push(MActive {
+                device: pending.device,
+                tier: pending.tier,
+                session: MSessionState::new(cfg.session.electrodes),
+                admitted: now,
+                wake: now + stall,
+                abort_after,
+            });
+        }
+
+        // Phase 3 — step: mirror of `step_active` (per-lane budgets,
+        // sleeping lanes burn deadline budget, aborts checked before
+        // each step, a backoff parks the lane until its wake tick).
+        let lane_count = shard.active.len();
+        let mut outcomes: Vec<Option<MOutcomeLabel>> = vec![None; lane_count];
+        let mut sleeping = vec![false; lane_count];
+        let mut expired = vec![false; lane_count];
+        for (idx, lane) in shard.active.iter().enumerate() {
+            expired[idx] = now.saturating_sub(lane.admitted) >= cfg.deadline_ticks;
+            if lane.wake > now {
+                sleeping[idx] = true;
+                if expired[idx] {
+                    outcomes[idx] = Some(MOutcomeLabel::DeadlineMiss);
+                }
+            }
+        }
+        for idx in 0..lane_count {
+            if sleeping[idx] {
+                continue;
+            }
+            let mut budget = cfg.steps_per_tick;
+            loop {
+                if budget == 0 {
+                    break;
+                }
+                let lane = &mut shard.active[idx];
+                if lane.session.is_done() {
+                    break;
+                }
+                if let Some(limit) = lane.abort_after {
+                    if lane.session.steps_taken >= limit {
+                        outcomes[idx] = Some(MOutcomeLabel::Aborted);
+                        break;
+                    }
+                }
+                let verdict = match lane.session.next_needs_verdict() {
+                    Some(need) => {
+                        let key = OracleKey::Verdict {
+                            device: lane.device,
+                            we: need.slot,
+                            attempt: need.attempt,
+                        };
+                        match state.oracle.get(&key) {
+                            Some(OracleVal::Verdict(v)) => Some(*v),
+                            Some(OracleVal::Chaos { .. }) => {
+                                return Err(ModelError::internal(
+                                    "chaos stored under a verdict key",
+                                ));
+                            }
+                            None => return Ok(TickOutcome::Parked(key)),
+                        }
+                    }
+                    None => None,
+                };
+                let record = lane.session.step(&cfg.session, verdict)?;
+                steps += 1;
+                budget -= 1;
+                if let crate::session::MEvent::BackedOff { delay_ticks } = record.event {
+                    lane.wake = now + delay_ticks.max(1);
+                    break;
+                }
+            }
+        }
+
+        // Phase 4 — harvest: mirror of the terminal sweep (recorded
+        // outcomes first, sleeping lanes skipped, done lanes finish,
+        // expired lanes cut), reverse removal, admission-order restore.
+        let mut finished: Vec<(usize, MOutcomeLabel)> = Vec::new();
+        for idx in 0..lane_count {
+            if let Some(label) = outcomes[idx].take() {
+                finished.push((idx, label));
+                continue;
+            }
+            if sleeping[idx] {
+                continue;
+            }
+            if shard.active[idx].session.is_done() {
+                finished.push((idx, MOutcomeLabel::Completed));
+            } else if expired[idx] {
+                finished.push((idx, MOutcomeLabel::DeadlineMiss));
+            }
+        }
+        let harvested = finished.len();
+        for (idx, label) in finished.into_iter().rev() {
+            let lane = shard.active.remove(idx);
+            match label {
+                MOutcomeLabel::DeadlineMiss => deadline_misses += 1,
+                MOutcomeLabel::Aborted => aborted += 1,
+                MOutcomeLabel::Completed | MOutcomeLabel::Shed => {}
+            }
+            let failed = match label {
+                MOutcomeLabel::Completed => lane
+                    .session
+                    .machines
+                    .iter()
+                    .filter_map(|m| m.outcome.as_ref())
+                    .any(|o| o.failed || o.quarantined),
+                MOutcomeLabel::DeadlineMiss | MOutcomeLabel::Aborted => true,
+                MOutcomeLabel::Shed => false,
+            };
+            if failed {
+                let strikes = shard.strikes.entry(lane.device).or_insert(0);
+                *strikes += 1;
+                if *strikes >= cfg.quarantine_threshold {
+                    shard.quarantined.insert(lane.device);
+                }
+            } else {
+                shard.strikes.remove(&lane.device);
+            }
+            served += 1;
+            shard.completed.push(MCompleted {
+                device: lane.device,
+                tier: lane.tier,
+                label,
+                failed,
+            });
+        }
+        let len = shard.completed.len();
+        shard.completed[len - harvested..].reverse();
+
+        Ok(TickOutcome::Ran {
+            shard,
+            served,
+            shed,
+            deadline_misses,
+            aborted,
+            steps,
+        })
+    }
+
+    /// Commits a completed tick into `state`: swaps the shard in, merges
+    /// counters, marks the shard ticked, and closes the round when every
+    /// shard has ticked (clock advance, idle detection).
+    fn commit_tick(&self, state: &mut ServerState, shard_idx: u8, outcome: TickOutcome) {
+        if let TickOutcome::Ran {
+            shard,
+            served,
+            shed,
+            deadline_misses,
+            aborted,
+            steps,
+        } = outcome
+        {
+            state.shards[shard_idx as usize] = shard;
+            state.stats.served += served;
+            state.stats.shed += shed;
+            state.stats.deadline_misses += deadline_misses;
+            state.stats.aborted += aborted;
+            state.stats.steps += steps;
+            state.ticked.insert(shard_idx);
+            state.phase = SPhase::Running;
+            if state.ticked.len() == self.cfg.shards as usize {
+                // Round boundary: the only place the clock moves and the
+                // only place termination is detected, so every
+                // interleaving of a round converges before `Done` can be
+                // declared.
+                state.now += 1;
+                state.ticked.clear();
+                if state.idle() {
+                    state.phase = SPhase::Done;
+                }
+            }
+        }
+    }
+
+    /// Ticks one shard with every park resolved by the config's default
+    /// draws (written into a scratch oracle) — the deterministic closure
+    /// used by the commutation probe.
+    fn tick_with_defaults(&self, state: &mut ServerState, shard_idx: u8) -> Result<(), ModelError> {
+        loop {
+            match self.run_shard_tick(state, shard_idx)? {
+                TickOutcome::Parked(key) => {
+                    let val = match key {
+                        OracleKey::Verdict { .. } => {
+                            OracleVal::Verdict(self.cfg.session.default_verdict()?)
+                        }
+                        OracleKey::Chaos { .. } => {
+                            let (stall, abort) = self.cfg.default_chaos()?;
+                            OracleVal::Chaos { stall, abort }
+                        }
+                    };
+                    state.oracle.insert(key, val);
+                }
+                ran @ TickOutcome::Ran { .. } => {
+                    self.commit_tick(state, shard_idx, ran);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// The DPOR justification, checked rather than assumed: at a state
+    /// where shards `i` and `j` are both enabled, ticking `i` then `j`
+    /// must reach exactly the state of ticking `j` then `i` (parks
+    /// resolved identically by default draws on both sides).
+    fn check_commutation(&self, state: &ServerState, i: u8, j: u8) -> Result<(), String> {
+        let probe = |first: u8, second: u8| -> Result<u128, ModelError> {
+            let mut s = state.clone();
+            self.tick_with_defaults(&mut s, first)?;
+            self.tick_with_defaults(&mut s, second)?;
+            Ok(canon_hash(&s))
+        };
+        let ij = probe(i, j).map_err(|e| format!("commutation probe failed: {e}"))?;
+        let ji = probe(j, i).map_err(|e| format!("commutation probe failed: {e}"))?;
+        if ij != ji {
+            return Err(format!(
+                "interleaving pruning unsound: shard {i} and shard {j} ticks do not \
+                 commute at this state ({ij:032x} vs {ji:032x})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Model for ServerModel {
+    type State = ServerState;
+
+    fn initial(&self) -> Result<ServerState, ModelError> {
+        let mut shards: Vec<MShard> = (0..self.cfg.shards).map(|_| MShard::default()).collect();
+        let n = self.cfg.shards as u64;
+        for r in &self.cfg.requests {
+            shards[(r.device % n) as usize].queue.push(MPending {
+                device: r.device,
+                tier: r.tier,
+            });
+        }
+        Ok(ServerState {
+            shards,
+            now: 0,
+            ticked: BTreeSet::new(),
+            oracle: BTreeMap::new(),
+            stats: MStats::default(),
+            phase: SPhase::Running,
+        })
+    }
+
+    fn choices(&self, state: &ServerState, out: &mut Vec<Choice>) {
+        match &state.phase {
+            SPhase::Done => {}
+            SPhase::NeedChoice { key, .. } => match key {
+                OracleKey::Verdict {
+                    device,
+                    we,
+                    attempt,
+                } => {
+                    for v in &self.cfg.session.alphabet {
+                        out.push(Choice::Verdict {
+                            device: *device,
+                            we: *we,
+                            attempt: *attempt,
+                            verdict: *v,
+                        });
+                    }
+                }
+                OracleKey::Chaos { device } => {
+                    for stall in &self.cfg.stall_choices {
+                        for abort in &self.cfg.abort_choices {
+                            out.push(Choice::Chaos {
+                                device: *device,
+                                stall: *stall,
+                                abort: *abort,
+                            });
+                        }
+                    }
+                }
+            },
+            SPhase::Running => {
+                let enabled = self.enabled(state);
+                match self.cfg.interleave {
+                    Interleave::Full => {
+                        for s in enabled {
+                            out.push(Choice::Shard { shard: s });
+                        }
+                    }
+                    Interleave::Pruned => {
+                        if let Some(&s) = enabled.first() {
+                            out.push(Choice::Shard { shard: s });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&self, state: &ServerState, choice: &Choice) -> Result<ServerState, ModelError> {
+        let mut next = state.clone();
+        match (&state.phase, choice) {
+            (SPhase::Running, Choice::Shard { shard }) => {
+                if state.ticked.contains(shard) || *shard >= self.cfg.shards {
+                    return Err(ModelError::invalid_choice(format!(
+                        "shard {shard} is not enabled in this round"
+                    )));
+                }
+                match self.run_shard_tick(&next, *shard)? {
+                    TickOutcome::Parked(key) => {
+                        next.phase = SPhase::NeedChoice { shard: *shard, key };
+                    }
+                    ran @ TickOutcome::Ran { .. } => self.commit_tick(&mut next, *shard, ran),
+                }
+            }
+            (SPhase::NeedChoice { shard, key }, _) => {
+                let (expect_key, val) = match choice {
+                    Choice::Verdict {
+                        device,
+                        we,
+                        attempt,
+                        verdict,
+                    } => {
+                        if !self.cfg.session.alphabet.contains(verdict) {
+                            return Err(ModelError::invalid_choice(
+                                "verdict outside the configured alphabet",
+                            ));
+                        }
+                        (
+                            OracleKey::Verdict {
+                                device: *device,
+                                we: *we,
+                                attempt: *attempt,
+                            },
+                            OracleVal::Verdict(*verdict),
+                        )
+                    }
+                    Choice::Chaos {
+                        device,
+                        stall,
+                        abort,
+                    } => {
+                        if !self.cfg.stall_choices.contains(stall)
+                            || !self.cfg.abort_choices.contains(abort)
+                        {
+                            return Err(ModelError::invalid_choice(
+                                "chaos draw outside the configured menus",
+                            ));
+                        }
+                        (
+                            OracleKey::Chaos { device: *device },
+                            OracleVal::Chaos {
+                                stall: *stall,
+                                abort: *abort,
+                            },
+                        )
+                    }
+                    other => {
+                        return Err(ModelError::invalid_choice(format!(
+                            "parked on an oracle draw; `{other}` cannot resolve it"
+                        )));
+                    }
+                };
+                if expect_key != *key {
+                    return Err(ModelError::invalid_choice(
+                        "choice resolves a different oracle key than the parked one",
+                    ));
+                }
+                if next.oracle.insert(expect_key, val).is_some() {
+                    return Err(ModelError::internal("oracle key resolved twice"));
+                }
+                let shard = *shard;
+                next.phase = SPhase::Running;
+                match self.run_shard_tick(&next, shard)? {
+                    TickOutcome::Parked(key) => {
+                        next.phase = SPhase::NeedChoice { shard, key };
+                    }
+                    ran @ TickOutcome::Ran { .. } => self.commit_tick(&mut next, shard, ran),
+                }
+            }
+            (SPhase::Done, _) | (SPhase::Running, _) => {
+                return Err(ModelError::invalid_choice(format!(
+                    "choice `{choice}` is not enabled in this phase"
+                )));
+            }
+        }
+        Ok(next)
+    }
+
+    fn is_terminal(&self, state: &ServerState) -> bool {
+        state.phase == SPhase::Done
+    }
+
+    fn check(&self, state: &ServerState) -> Result<(), String> {
+        // Per-machine safety, shared with the session model.
+        for shard in &state.shards {
+            for lane in &shard.active {
+                for m in &lane.session.machines {
+                    check_machine(m, &self.cfg.session)?;
+                }
+                if state.now.saturating_sub(lane.admitted) > self.cfg.deadline_ticks {
+                    return Err(format!(
+                        "deadline enforcement broken: device {} has been in flight \
+                         {} ticks, deadline is {}",
+                        lane.device,
+                        state.now - lane.admitted,
+                        self.cfg.deadline_ticks
+                    ));
+                }
+            }
+            // Structural bounds the real server guarantees.
+            if shard.queue.len() > self.cfg.queue_capacity {
+                return Err(format!(
+                    "queue bound broken: {} queued, capacity {}",
+                    shard.queue.len(),
+                    self.cfg.queue_capacity
+                ));
+            }
+            if shard.active.len() > self.cfg.max_active_per_shard {
+                return Err(format!(
+                    "active bound broken: {} in flight, bound {}",
+                    shard.active.len(),
+                    self.cfg.max_active_per_shard
+                ));
+            }
+            for (device, strikes) in &shard.strikes {
+                if *strikes >= self.cfg.quarantine_threshold && !shard.quarantined.contains(device)
+                {
+                    return Err(format!(
+                        "quarantine enforcement broken: device {device} has {strikes} \
+                         strikes (threshold {}) but is not quarantined",
+                        self.cfg.quarantine_threshold
+                    ));
+                }
+            }
+        }
+        // Conservation: every admitted unit is queued, in flight, or
+        // reported — nothing vanishes, every shed unit is reported.
+        for (idx, shard) in state.shards.iter().enumerate() {
+            let accounted = shard.queue.len() + shard.active.len() + shard.completed.len();
+            if accounted as u64 != self.initial_load[idx] {
+                return Err(format!(
+                    "conservation broken on shard {idx}: {} units admitted, only \
+                     {accounted} accounted for (queued + in-flight + reported)",
+                    self.initial_load[idx]
+                ));
+            }
+        }
+        // Stats agree with the reported outcomes unit for unit.
+        let mut shed = 0u64;
+        let mut served = 0u64;
+        let mut misses = 0u64;
+        let mut aborted = 0u64;
+        for shard in &state.shards {
+            for c in &shard.completed {
+                match c.label {
+                    MOutcomeLabel::Shed => shed += 1,
+                    MOutcomeLabel::Completed => served += 1,
+                    MOutcomeLabel::DeadlineMiss => {
+                        served += 1;
+                        misses += 1;
+                    }
+                    MOutcomeLabel::Aborted => {
+                        served += 1;
+                        aborted += 1;
+                    }
+                }
+            }
+        }
+        if shed != state.stats.shed
+            || served != state.stats.served
+            || misses != state.stats.deadline_misses
+            || aborted != state.stats.aborted
+        {
+            return Err(format!(
+                "stats drift from reported outcomes: counters say served={} shed={} \
+                 misses={} aborted={}, outcomes say served={served} shed={shed} \
+                 misses={misses} aborted={aborted}",
+                state.stats.served,
+                state.stats.shed,
+                state.stats.deadline_misses,
+                state.stats.aborted
+            ));
+        }
+        // Liveness bound: the scheduler must quiesce within the budget a
+        // faithful config implies.
+        if state.now > self.quiesce_bound {
+            return Err(format!(
+                "quiescence broken: tick {} exceeds the bound {} implied by the \
+                 deadline and stall menus",
+                state.now, self.quiesce_bound
+            ));
+        }
+        if state.phase == SPhase::Done && !state.idle() {
+            return Err("phase is Done but work remains queued or in flight".to_string());
+        }
+        // The pruning justification, verified at every real branch point.
+        if self.cfg.interleave == Interleave::Pruned
+            && self.cfg.check_commutation
+            && state.phase == SPhase::Running
+        {
+            let enabled = self.enabled(state);
+            for a in 0..enabled.len() {
+                for b in (a + 1)..enabled.len() {
+                    self.check_commutation(state, enabled[a], enabled[b])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn terminal_label(&self, state: &ServerState) -> Option<&'static str> {
+        if state.phase != SPhase::Done {
+            return None;
+        }
+        let any_quarantined = state.shards.iter().any(|s| !s.quarantined.is_empty());
+        if any_quarantined {
+            return Some("quarantined-device");
+        }
+        if state.stats.shed > 0 {
+            return Some("shed");
+        }
+        if state.stats.deadline_misses > 0 || state.stats.aborted > 0 {
+            return Some("degraded");
+        }
+        let any_failed = state
+            .shards
+            .iter()
+            .flat_map(|s| s.completed.iter())
+            .any(|c| c.failed);
+        Some(if any_failed {
+            "failed-session"
+        } else {
+            "served-clean"
+        })
+    }
+
+    fn terminal_class(&self, state: &ServerState) -> Option<u128> {
+        (state.phase == SPhase::Done).then(|| canon_hash(&state.oracle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MRequest, SessionModelConfig};
+    use crate::explore::{explore, ExploreLimits};
+    use bios_platform::RetryPolicy;
+
+    fn small_session() -> SessionModelConfig {
+        let retry = RetryPolicy {
+            max_retries: 1,
+            quarantine_after: 2,
+            ..RetryPolicy::default()
+        };
+        SessionModelConfig::new(1, retry)
+    }
+
+    fn two_requests() -> Vec<MRequest> {
+        vec![
+            MRequest {
+                device: 0,
+                tier: ServiceTier::Stat,
+            },
+            MRequest {
+                device: 1,
+                tier: ServiceTier::Routine,
+            },
+        ]
+    }
+
+    #[test]
+    fn pruned_exploration_is_clean_and_reproducible() {
+        let cfg = ServerModelConfig::new(2, two_requests(), small_session());
+        let model = ServerModel::new(cfg).expect("valid");
+        let a = explore(&model, &ExploreLimits::default());
+        assert!(a.violation.is_none(), "{:?}", a.violation);
+        assert!(!a.truncated);
+        let b = explore(&model, &ExploreLimits::default());
+        assert_eq!(a.stats, b.stats);
+        assert!(a.stats.terminal_states >= 1);
+        // Every terminal state sits in its own oracle class.
+        assert_eq!(a.stats.terminal_states, a.stats.terminal_classes);
+    }
+
+    #[test]
+    fn full_interleaving_proves_the_single_digest_theorem() {
+        let cfg = ServerModelConfig::new(2, two_requests(), small_session())
+            .with_interleave(Interleave::Full);
+        let model = ServerModel::new(cfg).expect("valid");
+        let report = explore(&model, &ExploreLimits::default());
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(!report.truncated);
+        assert_eq!(report.stats.terminal_states, report.stats.terminal_classes);
+    }
+
+    #[test]
+    fn chaos_menus_reach_aborts_and_deadline_misses() {
+        let cfg = ServerModelConfig::new(2, two_requests(), small_session())
+            .with_stall_choices(vec![0, 3])
+            .with_abort_choices(vec![None, Some(2)])
+            .with_deadline_ticks(4);
+        let model = ServerModel::new(cfg).expect("valid");
+        let report = explore(&model, &ExploreLimits::default());
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.stats.terminal_classes > 2);
+    }
+
+    #[test]
+    fn silent_shed_mutation_breaks_conservation_with_a_trace() {
+        let session = small_session().with_mutation(Mutation::SilentShed);
+        let requests: Vec<MRequest> = (0..3)
+            .map(|d| MRequest {
+                device: d * 2, // all route to shard 0
+                tier: ServiceTier::BestEffort,
+            })
+            .collect();
+        let cfg = ServerModelConfig::new(2, requests, session).with_shed_watermark(1);
+        let model = ServerModel::new(cfg).expect("valid");
+        let report = explore(&model, &ExploreLimits::default());
+        let cx = report.violation.expect("silent shed must be caught");
+        assert!(cx.violation.contains("conservation"), "{}", cx.violation);
+        assert!(!cx.trace.is_empty());
+    }
+
+    #[test]
+    fn overload_sheds_lowest_tier_and_reports_it() {
+        let requests = vec![
+            MRequest {
+                device: 0,
+                tier: ServiceTier::Stat,
+            },
+            MRequest {
+                device: 2,
+                tier: ServiceTier::BestEffort,
+            },
+            MRequest {
+                device: 4,
+                tier: ServiceTier::Routine,
+            },
+        ];
+        let cfg = ServerModelConfig::new(2, requests, small_session())
+            .with_shed_watermark(2)
+            .with_max_active(1);
+        let model = ServerModel::new(cfg).expect("valid");
+        let report = explore(&model, &ExploreLimits::default());
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        // The shed victim is always the best-effort unit, and it is
+        // reported in every terminal state.
+        assert!(report.stats.terminal_states >= 1);
+    }
+}

@@ -1,0 +1,659 @@
+//! Session-level model: a faithful, abstracted mirror of the
+//! `WeMachine`/`SessionMachine` transition relation.
+//!
+//! The mirror keeps everything that decides *control flow* — phases,
+//! attempt counters, retry slots, the round-robin cursor, the exact
+//! `Qc` decision structure — and abstracts exactly one thing: the
+//! acquisition outcome, which becomes an injected [`MVerdict`] instead
+//! of a physics run. Backoff delays and budget arithmetic are computed
+//! by the *real* [`RetryPolicy`], so a backoff bug in `bios-platform`
+//! is a backoff bug here. The conformance tests drive the real
+//! `SessionMachine` and this mirror side by side and require identical
+//! step/event traces on both clean and chronically-failing electrodes.
+//!
+//! [`RetryPolicy`]: bios_platform::RetryPolicy
+
+use crate::canon::{canon_hash, CanonEncode};
+use crate::config::{MVerdict, Mutation, SessionModelConfig};
+use crate::error::ModelError;
+use crate::explore::{Choice, Model};
+
+/// Mirror of `StepKind`: the phase one electrode machine is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MPhase {
+    /// Program the chain / BIST (folded into the verdict draw).
+    ApplyPotential,
+    /// Recall the QC baseline reference.
+    Settle,
+    /// One acquisition attempt: draws an [`MVerdict`] from the oracle.
+    Sample,
+    /// Screen the drawn verdict and decide accept / retry / reject.
+    Qc,
+    /// Spend one retry slot with the real backoff delay.
+    Backoff,
+    /// Flag the electrode as chronically failing.
+    Quarantine,
+    /// Terminal.
+    Done,
+}
+
+impl MPhase {
+    fn tag(self) -> u8 {
+        match self {
+            MPhase::ApplyPotential => 0,
+            MPhase::Settle => 1,
+            MPhase::Sample => 2,
+            MPhase::Qc => 3,
+            MPhase::Backoff => 4,
+            MPhase::Quarantine => 5,
+            MPhase::Done => 6,
+        }
+    }
+}
+
+impl CanonEncode for MPhase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.tag().encode(out);
+    }
+}
+
+impl CanonEncode for MVerdict {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            MVerdict::Pass => 0,
+            MVerdict::Fail => 1,
+            MVerdict::Err => 2,
+        };
+        tag.encode(out);
+    }
+}
+
+/// Mirror of `WeOutcome`'s provenance bits: what one electrode sealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MWeOutcome {
+    /// The final verdict was not an accept (mirror of `QcClass::Fail`).
+    pub failed: bool,
+    /// The electrode was quarantined at finalize.
+    pub quarantined: bool,
+    /// Attempts spent (`attempt + 1` at finalize).
+    pub attempts: u32,
+    /// Retry slots spent.
+    pub retry_slots: u32,
+}
+
+impl CanonEncode for MWeOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.failed.encode(out);
+        self.quarantined.encode(out);
+        self.attempts.encode(out);
+        self.retry_slots.encode(out);
+    }
+}
+
+/// Mirror of `WeMachine`: one electrode's control state.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MWe {
+    /// Current phase.
+    pub phase: MPhase,
+    /// 0-based attempt the next `Sample` will draw.
+    pub attempt: u32,
+    /// Retry slots spent so far.
+    pub retry_slots: u32,
+    /// Verdict parked between `Sample` and `Qc`.
+    pub pending: Option<MVerdict>,
+    /// Sealed outcome once finalized.
+    pub outcome: Option<MWeOutcome>,
+}
+
+impl MWe {
+    fn new() -> Self {
+        Self {
+            phase: MPhase::ApplyPotential,
+            attempt: 0,
+            retry_slots: 0,
+            pending: None,
+            outcome: None,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.phase == MPhase::Done
+    }
+}
+
+impl CanonEncode for MWe {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase.encode(out);
+        self.attempt.encode(out);
+        self.retry_slots.encode(out);
+        self.pending.encode(out);
+        self.outcome.encode(out);
+    }
+}
+
+/// What one model step did — mirror of `StepEvent`, minus payloads the
+/// abstraction drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MEvent {
+    /// An intermediate transition ran.
+    Progressed,
+    /// A retry slot was spent; `delay_ticks` comes from the real policy.
+    BackedOff {
+        /// Deterministic backoff delay from the real `RetryPolicy`.
+        delay_ticks: u64,
+    },
+    /// An electrode was quarantined.
+    Quarantined,
+    /// An electrode finished.
+    WeDone,
+    /// The session was already done.
+    SessionDone,
+}
+
+/// One executed step, for conformance comparison against the real
+/// machine's `(SessionStep, StepEvent)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MStepRecord {
+    /// Assignment slot that stepped.
+    pub slot: u8,
+    /// The attempt the step belonged to (pre-transition).
+    pub attempt: u32,
+    /// The phase that executed (pre-transition).
+    pub kind: MPhase,
+    /// What happened.
+    pub event: MEvent,
+}
+
+/// Why a step could not run without help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeedVerdict {
+    /// Slot whose `Sample` is blocked on an oracle draw.
+    pub slot: u8,
+    /// The attempt the draw is for.
+    pub attempt: u32,
+}
+
+/// Mirror of `SessionMachine` progress: the serializable state the
+/// checkpoint-closure invariant quantifies over.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MSessionState {
+    /// One machine per assignment slot.
+    pub machines: Vec<MWe>,
+    /// Round-robin cursor.
+    pub cursor: usize,
+    /// Steps executed so far (drives the server model's abort-after).
+    pub steps_taken: u64,
+}
+
+impl CanonEncode for MSessionState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.machines.encode(out);
+        self.cursor.encode(out);
+        self.steps_taken.encode(out);
+    }
+}
+
+impl MSessionState {
+    /// A fresh session over `electrodes` slots.
+    pub fn new(electrodes: u8) -> Self {
+        Self {
+            machines: (0..electrodes).map(|_| MWe::new()).collect(),
+            cursor: 0,
+            steps_taken: 0,
+        }
+    }
+
+    /// True once every electrode machine is `Done`.
+    pub fn is_done(&self) -> bool {
+        self.machines.iter().all(MWe::is_done)
+    }
+
+    /// The slot the round-robin scheduler steps next.
+    pub fn next_slot(&self) -> Option<usize> {
+        let n = self.machines.len();
+        (0..n)
+            .map(|k| (self.cursor + k) % n)
+            .find(|&slot| !self.machines[slot].is_done())
+    }
+
+    /// When the next transition is a `Sample`, the oracle draw it needs.
+    pub fn next_needs_verdict(&self) -> Option<NeedVerdict> {
+        let slot = self.next_slot()?;
+        let m = &self.machines[slot];
+        if m.phase == MPhase::Sample {
+            Some(NeedVerdict {
+                slot: slot as u8,
+                attempt: m.attempt,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Executes exactly one step (round-robin), mirroring
+    /// `SessionMachine::step`. A `Sample` transition consumes `verdict`;
+    /// every other transition requires `verdict` to be `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidChoice`] when the verdict supply does not
+    /// match the transition (the replay-integrity contract).
+    pub fn step(
+        &mut self,
+        cfg: &SessionModelConfig,
+        verdict: Option<MVerdict>,
+    ) -> Result<MStepRecord, ModelError> {
+        let Some(slot) = self.next_slot() else {
+            return Ok(MStepRecord {
+                slot: 0,
+                attempt: 0,
+                kind: MPhase::Done,
+                event: MEvent::SessionDone,
+            });
+        };
+        let record_kind = self.machines[slot].phase;
+        let record_attempt = self.machines[slot].attempt;
+        let event = advance_we(&mut self.machines[slot], cfg, verdict)?;
+        self.steps_taken += 1;
+        self.cursor = (slot + 1) % self.machines.len();
+        Ok(MStepRecord {
+            slot: slot as u8,
+            attempt: record_attempt,
+            kind: record_kind,
+            event,
+        })
+    }
+}
+
+/// Mirror of `WeMachine::advance`, transition for transition.
+fn advance_we(
+    m: &mut MWe,
+    cfg: &SessionModelConfig,
+    verdict: Option<MVerdict>,
+) -> Result<MEvent, ModelError> {
+    if m.phase != MPhase::Sample && verdict.is_some() {
+        return Err(ModelError::invalid_choice(
+            "verdict supplied to a non-Sample transition",
+        ));
+    }
+    match m.phase {
+        MPhase::ApplyPotential => {
+            // The BIST verdict the real machine computes here is folded
+            // into the merged verdict the oracle draws at Sample.
+            m.phase = MPhase::Settle;
+            Ok(MEvent::Progressed)
+        }
+        MPhase::Settle => {
+            m.phase = MPhase::Sample;
+            Ok(MEvent::Progressed)
+        }
+        MPhase::Sample => {
+            let v = verdict.ok_or_else(|| {
+                ModelError::invalid_choice("Sample transition without a verdict draw")
+            })?;
+            m.pending = Some(v);
+            m.phase = MPhase::Qc;
+            Ok(MEvent::Progressed)
+        }
+        MPhase::Qc => {
+            // Exhaustion mirrors the real machine bit for bit:
+            // `attempt >= max_retries`.
+            let exhausted = m.attempt as usize >= cfg.retry.max_retries;
+            let pending = m
+                .pending
+                .take()
+                .ok_or_else(|| ModelError::internal("Qc step without a parked verdict"))?;
+            match pending {
+                MVerdict::Pass => Ok(finalize_we(m, cfg, false)),
+                MVerdict::Fail | MVerdict::Err => {
+                    if exhausted {
+                        Ok(finalize_we(m, cfg, true))
+                    } else {
+                        m.phase = MPhase::Backoff;
+                        Ok(MEvent::Progressed)
+                    }
+                }
+            }
+        }
+        MPhase::Backoff => {
+            let delay_ticks = cfg.retry.backoff_ticks(m.attempt as usize);
+            m.retry_slots += 1;
+            if cfg.mutation != Mutation::SkipAttemptIncrement {
+                m.attempt += 1;
+            }
+            m.phase = MPhase::Sample;
+            Ok(MEvent::BackedOff { delay_ticks })
+        }
+        MPhase::Quarantine => {
+            m.phase = MPhase::Done;
+            Ok(MEvent::Quarantined)
+        }
+        MPhase::Done => Ok(MEvent::WeDone),
+    }
+}
+
+/// Mirror of `WeMachine::finalize`.
+fn finalize_we(m: &mut MWe, cfg: &SessionModelConfig, failed: bool) -> MEvent {
+    let attempts = m.attempt + 1;
+    let quarantine_now = failed && attempts as usize >= cfg.retry.quarantine_after;
+    m.outcome = Some(MWeOutcome {
+        failed,
+        quarantined: quarantine_now,
+        attempts,
+        retry_slots: m.retry_slots,
+    });
+    if quarantine_now {
+        m.phase = MPhase::Quarantine;
+        MEvent::Progressed
+    } else {
+        m.phase = MPhase::Done;
+        MEvent::WeDone
+    }
+}
+
+/// Per-machine safety invariants, shared with the server model (which
+/// embeds these machines inside its in-flight lanes).
+pub(crate) fn check_machine(m: &MWe, cfg: &SessionModelConfig) -> Result<(), String> {
+    if m.retry_slots != m.attempt {
+        return Err(format!(
+            "budget invariant broken: retry_slots={} != attempt={} \
+             (a retry slot was spent without advancing the attempt budget)",
+            m.retry_slots, m.attempt
+        ));
+    }
+    if m.attempt as usize > cfg.retry.max_retries {
+        return Err(format!(
+            "attempt budget exceeded: attempt={} > max_retries={}",
+            m.attempt, cfg.retry.max_retries
+        ));
+    }
+    let parked = m.pending.is_some();
+    let in_qc = m.phase == MPhase::Qc;
+    if parked != in_qc {
+        return Err(format!(
+            "parked verdict out of phase: pending={parked} in phase {:?}",
+            m.phase
+        ));
+    }
+    let sealed = m.outcome.is_some();
+    let terminal_ish = matches!(m.phase, MPhase::Quarantine | MPhase::Done);
+    if sealed != terminal_ish {
+        return Err(format!(
+            "sealed outcome out of phase: outcome={sealed} in phase {:?} \
+             (a Done machine without an outcome is a silent loss)",
+            m.phase
+        ));
+    }
+    if let Some(o) = &m.outcome {
+        if o.attempts != m.attempt + 1 {
+            return Err(format!(
+                "outcome attempts {} != attempt+1 {}",
+                o.attempts,
+                m.attempt + 1
+            ));
+        }
+        if o.attempts as usize > cfg.retry.attempt_budget() {
+            return Err(format!(
+                "outcome spent {} attempts, budget is {}",
+                o.attempts,
+                cfg.retry.attempt_budget()
+            ));
+        }
+        if o.quarantined && !o.failed {
+            return Err("quarantined electrode reported as not failed".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Runs a session state to completion, resolving every remaining oracle
+/// draw with the config's deterministic default — the "closure" of a
+/// checkpoint. Pure: equal states close to equal terminals.
+pub fn close_session(
+    cfg: &SessionModelConfig,
+    state: &MSessionState,
+) -> Result<MSessionState, String> {
+    let mut s = state.clone();
+    // Generous termination guard: a faithful config finishes a session in
+    // O(electrodes * attempts * phases) steps; a corrupted transition
+    // relation (e.g. a never-exhausting retry budget) trips this instead
+    // of hanging the checker.
+    let budget = 64 * (s.machines.len() as u64 + 1) * (cfg.retry.attempt_budget() as u64 + 1);
+    let mut fuel = budget;
+    while !s.is_done() {
+        if fuel == 0 {
+            return Err(format!(
+                "backoff-schedule termination broken: session still live after {budget} steps"
+            ));
+        }
+        fuel -= 1;
+        let verdict = match s.next_needs_verdict() {
+            Some(_) => Some(cfg.default_verdict().map_err(|e| e.to_string())?),
+            None => None,
+        };
+        s.step(cfg, verdict).map_err(|e| e.to_string())?;
+    }
+    Ok(s)
+}
+
+/// The session-level model: BFS over every reachable `MSessionState`
+/// for the configured bounded universe.
+#[derive(Debug, Clone)]
+pub struct SessionModel {
+    cfg: SessionModelConfig,
+}
+
+impl SessionModel {
+    /// Builds the model, validating the config.
+    pub fn new(cfg: SessionModelConfig) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// The configuration being explored.
+    pub fn config(&self) -> &SessionModelConfig {
+        &self.cfg
+    }
+
+    /// The checkpoint-closure invariant, generalized from the real
+    /// single-path test: serialize the state (the checkpoint), restore
+    /// it, close both to completion, and require identical terminals.
+    /// Runs on *every* reachable state, so every reachable checkpoint is
+    /// proven to re-converge.
+    fn check_closure(&self, state: &MSessionState) -> Result<(), String> {
+        let direct = close_session(&self.cfg, state)?;
+        let json = serde_json::to_string(state)
+            .map_err(|e| format!("checkpoint failed to serialize: {e}"))?;
+        let restored: MSessionState = serde_json::from_str(&json)
+            .map_err(|e| format!("checkpoint failed to restore: {e}"))?;
+        let resumed = close_session(&self.cfg, &restored)?;
+        if canon_hash(&direct) != canon_hash(&resumed) {
+            return Err(
+                "checkpoint closure broken: resuming from the serialized checkpoint \
+                 diverged from the uninterrupted run"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Model for SessionModel {
+    type State = MSessionState;
+
+    fn initial(&self) -> Result<MSessionState, ModelError> {
+        Ok(MSessionState::new(self.cfg.electrodes))
+    }
+
+    fn choices(&self, state: &MSessionState, out: &mut Vec<Choice>) {
+        if state.is_done() {
+            return;
+        }
+        match state.next_needs_verdict() {
+            Some(need) => {
+                for v in &self.cfg.alphabet {
+                    out.push(Choice::Verdict {
+                        device: 0,
+                        we: need.slot,
+                        attempt: need.attempt,
+                        verdict: *v,
+                    });
+                }
+            }
+            None => out.push(Choice::Step),
+        }
+    }
+
+    fn apply(&self, state: &MSessionState, choice: &Choice) -> Result<MSessionState, ModelError> {
+        let mut next = state.clone();
+        match choice {
+            Choice::Step => {
+                if next.next_needs_verdict().is_some() {
+                    return Err(ModelError::invalid_choice(
+                        "Step applied where a verdict draw was required",
+                    ));
+                }
+                next.step(&self.cfg, None)?;
+            }
+            Choice::Verdict {
+                we,
+                attempt,
+                verdict,
+                ..
+            } => {
+                let need = next.next_needs_verdict().ok_or_else(|| {
+                    ModelError::invalid_choice("verdict applied where no draw was pending")
+                })?;
+                if need.slot != *we || need.attempt != *attempt {
+                    return Err(ModelError::invalid_choice(format!(
+                        "verdict for slot {} attempt {} applied to a draw for slot {} attempt {}",
+                        we, attempt, need.slot, need.attempt
+                    )));
+                }
+                if !self.cfg.alphabet.contains(verdict) {
+                    return Err(ModelError::invalid_choice(
+                        "verdict outside the configured alphabet",
+                    ));
+                }
+                next.step(&self.cfg, Some(*verdict))?;
+            }
+            Choice::Chaos { .. } | Choice::Shard { .. } => {
+                return Err(ModelError::invalid_choice(
+                    "server-level choice applied to the session model",
+                ));
+            }
+        }
+        Ok(next)
+    }
+
+    fn is_terminal(&self, state: &MSessionState) -> bool {
+        state.is_done()
+    }
+
+    fn check(&self, state: &MSessionState) -> Result<(), String> {
+        for m in &state.machines {
+            check_machine(m, &self.cfg)?;
+        }
+        self.check_closure(state)
+    }
+
+    fn terminal_label(&self, state: &MSessionState) -> Option<&'static str> {
+        if !state.is_done() {
+            return None;
+        }
+        let mut quarantined = false;
+        let mut degraded = false;
+        for m in &state.machines {
+            if let Some(o) = &m.outcome {
+                quarantined |= o.quarantined;
+                degraded |= o.failed || o.retry_slots > 0;
+            }
+        }
+        Some(if quarantined {
+            "quarantined"
+        } else if degraded {
+            "degraded"
+        } else {
+            "completed"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, ExploreLimits};
+    use bios_platform::RetryPolicy;
+
+    fn cfg() -> SessionModelConfig {
+        SessionModelConfig::new(2, RetryPolicy::default())
+    }
+
+    #[test]
+    fn clean_session_steps_mirror_the_real_phase_order() {
+        let cfg = cfg().with_alphabet(vec![MVerdict::Pass]);
+        let mut s = MSessionState::new(1);
+        let mut kinds = Vec::new();
+        while !s.is_done() {
+            let v = s.next_needs_verdict().map(|_| MVerdict::Pass);
+            let rec = s.step(&cfg, v).expect("step");
+            kinds.push(rec.kind);
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                MPhase::ApplyPotential,
+                MPhase::Settle,
+                MPhase::Sample,
+                MPhase::Qc
+            ]
+        );
+        assert_eq!(s.steps_taken, 4);
+    }
+
+    #[test]
+    fn chronic_failure_walks_backoff_and_quarantine() {
+        let cfg = cfg();
+        let mut s = MSessionState::new(1);
+        let mut backoffs = Vec::new();
+        let mut quarantines = 0usize;
+        while !s.is_done() {
+            let v = s.next_needs_verdict().map(|_| MVerdict::Fail);
+            let rec = s.step(&cfg, v).expect("step");
+            match rec.event {
+                MEvent::BackedOff { delay_ticks } => backoffs.push((rec.attempt, delay_ticks)),
+                MEvent::Quarantined => quarantines += 1,
+                _ => {}
+            }
+        }
+        // The real default policy: 2 retries, exponential delays 1, 2 —
+        // identical to the real machine's backoff_events test.
+        assert_eq!(backoffs, vec![(0, 1), (1, 2)]);
+        assert_eq!(quarantines, 1);
+        let o = s.machines[0].outcome.expect("sealed");
+        assert!(o.failed && o.quarantined);
+        assert_eq!(o.attempts, 3);
+    }
+
+    #[test]
+    fn exhaustive_exploration_is_clean_and_deterministic() {
+        let model = SessionModel::new(cfg()).expect("valid");
+        let a = explore(&model, &ExploreLimits::default());
+        let b = explore(&model, &ExploreLimits::default());
+        assert!(a.violation.is_none(), "{:?}", a.violation);
+        assert!(!a.truncated);
+        assert!(a.stats.states > 100, "nontrivial space: {}", a.stats.states);
+        assert!(a.stats.dedup_hits > 0, "Fail/Err must merge after Backoff");
+        assert_eq!(a.stats, b.stats, "rerun-identical");
+    }
+
+    #[test]
+    fn mutation_is_caught_with_a_short_trace() {
+        let model =
+            SessionModel::new(cfg().with_mutation(Mutation::SkipAttemptIncrement)).expect("valid");
+        let out = explore(&model, &ExploreLimits::default());
+        let cx = out.violation.expect("mutation must be caught");
+        assert!(cx.violation.contains("retry_slots"), "{}", cx.violation);
+        assert!(!cx.trace.is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! Conformance: the model mirrors are checked against the *real*
+//! `SessionMachine` and `DiagnosticsServer`, transition for transition.
+//!
+//! The exhaustive explorer proves properties of the mirror; these tests
+//! pin the mirror to the implementation, so a drift in either direction
+//! (a protocol change the model missed, or a model bug) breaks the
+//! build. Together they give the model-checking results their meaning.
+
+use bios_afe::{Fault, FaultKind, FaultPlan};
+use bios_biochem::Analyte;
+use bios_instrument::QcGate;
+use bios_model::{
+    Choice, MPhase, MRequest, MSessionState, MVerdict, Model, OracleKey, SPhase, ServerModel,
+    ServerModelConfig, SessionModelConfig,
+};
+use bios_platform::{Platform, PlatformBuilder, RetryPolicy, SessionOptions, StepEvent, StepKind};
+use bios_server::{
+    ChaosPlan, DiagnosticsServer, NullClock, ServerConfig, ServiceTier, SessionRequest,
+};
+use bios_units::Molar;
+
+fn fig4() -> Platform {
+    PlatformBuilder::new(bios_platform::PanelSpec::paper_fig4())
+        .build()
+        .expect("build")
+}
+
+fn fig4_sample() -> Vec<(Analyte, Molar)> {
+    vec![
+        (Analyte::Glucose, Molar::from_millimolar(3.0)),
+        (Analyte::Lactate, Molar::from_millimolar(1.5)),
+        (Analyte::Glutamate, Molar::from_millimolar(3.0)),
+        (Analyte::Benzphetamine, Molar::from_millimolar(0.8)),
+        (Analyte::Aminopyrine, Molar::from_millimolar(4.0)),
+        (Analyte::Cholesterol, Molar::from_micromolar(50.0)),
+    ]
+}
+
+/// One comparable trace entry: (slot, attempt, kind tag, event tag,
+/// backoff delay).
+type TraceEntry = (usize, u32, u8, u8, u64);
+
+fn kind_tag(kind: StepKind) -> u8 {
+    match kind {
+        StepKind::ApplyPotential => 0,
+        StepKind::Settle => 1,
+        StepKind::Sample => 2,
+        StepKind::Qc => 3,
+        StepKind::Backoff => 4,
+        StepKind::Quarantine => 5,
+        StepKind::Done => 6,
+    }
+}
+
+fn mphase_tag(phase: MPhase) -> u8 {
+    match phase {
+        MPhase::ApplyPotential => 0,
+        MPhase::Settle => 1,
+        MPhase::Sample => 2,
+        MPhase::Qc => 3,
+        MPhase::Backoff => 4,
+        MPhase::Quarantine => 5,
+        MPhase::Done => 6,
+    }
+}
+
+/// Drives the real machine to completion, recording the comparable
+/// trace.
+fn real_trace(platform: &Platform, options: &SessionOptions, seed: u64) -> Vec<TraceEntry> {
+    let mut machine = platform.session_machine(&fig4_sample(), seed, options);
+    let mut trace = Vec::new();
+    let mut guard = 0u32;
+    while !machine.is_done() {
+        guard += 1;
+        assert!(guard < 10_000, "real machine must terminate");
+        let preview = machine.next_step(platform).expect("not done");
+        let event = machine.step(platform).expect("step");
+        let (event_tag, delay) = match &event {
+            StepEvent::Progressed(_) => (0u8, 0u64),
+            StepEvent::BackedOff { delay_ticks, .. } => (1, *delay_ticks),
+            StepEvent::Quarantined(_) => (2, 0),
+            StepEvent::WeDone(_) => (3, 0),
+            StepEvent::SessionDone => (4, 0),
+        };
+        trace.push((
+            preview.slot,
+            preview.attempt as u32,
+            kind_tag(preview.kind),
+            event_tag,
+            delay,
+        ));
+    }
+    trace
+}
+
+/// Drives the model mirror with `verdict_for(slot)` resolving every
+/// draw, recording the comparable trace.
+fn model_trace(cfg: &SessionModelConfig, verdict_for: impl Fn(u8) -> MVerdict) -> Vec<TraceEntry> {
+    let mut state = MSessionState::new(cfg.electrodes);
+    let mut trace = Vec::new();
+    let mut guard = 0u32;
+    while !state.is_done() {
+        guard += 1;
+        assert!(guard < 10_000, "model must terminate");
+        let verdict = state
+            .next_needs_verdict()
+            .map(|need| verdict_for(need.slot));
+        let record = state.step(cfg, verdict).expect("step");
+        use bios_model::MEvent;
+        let (event_tag, delay) = match record.event {
+            MEvent::Progressed => (0u8, 0u64),
+            MEvent::BackedOff { delay_ticks } => (1, delay_ticks),
+            MEvent::Quarantined => (2, 0),
+            MEvent::WeDone => (3, 0),
+            MEvent::SessionDone => (4, 0),
+        };
+        trace.push((
+            record.slot as usize,
+            record.attempt,
+            mphase_tag(record.kind),
+            event_tag,
+            delay,
+        ));
+    }
+    trace
+}
+
+#[test]
+fn clean_session_trace_matches_the_real_machine() {
+    let p = fig4();
+    let options = SessionOptions::default().with_qc(QcGate::default());
+    let real = real_trace(&p, &options, 42);
+    let electrodes = p.assignments().len() as u8;
+    let cfg = SessionModelConfig::new(electrodes, RetryPolicy::default());
+    let model = model_trace(&cfg, |_| MVerdict::Pass);
+    assert_eq!(real, model, "clean run: mirror drifts from the machine");
+}
+
+#[test]
+fn chronic_failure_trace_matches_the_real_machine() {
+    let p = fig4();
+    // Kill slot 0's working electrode outright: every attempt on that
+    // slot fails QC, every other slot passes.
+    let dead_we = p.assignments()[0].index();
+    let plan = FaultPlan::new(77).with_fault(
+        dead_we,
+        Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+    );
+    let options = SessionOptions::default()
+        .with_fault_plan(plan)
+        .with_qc(QcGate::default());
+    let real = real_trace(&p, &options, 42);
+    let electrodes = p.assignments().len() as u8;
+    let cfg = SessionModelConfig::new(electrodes, RetryPolicy::default());
+    let model = model_trace(&cfg, |slot| {
+        if slot == 0 {
+            MVerdict::Fail
+        } else {
+            MVerdict::Pass
+        }
+    });
+    assert_eq!(
+        real, model,
+        "chronic-failure run: mirror drifts from the machine \
+         (backoff schedule, exhaustion or quarantine)"
+    );
+}
+
+#[test]
+fn model_backoff_delays_come_from_the_real_policy() {
+    let retry = RetryPolicy {
+        max_retries: 4,
+        quarantine_after: 3,
+        backoff_base_ticks: 3,
+        backoff_cap_ticks: 10,
+        ..RetryPolicy::default()
+    };
+    let cfg = SessionModelConfig::new(1, retry);
+    let trace = model_trace(&cfg, |_| MVerdict::Fail);
+    let delays: Vec<u64> = trace
+        .iter()
+        .filter(|(_, _, kind, event, _)| *kind == 4 && *event == 1)
+        .map(|(_, _, _, _, delay)| *delay)
+        .collect();
+    let expected: Vec<u64> = (0..retry.max_retries)
+        .map(|a| retry.backoff_ticks(a))
+        .collect();
+    assert_eq!(delays, expected, "delays must be the real policy's");
+    assert_eq!(delays, vec![3, 6, 10, 10], "base 3 doubling, capped at 10");
+}
+
+#[test]
+fn every_checkpoint_cut_reconverges_on_the_real_machine() {
+    // The generalization the session model proves in the abstract,
+    // checked here on the real machine: resume from EVERY step index,
+    // not a sampled few.
+    let p = fig4();
+    let dead_we = p.assignments()[0].index();
+    let plan = FaultPlan::new(77).with_fault(
+        dead_we,
+        Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+    );
+    let options = SessionOptions::default()
+        .with_fault_plan(plan)
+        .with_qc(QcGate::default());
+    let sample = fig4_sample();
+    let blocking = p
+        .run_session_with(&sample, 7, &options)
+        .expect("blocking run");
+    let total = {
+        let mut m = p.session_machine(&sample, 7, &options);
+        while !m.is_done() {
+            m.step(&p).expect("step");
+        }
+        m.steps_taken()
+    };
+    assert!(total > 10, "nontrivial step count: {total}");
+    for cut in 0..=total {
+        let mut machine = p.session_machine(&sample, 7, &options);
+        for _ in 0..cut {
+            if machine.is_done() {
+                break;
+            }
+            machine.step(&p).expect("step");
+        }
+        let snapshot = machine.checkpoint();
+        let json = serde_json::to_string(&snapshot).expect("serialize");
+        let restored = serde_json::from_str(&json).expect("deserialize");
+        let mut resumed = p.resume_session(&sample, 7, &options, restored);
+        while !resumed.is_done() {
+            resumed.step(&p).expect("step");
+        }
+        let report = resumed.finish(&p).expect("done");
+        assert_eq!(report, blocking, "cut at {cut} of {total} steps");
+    }
+}
+
+#[test]
+fn server_model_reproduces_the_real_server_under_real_chaos_draws() {
+    let p = fig4();
+    let devices: Vec<u64> = vec![0, 1, 2, 3, 5];
+    let tiers = [
+        ServiceTier::Stat,
+        ServiceTier::Routine,
+        ServiceTier::BestEffort,
+        ServiceTier::Routine,
+        ServiceTier::Stat,
+    ];
+    let chaos = ChaosPlan::new(4242).with_stalls(0.5, 3).with_aborts(0.4);
+
+    // Real side: a 2-shard server, knobs matching the model defaults.
+    let config = ServerConfig::default()
+        .with_shards(2)
+        .with_queue_capacity(8)
+        .with_max_active(2)
+        .with_steps_per_tick(4)
+        .with_deadline_ticks(64)
+        .with_quarantine_threshold(2);
+    let mut server = DiagnosticsServer::new(&p, config).with_chaos(chaos.clone());
+    for (device, tier) in devices.iter().zip(tiers.iter()) {
+        server
+            .submit(SessionRequest {
+                device: *device,
+                tier: *tier,
+                sample: fig4_sample(),
+                seed: 42,
+            })
+            .expect("submit");
+    }
+    let clock = NullClock;
+    let mut guard = 0u32;
+    while !server.is_idle() {
+        guard += 1;
+        assert!(guard < 10_000, "real server must quiesce");
+        server.tick(&clock);
+    }
+    let mut real: Vec<(u64, &'static str)> = server
+        .drain_completed()
+        .iter()
+        .map(|c| (c.device, c.outcome.label()))
+        .collect();
+    real.sort_unstable();
+
+    // Model side: same shape, chaos menus covering the realized draws,
+    // each draw resolved with the real plan's answer for that device.
+    let mut stalls: Vec<u64> = vec![0];
+    let mut aborts: Vec<Option<u64>> = vec![None];
+    for d in &devices {
+        if let Some(s) = chaos.stall_for(*d) {
+            stalls.push(s);
+        }
+        if let Some(a) = chaos.abort_after_for(*d) {
+            aborts.push(Some(a));
+        }
+    }
+    stalls.sort_unstable();
+    stalls.dedup();
+    aborts.sort_unstable();
+    aborts.dedup();
+    let electrodes = p.assignments().len() as u8;
+    let requests: Vec<MRequest> = devices
+        .iter()
+        .zip(tiers.iter())
+        .map(|(d, t)| MRequest {
+            device: *d,
+            tier: *t,
+        })
+        .collect();
+    let session = SessionModelConfig::new(electrodes, RetryPolicy::default())
+        .with_alphabet(vec![MVerdict::Pass]);
+    let cfg = ServerModelConfig::new(2, requests, session)
+        .with_stall_choices(stalls)
+        .with_abort_choices(aborts);
+    let model = ServerModel::new(cfg).expect("valid");
+    let mut state = model.initial().expect("initial");
+    let mut guard = 0u32;
+    while !model.is_terminal(&state) {
+        guard += 1;
+        assert!(guard < 100_000, "model must quiesce");
+        let choice = match &state.phase {
+            SPhase::NeedChoice { key, .. } => match key {
+                OracleKey::Chaos { device } => Choice::Chaos {
+                    device: *device,
+                    stall: chaos.stall_for(*device).unwrap_or(0),
+                    abort: chaos.abort_after_for(*device),
+                },
+                OracleKey::Verdict {
+                    device,
+                    we,
+                    attempt,
+                } => Choice::Verdict {
+                    device: *device,
+                    we: *we,
+                    attempt: *attempt,
+                    verdict: MVerdict::Pass,
+                },
+            },
+            _ => {
+                let mut choices = Vec::new();
+                model.choices(&state, &mut choices);
+                choices.first().expect("enabled choice").clone()
+            }
+        };
+        state = model.apply(&state, &choice).expect("apply");
+        model
+            .check(&state)
+            .expect("invariants hold along the real run");
+    }
+    let mut modeled: Vec<(u64, &'static str)> = state
+        .shards
+        .iter()
+        .flat_map(|s| s.completed.iter())
+        .map(|c| {
+            let label = match c.label {
+                bios_model::MOutcomeLabel::Completed => "completed",
+                bios_model::MOutcomeLabel::DeadlineMiss => "deadline-miss",
+                bios_model::MOutcomeLabel::Aborted => "aborted",
+                bios_model::MOutcomeLabel::Shed => "shed",
+            };
+            (c.device, label)
+        })
+        .collect();
+    modeled.sort_unstable();
+    assert_eq!(
+        real, modeled,
+        "server mirror drifts from the real scheduler under identical chaos"
+    );
+    assert!(
+        real.iter().any(|(_, l)| *l == "aborted"),
+        "the chaos draw should actually abort someone: {real:?}"
+    );
+}

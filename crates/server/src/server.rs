@@ -599,7 +599,9 @@ impl Shard {
             match &outcome {
                 SessionOutcome::DeadlineMiss(_) => tick.deadline_misses += 1,
                 SessionOutcome::Aborted(_) => tick.aborted += 1,
-                _ => {}
+                SessionOutcome::Completed(_)
+                | SessionOutcome::Shed
+                | SessionOutcome::Failed { .. } => {}
             }
             self.record_health(session.device, &outcome, config.quarantine_threshold);
             tick.completed += 1;
@@ -1123,6 +1125,64 @@ mod tests {
         assert!(server.release_device(9));
         server
             .submit(request(9, ServiceTier::Routine, 201))
+            .expect("released device admits again");
+    }
+
+    #[test]
+    fn release_device_edge_cases_are_idempotent_and_reset_strikes() {
+        use bios_afe::{Fault, FaultKind, FaultPlan};
+        use bios_instrument::QcGate;
+
+        let p = platform();
+        let plan = FaultPlan::new(3).with_fault(
+            0,
+            Fault::immediate(FaultKind::ElectrodeOpen, 1.0).expect("valid"),
+        );
+        let options = SessionOptions::default()
+            .with_fault_plan(plan)
+            .with_qc(QcGate::default());
+        let config = ServerConfig::default()
+            .with_shards(2)
+            .with_quarantine_threshold(2);
+        let mut server = DiagnosticsServer::with_options(&p, config, options);
+
+        // Releasing a device the server has never seen is a no-op.
+        assert!(!server.release_device(9));
+        // A device routed to an out-of-range shard index can't exist;
+        // release on any device id stays a safe no-op.
+        assert!(!server.release_device(u64::MAX));
+
+        // One failed session: a strike, but not yet quarantined.
+        server
+            .submit(request(9, ServiceTier::Routine, 100))
+            .expect("admitted");
+        server.run_until_idle(&NullClock, 10_000);
+        assert!(server.quarantined_devices().is_empty());
+        // Releasing a struck-but-not-quarantined device reports false
+        // (it was not quarantined) but clears the strike history.
+        assert!(!server.release_device(9));
+        // After the reset, one more failure is again only strike one —
+        // the counter restarted rather than carrying the old strike.
+        server
+            .submit(request(9, ServiceTier::Routine, 101))
+            .expect("admitted");
+        server.run_until_idle(&NullClock, 10_000);
+        assert!(
+            server.quarantined_devices().is_empty(),
+            "release must reset strikes, not only quarantine membership"
+        );
+        // Two consecutive failures after the reset do quarantine.
+        server
+            .submit(request(9, ServiceTier::Routine, 102))
+            .expect("admitted");
+        server.run_until_idle(&NullClock, 10_000);
+        assert_eq!(server.quarantined_devices(), vec![9]);
+
+        // Double release: first returns true, second is a no-op false.
+        assert!(server.release_device(9));
+        assert!(!server.release_device(9));
+        server
+            .submit(request(9, ServiceTier::Routine, 103))
             .expect("released device admits again");
     }
 

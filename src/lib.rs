@@ -14,7 +14,9 @@
 //!   exploration,
 //! * [`server`] — diagnostics as a service: a sharded deterministic
 //!   scheduler with bounded admission, deadlines, degradation tiers and
-//!   a chaos harness.
+//!   a chaos harness,
+//! * [`model`] — bounded exhaustive model checker for the session and
+//!   server protocols, with counterexample replay artifacts.
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,7 @@ pub use bios_afe as afe;
 pub use bios_biochem as biochem;
 pub use bios_electrochem as electrochem;
 pub use bios_instrument as instrument;
+pub use bios_model as model;
 pub use bios_platform as platform;
 pub use bios_server as server;
 pub use bios_units as units;
