@@ -7,8 +7,8 @@ use bios_electrochem::{
     Nanostructure, RedoxCouple,
 };
 use bios_platform::{
-    explore, predict_lod, DesignPoint, DesignSpace, EvaluatedDesign, PanelSpec, ProbePreference,
-    ReadoutSharing,
+    explore_with, predict_lod, DesignPoint, DesignSpace, EvaluatedDesign, ExecPolicy, PanelSpec,
+    ProbePreference, ReadoutSharing,
 };
 use bios_units::{Centimeters, SquareCentimeters, VoltsPerSecond, T_ROOM};
 
@@ -330,8 +330,12 @@ pub fn grid_ablation() -> Vec<GridRow> {
 
 /// Runs the full design-space exploration on the paper panel.
 pub fn design_space() -> Vec<EvaluatedDesign> {
-    explore(&PanelSpec::paper_fig4(), &DesignSpace::paper_default())
-        .expect("the paper panel explores")
+    explore_with(
+        &PanelSpec::paper_fig4(),
+        &DesignSpace::paper_default(),
+        ExecPolicy::Auto,
+    )
+    .expect("the paper panel explores")
 }
 
 /// Renders all ablations.

@@ -10,6 +10,7 @@
 
 pub mod ablations;
 pub mod batch;
+pub mod explore;
 pub mod fault_matrix;
 pub mod fig1;
 pub mod fig2;

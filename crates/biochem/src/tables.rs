@@ -263,6 +263,26 @@ impl PerformanceRow {
         let lod_m = self.lod_um.unwrap_or(3.0) * 1e-6;
         AmpsPerCm2::new(lod_m * self.sensitivity_si() / 3.0)
     }
+
+    /// Current density at the top of the calibration curve's linear range
+    /// — the largest signal a correctly-ranged readout chain must carry
+    /// for this probe on the registry's reference electrodes. A pure
+    /// closed-form bound: static feasibility analysis uses it to refute
+    /// design classes whose front-end saturates before the panel's
+    /// concentration window is covered.
+    pub fn peak_current_density(&self) -> AmpsPerCm2 {
+        AmpsPerCm2::new(self.sensitivity_si() * Molar::from_millimolar(self.linear_hi_mm).value())
+    }
+
+    /// The registry LOD as a closed-form floor (`3σ/S` with the blank noise
+    /// of [`PerformanceRow::blank_sd`]): no design built on this probe can
+    /// detect below it without changing the sensor chemistry. Rows without
+    /// a reported LOD use the documented 3 µM substitution, making the
+    /// bound total (never `None`), which is what a static pruning pass
+    /// needs.
+    pub fn lod_floor(&self) -> Molar {
+        Molar::from_micromolar(self.lod_um.unwrap_or(3.0))
+    }
 }
 
 /// Looks up the Table III row for a target analyte.
@@ -377,6 +397,41 @@ mod tests {
             .expect("present")
             .km_apparent();
         assert!((km.as_millimolar() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_current_density_is_sensitivity_times_linear_top() {
+        for row in &TABLE_III {
+            let peak = row.peak_current_density().value();
+            assert!(peak > 0.0 && peak.is_finite());
+            // The peak sits at the linear top, so it exceeds the signal at
+            // any in-range concentration, e.g. the midpoint.
+            let mid = row.sensitivity_si()
+                * Molar::from_millimolar(0.5 * (row.linear_lo_mm + row.linear_hi_mm)).value();
+            assert!(peak > mid);
+        }
+        // Cholesterol: huge sensitivity on a narrow window — its peak must
+        // still be far below glucose's (0.08 mM vs 4 mM tops).
+        let glucose = performance_of(Analyte::Glucose).expect("present");
+        let chol = performance_of(Analyte::Cholesterol).expect("present");
+        assert!(chol.peak_current_density().value() < glucose.peak_current_density().value());
+    }
+
+    #[test]
+    fn lod_floor_is_total_and_consistent() {
+        for row in &TABLE_III {
+            let floor = row.lod_floor();
+            assert!(floor.value() > 0.0);
+            match row.lod() {
+                // Where the paper reports an LOD, the floor IS that LOD...
+                Some(lod) => assert_eq!(floor.value(), lod.value()),
+                // ...and the "—" rows get the documented 3 µM substitution,
+                None => assert!((floor.as_micromolar() - 3.0).abs() < 1e-12),
+            }
+            // either way equal to the 3σ/S closed form behind blank_sd.
+            let back = 3.0 * row.blank_sd().value() / row.sensitivity_si();
+            assert!((back - floor.value()).abs() / floor.value() < 1e-12);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::error::PlatformError;
 use crate::exec::{try_par_map, ExecPolicy};
 use crate::requirements::PanelSpec;
 use bios_afe::{CurrentRange, MatchingQuality, CHOPPER_SUPPRESSION};
-use bios_biochem::{tables::performance_of, Analyte, Probe, Technique};
+use bios_biochem::{tables::performance_of, Analyte, Technique};
 use bios_electrochem::Nanostructure;
 use bios_units::Molar;
 
@@ -106,11 +106,6 @@ impl DesignSpace {
             })
     }
 
-    /// Enumerates all design points.
-    pub fn points(&self) -> Vec<DesignPoint> {
-        self.points_iter().collect()
-    }
-
     /// Number of design points.
     pub fn len(&self) -> usize {
         self.nanostructures.len()
@@ -128,7 +123,7 @@ impl DesignSpace {
 }
 
 /// An evaluated design.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EvaluatedDesign {
     /// The design coordinates.
     pub point: DesignPoint,
@@ -154,26 +149,72 @@ const DRIFT_FRACTION: f64 = 0.7;
 /// noise in the un-chopped slow-sampling regime.
 const AMP_FLICKER_FRACTION: f64 = 0.5;
 
-/// Predicts a target's LOD under a design point, analytically.
-///
-/// Model (documented in DESIGN.md §4): the blank noise combines the sensor
-/// term (drift-like + stochastic, CDS acts on the drift part), the
-/// amplifier flicker term (chopper divides it by [`CHOPPER_SUPPRESSION`])
-/// and the ADC quantization term; sensitivity scales with the
-/// nanostructure's roughness relative to the registry's CNT reference.
-pub fn predict_lod(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
-    crate::memo::predict_lod_cached(target, point, || predict_lod_uncached(target, point))
+/// Geometric area of the paper's working electrode (0.23 mm²), in cm² —
+/// the reference area every current-density figure in the LOD model is
+/// referred to.
+pub const PAPER_WE_AREA_CM2: f64 = 0.0023;
+
+/// The blank-noise current-density budget behind [`predict_lod`], term by
+/// term (all in A/cm²), exposed as a pure closed form so downstream
+/// analyses — the `bios-explore` pass pipeline in particular — can rescale
+/// individual terms (spatial averaging, oversampling) without re-deriving
+/// the model. [`NoiseBreakdown::total`] recombines the terms exactly as
+/// [`predict_lod`] does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBreakdown {
+    /// Slow/drift-like sensor noise after CDS (if enabled).
+    pub drift: f64,
+    /// Stochastic sensor noise (CDS doubles its variance).
+    pub stochastic: f64,
+    /// Amplifier flicker noise after chopper suppression (if enabled).
+    pub amp_flicker: f64,
+    /// ADC quantization noise referred to the paper WE's current density.
+    pub quantization: f64,
 }
 
-/// The analytic model behind [`predict_lod`] — a pure function of its
-/// arguments, which is what makes the memoized wrapper exact.
-fn predict_lod_uncached(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
-    let row = performance_of(target).ok_or(PlatformError::NoProbeFor(target))?;
-    let s_registry = row.sensitivity_si(); // A/(M·cm²) on CNT electrodes
-    let gain =
-        point.nanostructure.roughness_factor() / Nanostructure::CarbonNanotubes.roughness_factor();
-    let s_eff = s_registry * gain;
+impl NoiseBreakdown {
+    /// Root-sum-square of the four terms — the `σ` in `LOD = 3σ/S`.
+    pub fn total(&self) -> f64 {
+        (self.drift.powi(2)
+            + self.stochastic.powi(2)
+            + self.amp_flicker.powi(2)
+            + self.quantization.powi(2))
+        .sqrt()
+    }
+}
 
+/// Effective sensitivity (A/(M·cm²)) of a target's registry probe on the
+/// given nanostructure: the Table III figure rescaled by roughness relative
+/// to the CNT reference electrodes the registry was measured on. Pure in
+/// its arguments.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::NoProbeFor`] for unregistered targets.
+pub fn effective_sensitivity(
+    target: Analyte,
+    nanostructure: Nanostructure,
+) -> Result<f64, PlatformError> {
+    let row = performance_of(target).ok_or(PlatformError::NoProbeFor(target))?;
+    let gain =
+        nanostructure.roughness_factor() / Nanostructure::CarbonNanotubes.roughness_factor();
+    Ok(row.sensitivity_si() * gain)
+}
+
+/// Computes the blank-noise budget for a target under a design point's
+/// conditioning choices (CDS, chopper, ADC bits — the nanostructure enters
+/// through [`effective_sensitivity`], not here). Pure in its arguments;
+/// this is the closed form the static feasibility passes evaluate once per
+/// point *class*.
+///
+/// # Errors
+///
+/// Returns [`PlatformError::NoProbeFor`] for unregistered targets.
+pub fn noise_breakdown(
+    target: Analyte,
+    point: &DesignPoint,
+) -> Result<NoiseBreakdown, PlatformError> {
+    let row = performance_of(target).ok_or(PlatformError::NoProbeFor(target))?;
     let sigma = row.blank_sd().value(); // A/cm²
     let drift = sigma * DRIFT_FRACTION;
     let stochastic = sigma * (1.0 - DRIFT_FRACTION);
@@ -191,7 +232,7 @@ fn predict_lod_uncached(target: Analyte, point: &DesignPoint) -> Result<Molar, P
         };
 
     // Quantization, referred to current density on the paper's 0.23 mm² WE.
-    let area = 0.0023; // cm²
+    let area = PAPER_WE_AREA_CM2;
     let range = match row.probe {
         bios_biochem::tables::ProbeRef::Oxidase(_) => CurrentRange::oxidase().scaled(area),
         bios_biochem::tables::ProbeRef::Cytochrome(_) => CurrentRange::cytochrome().scaled(area),
@@ -199,28 +240,65 @@ fn predict_lod_uncached(target: Analyte, point: &DesignPoint) -> Result<Molar, P
     let lsb = 2.0 * range.full_scale().value() / (1u64 << point.adc_bits) as f64;
     let sigma_q = lsb / 12f64.sqrt() / area;
 
-    let total =
-        (drift_eff.powi(2) + stochastic_eff.powi(2) + amp_flicker.powi(2) + sigma_q.powi(2)).sqrt();
-    Ok(Molar::new(3.0 * total / s_eff))
+    Ok(NoiseBreakdown {
+        drift: drift_eff,
+        stochastic: stochastic_eff,
+        amp_flicker,
+        quantization: sigma_q,
+    })
 }
 
-/// Explores a design space against a panel, returning one evaluated design
-/// per point with the Pareto front marked.
+/// The LOD requirement for one panel target: the explicit spec if one was
+/// set, otherwise 20% above the registry (Table III) LOD — i.e. the
+/// design's electronics and electrode choices must not degrade what the
+/// reference CNT sensor achieves. (Physiological ranges are not used here:
+/// some of the paper's own sensors sit above them, which would make every
+/// design trivially infeasible.)
 ///
 /// # Errors
 ///
-/// Returns [`PlatformError`] for invalid panels or an empty design space.
-pub fn explore(
-    panel: &PanelSpec,
-    space: &DesignSpace,
-) -> Result<Vec<EvaluatedDesign>, PlatformError> {
-    explore_with(panel, space, ExecPolicy::Auto)
+/// Returns [`PlatformError::NoProbeFor`] for unregistered targets.
+pub fn required_lod(spec: &crate::requirements::TargetSpec) -> Result<Molar, PlatformError> {
+    let row = performance_of(spec.analyte).ok_or(PlatformError::NoProbeFor(spec.analyte))?;
+    let registry_lod = row.lod().unwrap_or(Molar::from_micromolar(3.0));
+    Ok(spec
+        .required_lod
+        .unwrap_or(Molar::new(1.2 * registry_lod.value())))
 }
 
-/// [`explore`] with an explicit [`ExecPolicy`]. Design points are
-/// independent, so they fan out across the execution engine; results are
-/// merged by point index, making the output bit-identical to
-/// [`ExecPolicy::Sequential`] for any thread count.
+/// Predicts a target's LOD under a design point, analytically.
+///
+/// Model (documented in DESIGN.md §4): the blank noise combines the sensor
+/// term (drift-like + stochastic, CDS acts on the drift part), the
+/// amplifier flicker term (chopper divides it by [`CHOPPER_SUPPRESSION`])
+/// and the ADC quantization term; sensitivity scales with the
+/// nanostructure's roughness relative to the registry's CNT reference.
+pub fn predict_lod(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
+    crate::memo::predict_lod_cached(target, point, || predict_lod_uncached(target, point))
+}
+
+/// The analytic model behind [`predict_lod`] — a pure composition of
+/// [`noise_breakdown`] and [`effective_sensitivity`], which is what makes
+/// the memoized wrapper exact and lets `bios-explore` reproduce it
+/// bit-for-bit at its reference coordinates.
+fn predict_lod_uncached(target: Analyte, point: &DesignPoint) -> Result<Molar, PlatformError> {
+    let breakdown = noise_breakdown(target, point)?;
+    let s_eff = effective_sensitivity(target, point.nanostructure)?;
+    Ok(Molar::new(3.0 * breakdown.total() / s_eff))
+}
+
+/// Brute-force reference exploration: evaluates *every* point of the space
+/// with an explicit [`ExecPolicy`]. Design points are independent, so they
+/// fan out across the execution engine; results are merged by point index,
+/// making the output bit-identical to [`ExecPolicy::Sequential`] for any
+/// thread count.
+///
+/// This is the O(|space|) baseline the `bios-explore` pass pipeline is
+/// verified against on subsampled spaces; for production-scale spaces
+/// (10⁶–10⁷ points) use the pipeline, which statically rejects almost the
+/// whole space before any evaluation. (The old unparameterized `explore`
+/// wrapper and the eager `DesignSpace::points` materializer were removed
+/// when the pipeline subsumed them.)
 ///
 /// # Errors
 ///
@@ -266,18 +344,8 @@ pub fn evaluate(panel: &PanelSpec, point: &DesignPoint) -> Result<EvaluatedDesig
     let mut worst_margin = f64::INFINITY;
     for spec in panel.targets() {
         let lod = predict_lod(spec.analyte, point)?;
-        // Requirement: an explicit LOD if the panel set one; otherwise stay
-        // within 20% of the registry (Table III) LOD — i.e. the design's
-        // electronics and electrode choices must not degrade what the
-        // reference CNT sensor achieves. (Physiological ranges are not used
-        // here: some of the paper's own sensors sit above them, which would
-        // make every design trivially infeasible.)
-        let row = performance_of(spec.analyte).ok_or(PlatformError::NoProbeFor(spec.analyte))?;
-        let registry_lod = row.lod().unwrap_or(Molar::from_micromolar(3.0));
-        let required = spec
-            .required_lod
-            .map(|l| l.value())
-            .unwrap_or(1.2 * registry_lod.value());
+        // Requirement semantics documented on `required_lod`.
+        let required = required_lod(spec)?.value();
         let margin = required / lod.value();
         if margin < 1.0 {
             feasible = false;
@@ -346,15 +414,6 @@ pub fn pareto_front(designs: &mut [EvaluatedDesign]) {
     }
 }
 
-/// A point wrapper for resolving [`Probe`] coverage in reports.
-pub fn probes_for_point(panel: &PanelSpec) -> Vec<(Analyte, Vec<Probe>)> {
-    panel
-        .targets()
-        .iter()
-        .map(|t| (t.analyte, Probe::candidates_for(t.analyte)))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,18 +434,21 @@ mod tests {
     fn default_space_has_96_points() {
         let s = DesignSpace::paper_default();
         assert_eq!(s.len(), 96);
-        assert_eq!(s.points().len(), 96);
+        assert_eq!(s.points_iter().count(), 96);
         assert!(!s.is_empty());
     }
 
     #[test]
-    fn points_iter_matches_points_order() {
+    fn points_iter_is_row_major_and_stable() {
         let s = DesignSpace::paper_default();
-        let lazy: Vec<DesignPoint> = s.points_iter().collect();
-        assert_eq!(lazy, s.points());
+        let all: Vec<DesignPoint> = s.points_iter().collect();
+        assert_eq!(all.len(), s.len());
+        // The outermost axis varies slowest.
+        assert_eq!(all[0].nanostructure, s.nanostructures[0]);
+        assert_eq!(all[s.len() - 1].nanostructure, s.nanostructures[1]);
         // Partial consumption sees the same prefix.
         let head: Vec<DesignPoint> = s.points_iter().take(5).collect();
-        assert_eq!(head, &s.points()[..5]);
+        assert_eq!(head, &all[..5]);
     }
 
     #[test]
@@ -451,7 +513,8 @@ mod tests {
     #[test]
     fn explore_paper_panel_produces_pareto_front() {
         let panel = PanelSpec::paper_fig4();
-        let designs = explore(&panel, &DesignSpace::paper_default()).expect("explore");
+        let designs = explore_with(&panel, &DesignSpace::paper_default(), ExecPolicy::Auto)
+            .expect("explore");
         assert_eq!(designs.len(), 96);
         let feasible = designs.iter().filter(|d| d.feasible).count();
         assert!(feasible > 0, "some designs must be feasible");
@@ -477,7 +540,8 @@ mod tests {
         // The paper's central trade-off should appear on the Pareto front
         // through the cost scalar: shared designs are cheaper.
         let panel = PanelSpec::paper_fig4();
-        let designs = explore(&panel, &DesignSpace::paper_default()).expect("explore");
+        let designs = explore_with(&panel, &DesignSpace::paper_default(), ExecPolicy::Auto)
+            .expect("explore");
         let cheapest_shared = designs
             .iter()
             .filter(|d| d.feasible && d.point.sharing == ReadoutSharing::Shared)

@@ -64,8 +64,8 @@ pub use cost::{electronics_budget, PlatformCost, ReadoutSharing};
 pub use error::PlatformError;
 pub use exec::{par_map, par_map_chunks, par_map_mut, try_par_map, ExecPolicy};
 pub use explore::{
-    evaluate, explore, explore_with, pareto_front, predict_lod, probes_for_point, DesignPoint,
-    DesignSpace, EvaluatedDesign,
+    effective_sensitivity, evaluate, explore_with, noise_breakdown, pareto_front, predict_lod,
+    required_lod, DesignPoint, DesignSpace, EvaluatedDesign, NoiseBreakdown, PAPER_WE_AREA_CM2,
 };
 pub use memo::{clear_memo_caches, memo_stats};
 pub use platform::{Platform, SensorModel, SessionReport, TargetReading, WeAssignment};

@@ -3,8 +3,8 @@
 use bios_biochem::Analyte;
 use bios_electrochem::Nanostructure;
 use bios_platform::{
-    crosstalk_fraction, explore, minimum_pitch, pareto_front, DesignPoint, DesignSpace, PanelSpec,
-    PlatformBuilder, ProbePreference, ReadoutSharing, Schedule, TargetSpec,
+    crosstalk_fraction, explore_with, minimum_pitch, pareto_front, DesignPoint, DesignSpace,
+    ExecPolicy, PanelSpec, PlatformBuilder, ProbePreference, ReadoutSharing, Schedule, TargetSpec,
 };
 use bios_units::{Centimeters, Seconds};
 use proptest::prelude::*;
@@ -85,7 +85,8 @@ proptest! {
             adc_bits: vec![bits],
             preferences: vec![ProbePreference::MinimizeElectrodes],
         };
-        let designs = explore(&PanelSpec::paper_fig4(), &space).expect("explore");
+        let designs = explore_with(&PanelSpec::paper_fig4(), &space, ExecPolicy::Auto)
+            .expect("explore");
         let feasible: Vec<_> = designs.iter().filter(|d| d.feasible).collect();
         if !feasible.is_empty() {
             prop_assert!(designs.iter().any(|d| d.pareto));

@@ -1,0 +1,67 @@
+//! Error type for the exploration layer.
+
+use bios_platform::PlatformError;
+
+/// Errors produced while validating or exploring a design space.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// A space axis or query parameter was out of its valid domain.
+    InvalidSpace {
+        /// Which axis or parameter was rejected.
+        what: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A pass manager order was malformed (duplicate pass, empty order).
+    InvalidOrder {
+        /// Why the order was rejected.
+        reason: String,
+    },
+    /// A closed-form model produced a non-finite value; the surrogate
+    /// cannot certify anything about this panel, so the run aborts rather
+    /// than silently mis-pruning.
+    NonFinite {
+        /// Which quantity went non-finite.
+        what: &'static str,
+    },
+    /// An internal invariant broke (class table mismatch, cursor overrun).
+    /// Always a bug in this crate, never a user input problem.
+    Internal {
+        /// Which invariant broke.
+        what: &'static str,
+    },
+    /// The underlying platform layer failed.
+    Platform(PlatformError),
+}
+
+impl ExploreError {
+    pub(crate) fn invalid(what: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidSpace {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl From<PlatformError> for ExploreError {
+    fn from(e: PlatformError) -> Self {
+        Self::Platform(e)
+    }
+}
+
+impl core::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidSpace { what, reason } => {
+                write!(f, "invalid design space: {what}: {reason}")
+            }
+            Self::InvalidOrder { reason } => write!(f, "invalid pass order: {reason}"),
+            Self::NonFinite { what } => write!(f, "non-finite surrogate value: {what}"),
+            Self::Internal { what } => write!(f, "internal exploration invariant broke: {what}"),
+            Self::Platform(e) => write!(f, "platform layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}

@@ -5,8 +5,8 @@
 //!
 //! ```text
 //! bios-units → {bios-electrochem, bios-biochem} → bios-afe
-//!            → bios-instrument → bios-platform → bios-server
-//!            → bios-bench → root
+//!            → bios-instrument → bios-platform → bios-explore
+//!            → bios-server → bios-bench → root
 //! ```
 //!
 //! A crate may reference crates at the same or a lower layer, never a
@@ -40,10 +40,11 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("bios-afe", 2),
     ("bios-instrument", 3),
     ("bios-platform", 4),
-    ("bios-server", 5),
-    ("bios-model", 6),
-    ("bios-bench", 7),
-    ("advanced-diagnostics", 8),
+    ("bios-explore", 5),
+    ("bios-server", 6),
+    ("bios-model", 7),
+    ("bios-bench", 8),
+    ("advanced-diagnostics", 9),
 ];
 
 /// Crates whose dead `pub` items A2 reports. The root binary, the bench
@@ -56,6 +57,7 @@ const A2_CRATES: &[&str] = &[
     "bios-afe",
     "bios-instrument",
     "bios-platform",
+    "bios-explore",
 ];
 
 /// The layer index of a crate, or `None` when unconstrained.
@@ -75,6 +77,7 @@ fn crate_for_ident(ident: &str) -> Option<&'static str> {
         "bios_afe" => Some("bios-afe"),
         "bios_instrument" => Some("bios-instrument"),
         "bios_platform" => Some("bios-platform"),
+        "bios_explore" => Some("bios-explore"),
         "bios_server" => Some("bios-server"),
         "bios_model" => Some("bios-model"),
         "bios_bench" => Some("bios-bench"),

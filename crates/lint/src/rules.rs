@@ -127,6 +127,7 @@ pub(crate) const DETERMINISTIC_CRATES: &[&str] = &[
     "bios-electrochem",
     "bios-afe",
     "bios-instrument",
+    "bios-explore",
 ];
 
 /// Crates doing physics/chemistry math (F1, and the audience for U1).

@@ -1,64 +1,81 @@
-//! Design-space exploration for the paper's panel: enumerate component
-//! choices, predict per-target LODs, and print the Pareto front — the §I
-//! "search of the most cost-effective solution" made executable.
+//! Design-space exploration for the paper's panel, at methodology scale:
+//! a 168 960-point space pruned to its exact Pareto band by static passes,
+//! with only the surviving band simulated — the §I "search of the most
+//! cost-effective solution" run like a compiler pipeline.
 //!
-//! Run with `cargo run --example design_space_exploration`.
+//! Run with `cargo run --release --example design_space_exploration`.
 
-use advdiag::platform::{explore, DesignSpace, PanelSpec};
+use advdiag::explore::{explore, ExploreSpec};
+use advdiag::platform::{ExecPolicy, PanelSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let panel = PanelSpec::paper_fig4();
-    let space = DesignSpace::paper_default();
+    let spec = ExploreSpec::standard(panel);
     println!(
         "exploring {} designs for a {}-target panel...\n",
-        space.len(),
-        panel.targets().len()
+        spec.space.len(),
+        spec.panel.targets().len()
     );
-    let mut designs = explore(&panel, &space)?;
-    let feasible = designs.iter().filter(|d| d.feasible).count();
-    println!("{feasible}/{} designs feasible", designs.len());
+    let outcome = explore(&spec, ExecPolicy::Auto)?;
 
-    designs.sort_by(|a, b| {
-        a.cost
-            .scalar()
-            .partial_cmp(&b.cost.scalar())
-            .expect("costs are finite")
-    });
+    println!("pass pipeline:");
+    for report in &outcome.reports {
+        println!(
+            "  {:<18} {:>8} -> {:>8} points  ({} class evals)",
+            report.pass, report.points_in, report.points_out, report.classes_evaluated
+        );
+        for bucket in &report.rejects {
+            println!(
+                "      {:?}: {} classes / {} points",
+                bucket.reason, bucket.classes, bucket.points
+            );
+        }
+    }
+    println!(
+        "\n{} of {} points statically rejected ({:.3}%); {} survivors in {} shards ({} replayed)",
+        outcome.statically_rejected,
+        outcome.total_points,
+        100.0 * outcome.rejection_ratio,
+        outcome.band.len(),
+        outcome.shard_count,
+        outcome.replayed_shards,
+    );
+    println!("frontier digest: {:#018x}\n", outcome.frontier_digest);
 
     println!(
-        "\n{:<6} {:<5} {:<10} {:<5} {:<4} {:<5} {:>9} {:>9} {:>8} {:>8}",
-        "pareto", "nano", "sharing", "chop", "cds", "bits", "power", "area", "time", "margin"
+        "{:<5} {:<5} {:<4} {:<4} {:<5} {:>4} {:>5} {:>12} {:>10}",
+        "nano", "shar", "chop", "cds", "bits", "ovs", "area", "cost", "margin"
     );
-    for d in designs.iter().filter(|d| d.feasible) {
+    for d in &outcome.band {
         println!(
-            "{:<6} {:<5} {:<10} {:<5} {:<4} {:<5} {:>9} {:>7.2}mm² {:>7.0}s {:>8.2}",
-            if d.pareto { "*" } else { "" },
-            d.point.nanostructure.to_string(),
-            format!("{}", d.point.sharing)
+            "{:<5} {:<5} {:<4} {:<4} {:<5} {:>4} {:>4}% {:>12.1} {:>10.2}",
+            d.point.base.nanostructure.to_string(),
+            format!("{}", d.point.base.sharing)
                 .chars()
-                .take(9)
+                .take(5)
                 .collect::<String>(),
-            d.point.chopper,
-            d.point.cds,
-            d.point.adc_bits,
-            d.cost.power.to_string(),
-            d.cost.total_area_mm2(),
-            d.cost.session_time.value(),
-            d.worst_lod_margin,
+            d.point.base.chopper,
+            d.point.base.cds,
+            d.point.base.adc_bits,
+            d.point.oversampling,
+            d.point.area_pct,
+            d.surrogate_cost,
+            d.surrogate_margin,
         );
     }
 
-    // The front's endpoints tell the story.
-    let front: Vec<_> = designs.iter().filter(|d| d.pareto).collect();
-    if let (Some(cheapest), Some(best)) = (front.first(), front.last()) {
-        println!("\ncheapest feasible design: {:?}", cheapest.point);
+    if let (Some(cheapest), Some(best)) = (
+        outcome.band.iter().min_by(|a, b| {
+            a.surrogate_cost.total_cmp(&b.surrogate_cost)
+        }),
+        outcome.band.iter().max_by(|a, b| {
+            a.surrogate_margin.total_cmp(&b.surrogate_margin)
+        }),
+    ) {
+        println!("\ncheapest band design:     {:?}", cheapest.point);
         println!("highest-margin design:    {:?}", best.point);
-    }
-
-    // Show the per-target LOD predictions of the cheapest Pareto design.
-    if let Some(d) = front.first() {
-        println!("\npredicted LODs of the cheapest Pareto design:");
-        for (analyte, lod) in &d.predicted_lods {
+        println!("\npredicted LODs of the cheapest band design (full simulation):");
+        for (analyte, lod) in &cheapest.simulated.predicted_lods {
             println!("  {:<15} {}", analyte.to_string(), lod);
         }
     }

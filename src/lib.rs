@@ -12,6 +12,9 @@
 //! * [`instrument`] — protocols, peaks and calibration statistics,
 //! * [`platform`] — the paper's platform methodology and design-space
 //!   exploration,
+//! * [`explore`] — compiler-style exploration at scale: static pruning
+//!   passes, exact Pareto dominance and shard-memoized scoring over
+//!   million-point spaces,
 //! * [`server`] — diagnostics as a service: a sharded deterministic
 //!   scheduler with bounded admission, deadlines, degradation tiers and
 //!   a chaos harness,
@@ -51,6 +54,7 @@ pub mod prelude {
 pub use bios_afe as afe;
 pub use bios_biochem as biochem;
 pub use bios_electrochem as electrochem;
+pub use bios_explore as explore;
 pub use bios_instrument as instrument;
 pub use bios_model as model;
 pub use bios_platform as platform;
